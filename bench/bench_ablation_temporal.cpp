@@ -1,0 +1,66 @@
+// Design-choice ablation (DESIGN.md): the temporal-consistency assumption.
+// Algorithm 1 applies the scale regressed from frame k to frame k+1; the
+// paper assumes consecutive frames want similar scales and justifies it
+// empirically.  This bench quantifies the cost of the one-frame lag:
+//
+//   MS/AdaScale          scale lagged by one frame (Algorithm 1)
+//   same-frame regressor regress + re-detect the same frame (no lag, 2x cost)
+//   per-frame oracle     ground-truth optimal scale per frame (Sec. 3.1)
+//
+// Expected shape: the lagged pipeline loses very little mAP vs the lag-free
+// variants while being ~2x faster than same-frame — the assumption holds.
+#include <cstdio>
+#include <map>
+
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace ada;
+
+int main() {
+  std::printf("=== Ablation: temporal consistency (Algorithm 1 lag) ===\n");
+  Harness h = make_vid_harness(default_cache_dir());
+  Detector* det = h.detector(ScaleSet::train_default());
+  ScaleRegressor* reg =
+      h.regressor(ScaleSet::train_default(), h.default_regressor_config());
+  const ScaleSet sreg = ScaleSet::reg_default();
+
+  MethodRun lagged =
+      h.evaluate("MS/AdaScale (1-frame lag)", h.run_adascale(det, reg, sreg));
+  MethodRun same =
+      h.evaluate("same-frame regressor", h.run_adascale_same_frame(det, reg, sreg));
+  MethodRun oracle = h.evaluate("per-frame oracle", h.run_oracle(det, sreg));
+
+  TextTable table({"method", "mAP(%)", "ms/frame", "FPS"});
+  for (const MethodRun* r : {&lagged, &same, &oracle})
+    table.add_row({r->label, fmt(100.0 * r->eval.map, 1), fmt(r->mean_ms, 1),
+                   fmt(r->fps, 1)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // How often does the lagged scale match what the same frame would pick?
+  // (Counts per-frame scale agreement between the two regressor-driven
+  // variants over identical snippets.)
+  const auto runs_lagged = h.run_adascale(det, reg, sreg);
+  const auto runs_same = h.run_adascale_same_frame(det, reg, sreg);
+  long frames = 0, agree = 0;
+  double abs_diff = 0.0;
+  for (std::size_t s = 0; s < runs_lagged.size(); ++s) {
+    const auto& a = runs_lagged[s].frame_scales;
+    const auto& b = runs_same[s].frame_scales;
+    for (std::size_t f = 0; f < a.size() && f < b.size(); ++f) {
+      ++frames;
+      if (a[f] == b[f]) ++agree;
+      abs_diff += std::abs(a[f] - b[f]);
+    }
+  }
+  std::printf("scale agreement lagged vs same-frame: %.0f%% of %ld frames, "
+              "mean |Δscale| %.0f px\n",
+              100.0 * static_cast<double>(agree) / static_cast<double>(frames),
+              frames, abs_diff / static_cast<double>(frames));
+  std::printf("summary: lag costs %+.1f mAP vs same-frame at %.2fx its speed; "
+              "oracle headroom %+.1f mAP\n",
+              100.0 * (lagged.eval.map - same.eval.map),
+              same.mean_ms / lagged.mean_ms,
+              100.0 * (oracle.eval.map - lagged.eval.map));
+  return 0;
+}

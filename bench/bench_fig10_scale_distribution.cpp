@@ -1,0 +1,60 @@
+// Reproduces Fig. 10: the distribution of AdaScale's regressed scales on the
+// validation set, for each multi-scale training set S_train of Table 2.
+//
+// Expected shape (paper): richer S_train shifts mass toward smaller scales
+// (faster inference) because the detector stays accurate when down-scaled.
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace ada;
+
+int main() {
+  std::printf("=== Fig. 10: regressed scale distribution per S_train ===\n");
+  Harness h = make_vid_harness(default_cache_dir());
+
+  const std::vector<ScaleSet> strains = {
+      ScaleSet{{600, 480, 360, 240}},
+      ScaleSet{{600, 480, 360}},
+      ScaleSet{{600, 360}},
+      ScaleSet{{600}},
+  };
+
+  // Histogram buckets over the continuous regressed range [128, 600].
+  const std::vector<int> edges = {128, 180, 240, 300, 360, 420, 480, 540, 601};
+
+  for (const ScaleSet& strain : strains) {
+    Detector* det = h.detector(strain);
+    ScaleRegressor* reg = h.regressor(strain, h.default_regressor_config());
+    MethodRun run = h.evaluate(
+        "Ada.", h.run_adascale(det, reg, ScaleSet::reg_default()));
+
+    std::vector<int> counts(edges.size() - 1, 0);
+    for (int s : run.used_scales)
+      for (std::size_t b = 0; b + 1 < edges.size(); ++b)
+        if (s >= edges[b] && s < edges[b + 1]) {
+          ++counts[b];
+          break;
+        }
+
+    std::printf("S_train = %s   (mean scale %.0f, mean ms %.1f)\n",
+                strain.to_string().c_str(),
+                run.used_scales.empty()
+                    ? 0.0
+                    : static_cast<double>(std::accumulate(
+                          run.used_scales.begin(), run.used_scales.end(), 0)) /
+                          static_cast<double>(run.used_scales.size()),
+                run.mean_ms);
+    TextTable t({"scale bucket", "frames", "share(%)"});
+    const double total = static_cast<double>(run.used_scales.size());
+    for (std::size_t b = 0; b + 1 < edges.size(); ++b)
+      t.add_row({"[" + fmt_int(edges[b]) + "," + fmt_int(edges[b + 1]) + ")",
+                 fmt_int(counts[b]),
+                 fmt(total > 0 ? 100.0 * counts[b] / total : 0.0, 1)});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 1 (and the qualitative Fig. 8): frames where the
+// down-sampled image yields a *better* detection quality than scale 600.
+//
+// For every validation frame we compute the optimal-scale metric across
+// S_reg and report how often a scale < 600 wins, split by the two mechanisms
+// the paper identifies: fewer false positives, and more/better true
+// positives.  A textual "qualitative" dump shows a few example frames with
+// per-scale foreground counts and losses.
+#include <cstdio>
+
+#include "adascale/optimal_scale.h"
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace ada;
+
+int main() {
+  std::printf("=== Fig. 1: where down-sampling wins (SynthVID) ===\n");
+  Harness h = make_vid_harness(default_cache_dir());
+  Detector* det = h.detector(ScaleSet::train_default());
+
+  const Renderer renderer = h.dataset().make_renderer();
+  const ScalePolicy& policy = h.dataset().scale_policy();
+  const ScaleSet sreg = ScaleSet::reg_default();
+
+  std::map<int, int> optimal_histogram;
+  int frames = 0;
+  int downsample_wins = 0;
+  std::vector<ScaleMetric> examples;
+
+  for (const Snippet& snip : h.dataset().val_snippets()) {
+    for (const Scene& scene : snip.frames) {
+      const ScaleMetric m = compute_scale_metric(det, renderer, policy, scene,
+                                                 sreg, OptimalScaleConfig{});
+      ++frames;
+      ++optimal_histogram[m.optimal_scale];
+      if (m.optimal_scale < 600) {
+        ++downsample_wins;
+        if (examples.size() < 4 && m.n_min > 0) examples.push_back(m);
+      }
+    }
+  }
+
+  TextTable hist({"optimal scale", "frames", "share(%)"});
+  for (const auto& [scale, count] : optimal_histogram)
+    hist.add_row({fmt_int(scale), fmt_int(count),
+                  fmt(100.0 * count / frames, 1)});
+  std::printf("%s\n", hist.to_string().c_str());
+  std::printf("down-sampling optimal on %d/%d frames (%.1f%%)\n\n",
+              downsample_wins, frames, 100.0 * downsample_wins / frames);
+
+  std::printf("qualitative examples (per-scale metric, lower L-hat wins):\n");
+  for (std::size_t e = 0; e < examples.size(); ++e) {
+    const ScaleMetric& m = examples[e];
+    std::printf("example %zu: optimal=%d\n", e + 1, m.optimal_scale);
+    TextTable t({"scale", "n_fg", "n_det", "L-hat"});
+    for (std::size_t i = 0; i < m.scales.size(); ++i)
+      t.add_row({fmt_int(m.scales[i]), fmt_int(m.n_fg[i]),
+                 fmt_int(m.n_det[i]), fmt(m.lhat[i], 3)});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

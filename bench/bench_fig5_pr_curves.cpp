@@ -1,0 +1,89 @@
+// Reproduces Fig. 5: precision-recall curves for selected categories under
+// the five testing methods (SS/SS, MS/SS, MS/MS, MS/Random, MS/AdaScale).
+//
+// The paper shows the 3 most-improved classes, 1 on-par class, and the 2
+// most-degraded classes (MS/AdaScale vs SS/SS); we select them the same way
+// from our results and print each curve as (recall, precision) series
+// downsampled to 11 recall points.
+#include <algorithm>
+#include <cstdio>
+
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace ada;
+
+namespace {
+
+/// Precision at (or after) a recall threshold, from a PR curve.
+float precision_at(const std::vector<PrPoint>& pr, float recall) {
+  float best = 0.0f;
+  for (const PrPoint& p : pr)
+    if (p.recall >= recall) best = std::max(best, p.precision);
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 5: precision-recall curves (SynthVID) ===\n");
+  Harness h = make_vid_harness(default_cache_dir());
+
+  Detector* ss_det = h.detector(ScaleSet{{600}});
+  Detector* ms_det = h.detector(ScaleSet::train_default());
+  ScaleRegressor* reg = h.regressor(ScaleSet::train_default(),
+                                    h.default_regressor_config());
+  const ScaleSet sreg = ScaleSet::reg_default();
+
+  std::vector<MethodRun> runs;
+  runs.push_back(h.evaluate("SS/SS", h.run_fixed(ss_det, 600)));
+  runs.push_back(h.evaluate("MS/SS", h.run_fixed(ms_det, 600)));
+  runs.push_back(h.evaluate("MS/MS", h.run_multiscale(ms_det, sreg)));
+  runs.push_back(h.evaluate("MS/Random", h.run_random(ms_det, sreg, 7)));
+  runs.push_back(h.evaluate("MS/AdaScale", h.run_adascale(ms_det, reg, sreg)));
+
+  // Rank classes by AdaScale-vs-SS AP delta.
+  const auto& ss = runs[0].eval.per_class;
+  const auto& ada = runs[4].eval.per_class;
+  std::vector<std::pair<float, int>> deltas;
+  for (std::size_t c = 0; c < ss.size(); ++c)
+    if (ss[c].num_gt > 0)
+      deltas.emplace_back(ada[c].ap - ss[c].ap, static_cast<int>(c));
+  std::sort(deltas.begin(), deltas.end(),
+            [](auto& a, auto& b) { return a.first > b.first; });
+
+  std::vector<int> selected;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, deltas.size()); ++i)
+    selected.push_back(deltas[i].second);  // most improved
+  if (!deltas.empty()) selected.push_back(deltas[deltas.size() / 2].second);  // on-par
+  for (std::size_t i = deltas.size() >= 2 ? deltas.size() - 2 : 0;
+       i < deltas.size(); ++i)
+    selected.push_back(deltas[i].second);  // most degraded
+
+  for (int cls : selected) {
+    std::printf("--- class %s (AP delta %+.1f) ---\n",
+                ss[static_cast<std::size_t>(cls)].name.c_str(),
+                100.0f * (ada[static_cast<std::size_t>(cls)].ap -
+                          ss[static_cast<std::size_t>(cls)].ap));
+    std::vector<std::string> header = {"recall"};
+    for (const MethodRun& r : runs) header.push_back(r.label);
+    TextTable t(header);
+    for (int k = 0; k <= 10; ++k) {
+      const float recall = 0.1f * static_cast<float>(k);
+      std::vector<std::string> row = {fmt(recall, 1)};
+      for (const MethodRun& r : runs)
+        row.push_back(fmt(
+            precision_at(r.eval.per_class[static_cast<std::size_t>(cls)].pr,
+                         recall),
+            3));
+      t.add_row(row);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("mAP: ");
+  for (const MethodRun& r : runs)
+    std::printf("%s=%.1f  ", r.label.c_str(), 100.0 * r.eval.map);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 6 (and the appendix version): true-positive and
+// false-positive counts per method, normalized to SS/SS, for every class and
+// in aggregate.
+//
+// Expected shape (paper): multi-scale training cuts FPs sharply; random
+// down-scaling cuts FPs and TPs; MS/AdaScale cuts FPs the most while keeping
+// TPs comparable to SS/SS (higher precision at slight recall cost).
+#include <cstdio>
+
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace ada;
+
+int main() {
+  std::printf("=== Fig. 6: normalized TP / FP per method (SynthVID) ===\n");
+  Harness h = make_vid_harness(default_cache_dir());
+
+  Detector* ss_det = h.detector(ScaleSet{{600}});
+  Detector* ms_det = h.detector(ScaleSet::train_default());
+  ScaleRegressor* reg = h.regressor(ScaleSet::train_default(),
+                                    h.default_regressor_config());
+  const ScaleSet sreg = ScaleSet::reg_default();
+
+  std::vector<MethodRun> runs;
+  runs.push_back(h.evaluate("SS/SS", h.run_fixed(ss_det, 600)));
+  runs.push_back(h.evaluate("MS/SS", h.run_fixed(ms_det, 600)));
+  runs.push_back(h.evaluate("MS/MS", h.run_multiscale(ms_det, sreg)));
+  runs.push_back(h.evaluate("MS/Random", h.run_random(ms_det, sreg, 7)));
+  runs.push_back(h.evaluate("MS/AdaScale", h.run_adascale(ms_det, reg, sreg)));
+
+  // Aggregate counts.
+  std::printf("aggregate (score >= 0.35, IoU >= 0.5):\n");
+  TextTable agg({"method", "TP", "FP", "TP/SS", "FP/SS"});
+  long ss_tp = 0, ss_fp = 0;
+  for (const ClassEval& ce : runs[0].eval.per_class) {
+    ss_tp += ce.tp_at_threshold;
+    ss_fp += ce.fp_at_threshold;
+  }
+  for (const MethodRun& r : runs) {
+    long tp = 0, fp = 0;
+    for (const ClassEval& ce : r.eval.per_class) {
+      tp += ce.tp_at_threshold;
+      fp += ce.fp_at_threshold;
+    }
+    agg.add_row({r.label, fmt_int(tp), fmt_int(fp),
+                 fmt(ss_tp > 0 ? static_cast<double>(tp) / ss_tp : 0.0, 2),
+                 fmt(ss_fp > 0 ? static_cast<double>(fp) / ss_fp : 0.0, 2)});
+  }
+  std::printf("%s\n", agg.to_string().c_str());
+
+  // Per-class normalized table (appendix Fig. 8 of the paper).
+  std::printf("per-class normalized TP (FP) vs SS/SS:\n");
+  std::vector<std::string> header = {"class"};
+  for (const MethodRun& r : runs) header.push_back(r.label);
+  TextTable per(header);
+  const auto& base = runs[0].eval.per_class;
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    if (base[c].num_gt == 0) continue;
+    std::vector<std::string> row = {base[c].name};
+    for (const MethodRun& r : runs) {
+      const ClassEval& ce = r.eval.per_class[c];
+      const double tp_norm = base[c].tp_at_threshold > 0
+                                 ? static_cast<double>(ce.tp_at_threshold) /
+                                       base[c].tp_at_threshold
+                                 : 0.0;
+      const double fp_norm = base[c].fp_at_threshold > 0
+                                 ? static_cast<double>(ce.fp_at_threshold) /
+                                       base[c].fp_at_threshold
+                                 : 0.0;
+      row.push_back(fmt(tp_norm, 2) + " (" + fmt(fp_norm, 2) + ")");
+    }
+    per.add_row(row);
+  }
+  std::printf("%s\n", per.to_string().c_str());
+  return 0;
+}

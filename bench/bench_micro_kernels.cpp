@@ -1,0 +1,121 @@
+// Engineering micro-benchmarks (google-benchmark): the kernels whose costs
+// determine every number in the paper tables — conv forward at each nominal
+// scale, the regressor overhead (paper: "2 ms, ~3% of R-FCN"), NMS, optical
+// flow, and Seq-NMS.
+#include <benchmark/benchmark.h>
+
+#include "adascale/scale_regressor.h"
+#include "data/dataset.h"
+#include "detection/detector.h"
+#include "detection/nms.h"
+#include "tensor/image_ops.h"
+#include "video/optical_flow.h"
+#include "video/seq_nms.h"
+
+namespace {
+
+using namespace ada;
+
+struct Fixture {
+  Fixture() : dataset(Dataset::synth_vid(1, 1, 77)) {
+    DetectorConfig dcfg;
+    dcfg.num_classes = dataset.catalog().num_classes();
+    Rng rng(1);
+    detector = std::make_unique<Detector>(dcfg, &rng);
+    RegressorConfig rcfg;
+    rcfg.in_channels = dcfg.c3;
+    regressor = std::make_unique<ScaleRegressor>(rcfg, &rng);
+  }
+
+  Dataset dataset;
+  std::unique_ptr<Detector> detector;
+  std::unique_ptr<ScaleRegressor> regressor;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_DetectorForward(benchmark::State& state) {
+  Fixture& f = fixture();
+  const int scale = static_cast<int>(state.range(0));
+  const Renderer renderer = f.dataset.make_renderer();
+  const Tensor img = renderer.render_at_scale(
+      *f.dataset.val_frames()[0], scale, f.dataset.scale_policy());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.detector->detect(img));
+  }
+  state.counters["macs"] = static_cast<double>(
+      f.detector->forward_macs(img.h(), img.w()));
+}
+BENCHMARK(BM_DetectorForward)->Arg(600)->Arg(480)->Arg(360)->Arg(240)->Arg(128);
+
+void BM_RegressorPredict(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Renderer renderer = f.dataset.make_renderer();
+  const Tensor img = renderer.render_at_scale(
+      *f.dataset.val_frames()[0], static_cast<int>(state.range(0)),
+      f.dataset.scale_policy());
+  f.detector->forward(img);
+  const Tensor features = f.detector->features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.regressor->predict(features));
+  }
+}
+BENCHMARK(BM_RegressorPredict)->Arg(600)->Arg(240);
+
+void BM_Nms(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Box> boxes;
+  std::vector<float> scores;
+  for (int i = 0; i < n; ++i) {
+    float x = rng.uniform(0.0f, 180.0f), y = rng.uniform(0.0f, 130.0f);
+    boxes.push_back(Box{x, y, x + rng.uniform(5.0f, 40.0f),
+                        y + rng.uniform(5.0f, 40.0f)});
+    scores.push_back(rng.uniform());
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(nms(boxes, scores, 0.3f));
+}
+BENCHMARK(BM_Nms)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_BlockMatchingFlow(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Renderer renderer = f.dataset.make_renderer();
+  const Tensor a = to_grayscale(renderer.render_at_scale(
+      *f.dataset.val_frames()[0], 600, f.dataset.scale_policy()));
+  const Tensor b = to_grayscale(renderer.render_at_scale(
+      *f.dataset.val_frames()[1], 600, f.dataset.scale_policy()));
+  Tensor small_a, small_b;
+  bilinear_resize(a, 18, 25, &small_a);
+  bilinear_resize(b, 18, 25, &small_b);
+  Tensor fy, fx;
+  for (auto _ : state)
+    block_matching_flow(small_a, small_b, FlowConfig{}, &fy, &fx);
+}
+BENCHMARK(BM_BlockMatchingFlow);
+
+void BM_SeqNms(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<std::vector<EvalDetection>> frames(12);
+    for (auto& fr : frames)
+      for (int k = 0; k < 30; ++k) {
+        EvalDetection d;
+        float x = rng.uniform(0.0f, 150.0f), y = rng.uniform(0.0f, 100.0f);
+        d.box = Box{x, y, x + 20, y + 20};
+        d.class_id = k % 5;
+        d.score = rng.uniform();
+        fr.push_back(d);
+      }
+    state.ResumeTiming();
+    seq_nms(&frames, SeqNmsConfig{});
+  }
+}
+BENCHMARK(BM_SeqNms);
+
+}  // namespace
+
+BENCHMARK_MAIN();

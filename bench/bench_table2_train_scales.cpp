@@ -1,0 +1,42 @@
+// Reproduces Table 2: mAP and runtime of SS vs AdaScale testing under
+// different multi-scale training sets S_train.
+//
+// Expected shape (paper): a larger S_train improves BOTH the mAP and the
+// speed of AdaScale (richer scale supervision -> better labels and a
+// detector that stays accurate at small scales); SS runtime is flat.
+#include <cstdio>
+
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace ada;
+
+int main() {
+  std::printf("=== Table 2: ablation over S_train (SynthVID) ===\n");
+  Harness h = make_vid_harness(default_cache_dir());
+
+  const std::vector<ScaleSet> strains = {
+      ScaleSet{{600, 480, 360, 240}},
+      ScaleSet{{600, 480, 360}},
+      ScaleSet{{600, 360}},
+      ScaleSet{{600}},
+  };
+
+  TextTable table({"S_train", "testing", "mAP(%)", "runtime(ms)"});
+  for (const ScaleSet& strain : strains) {
+    Detector* det = h.detector(strain);
+    ScaleRegressor* reg =
+        h.regressor(strain, h.default_regressor_config());
+
+    MethodRun ss = h.evaluate("SS", h.run_fixed(det, 600));
+    MethodRun ada = h.evaluate(
+        "Ada.", h.run_adascale(det, reg, ScaleSet::reg_default()));
+
+    table.add_row({strain.to_string(), "SS", fmt(100.0 * ss.eval.map, 1),
+                   fmt(ss.mean_ms, 1)});
+    table.add_row({strain.to_string(), "Ada.", fmt(100.0 * ada.eval.map, 1),
+                   fmt(ada.mean_ms, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

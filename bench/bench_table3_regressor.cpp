@@ -1,0 +1,50 @@
+// Reproduces Table 3: the regressor-architecture ablation — conv stream
+// kernel sets {1}, {1,3}, {1,3,5}; mAP and end-to-end runtime.
+//
+// Expected shape (paper): {1,3} matches or beats {1} in mAP and is the best
+// overall runtime point; {1,3,5} matches mAP with slightly more overhead
+// (regressor accuracy affects detector speed, module cost adds latency).
+#include <cstdio>
+
+#include "experiments/harness.h"
+#include "util/table.h"
+
+using namespace ada;
+
+int main() {
+  std::printf("=== Table 3: regressor architecture ablation (SynthVID) ===\n");
+  Harness h = make_vid_harness(default_cache_dir());
+  Detector* det = h.detector(ScaleSet::train_default());
+
+  const std::vector<std::vector<int>> kernel_sets = {{1}, {1, 3}, {1, 3, 5}};
+  TextTable table({"kernel size", "mAP(%)", "runtime(ms)", "regressor(ms)"});
+  for (const auto& kernels : kernel_sets) {
+    RegressorConfig rcfg = h.default_regressor_config();
+    rcfg.kernels = kernels;
+    ScaleRegressor* reg = h.regressor(ScaleSet::train_default(), rcfg);
+
+    MethodRun run = h.evaluate(
+        "Ada.", h.run_adascale(det, reg, ScaleSet::reg_default()));
+
+    // Regressor-only overhead, measured on a 600-scale feature map.
+    const Renderer renderer = h.dataset().make_renderer();
+    const Tensor img = renderer.render_at_scale(
+        h.dataset().val_snippets()[0].frames[0], 600,
+        h.dataset().scale_policy());
+    det->forward(img);
+    double reg_ms = 0.0;
+    const int reps = 20;
+    for (int i = 0; i < reps; ++i) {
+      reg->predict(det->features());
+      reg_ms += reg->last_predict_ms();
+    }
+
+    std::string label;
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+      label += (i ? "&" : "") + std::to_string(kernels[i]);
+    table.add_row({label, fmt(100.0 * run.eval.map, 1), fmt(run.mean_ms, 1),
+                   fmt(reg_ms / reps, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

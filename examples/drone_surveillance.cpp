@@ -1,0 +1,61 @@
+// Drone-surveillance scenario: mostly small, distant objects — the regime
+// where naive down-scaling destroys recall.  Demonstrates that AdaScale
+// *refuses* to down-scale when objects are small (it keeps large scales),
+// unlike a fixed low scale or random scaling.
+#include <cstdio>
+#include <map>
+
+#include "experiments/harness.h"
+
+using namespace ada;
+
+int main() {
+  std::printf("AdaScale: drone-surveillance (small objects) case study\n");
+  std::printf("=======================================================\n\n");
+
+  Harness h = make_vid_harness(default_cache_dir());
+  Detector* detector = h.detector(ScaleSet::train_default());
+  ScaleRegressor* regressor = h.regressor(ScaleSet::train_default(),
+                                          h.default_regressor_config());
+
+  const Renderer renderer = h.dataset().make_renderer();
+  SnippetGenerator gen(&h.dataset().catalog(), h.dataset().video_config());
+  Rng rng(7070);
+
+  AdaScalePipeline pipeline(detector, regressor, &renderer,
+                            h.dataset().scale_policy(),
+                            ScaleSet::reg_default());
+
+  std::map<int, int> scale_hist;
+  int frames = 0, detections_ada = 0, detections_240 = 0;
+  const int clips = 6;
+  for (int c = 0; c < clips; ++c) {
+    const Snippet clip =
+        gen.generate_with_theme(SnippetTheme::kSmallObjects, &rng);
+    pipeline.reset();
+    for (const Scene& frame : clip.frames) {
+      const AdaFrameOutput out = pipeline.process(frame);
+      ++scale_hist[out.scale_used];
+      ++frames;
+      for (const Detection& d : out.detections.detections)
+        if (d.score >= 0.5f) ++detections_ada;
+
+      // Naive "fast mode": fixed low scale.
+      const Tensor img = renderer.render_at_scale(frame, 240,
+                                                  h.dataset().scale_policy());
+      DetectionOutput low = detector->detect(img);
+      for (const Detection& d : low.detections)
+        if (d.score >= 0.5f) ++detections_240;
+    }
+  }
+
+  std::printf("scale choices over %d small-object frames:\n", frames);
+  for (const auto& [scale, count] : scale_hist)
+    std::printf("  scale %3d: %3d frames (%.0f%%)\n", scale, count,
+                100.0 * count / frames);
+  std::printf("\nconfident detections: AdaScale %d vs fixed-240 %d\n",
+              detections_ada, detections_240);
+  std::printf("AdaScale holds high scales when objects are small — speed is\n"
+              "only taken where accuracy does not pay for it.\n");
+  return 0;
+}

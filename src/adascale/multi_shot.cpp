@@ -1,0 +1,83 @@
+#include "adascale/multi_shot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "detection/nms.h"
+
+namespace ada {
+
+std::vector<int> shots_around(int center, const ScaleSet& s, int count) {
+  std::vector<int> ordered = s.scales;
+  std::stable_sort(ordered.begin(), ordered.end(), [&](int a, int b) {
+    const int da = std::abs(a - center), db = std::abs(b - center);
+    if (da != db) return da < db;
+    return a < b;  // tie: prefer the smaller (cheaper) scale
+  });
+  if (static_cast<int>(ordered.size()) > count)
+    ordered.resize(static_cast<std::size_t>(count));
+  return ordered;
+}
+
+MultiShotFrameOutput MultiShotPipeline::process(const Scene& frame) {
+  MultiShotFrameOutput out;
+  out.primary_scale = target_scale_;
+  const std::vector<int> shots =
+      shots_around(target_scale_, sreg_, 1 + cfg_.extra_shots);
+
+  const int primary_h = policy_.render_h(shots[0]);
+  const int primary_w = policy_.render_w(shots[0]);
+
+  std::vector<Detection> merged;
+  bool regressed = false;
+  for (std::size_t k = 0; k < shots.size(); ++k) {
+    const int scale = shots[k];
+    const Tensor image = renderer_->render_at_scale(frame, scale, policy_);
+    DetectionOutput shot = detector_->detect(image);
+    out.detect_ms += shot.forward_ms;
+    out.scales_used.push_back(scale);
+
+    // The regressor reads the *primary* shot's deep features (the scale
+    // Algorithm 1 would have used), keeping the scale dynamics identical to
+    // the single-shot pipeline.
+    if (!regressed) {
+      out.regressed_t = regressor_->predict(detector_->features());
+      out.regressor_ms = regressor_->last_predict_ms();
+      regressed = true;
+    }
+
+    for (Detection& d : shot.detections) {
+      d.box = rescale_box(d.box, shot.image_h, shot.image_w, primary_h,
+                          primary_w);
+      merged.push_back(std::move(d));
+    }
+  }
+
+  // Merge shots with NMS in the primary frame, keep the detector's top-K.
+  std::vector<Box> boxes;
+  std::vector<float> scores;
+  boxes.reserve(merged.size());
+  scores.reserve(merged.size());
+  for (const Detection& d : merged) {
+    boxes.push_back(d.box);
+    scores.push_back(d.score);
+  }
+  std::vector<int> keep = nms(boxes, scores, cfg_.merge_nms);
+  const int top_k = detector_->config().top_k;
+  if (static_cast<int>(keep.size()) > top_k)
+    keep.resize(static_cast<std::size_t>(top_k));
+
+  out.detections.image_h = primary_h;
+  out.detections.image_w = primary_w;
+  out.detections.forward_ms = out.detect_ms;
+  out.detections.detections.reserve(keep.size());
+  for (int idx : keep)
+    out.detections.detections.push_back(
+        std::move(merged[static_cast<std::size_t>(idx)]));
+
+  out.next_scale = decode_scale_target(out.regressed_t, target_scale_, sreg_);
+  target_scale_ = out.next_scale;
+  return out;
+}
+
+}  // namespace ada

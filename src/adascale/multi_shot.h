@@ -1,0 +1,81 @@
+// Adaptive multi-shot testing: the extension the paper names as future work
+// in Sec. 2.1 ("our method could possibly be extended to multi-shot version,
+// i.e., adaptively select multiple scales for a given image").
+//
+// Instead of running the detector at every scale of an image pyramid (the
+// classic multi-shot protocol, up to 4x overhead), the regressor picks the
+// center scale and the pipeline runs the detector at that scale plus its
+// `extra_shots` nearest neighbors in S_reg, merging results with NMS.  This
+// recovers part of multi-shot's accuracy at a fraction of its cost, and
+// degenerates to Algorithm 1 when extra_shots == 0.
+#pragma once
+
+#include <vector>
+
+#include "adascale/pipeline.h"
+#include "adascale/scale_regressor.h"
+#include "adascale/scale_set.h"
+#include "data/renderer.h"
+#include "detection/detector.h"
+
+namespace ada {
+
+struct MultiShotConfig {
+  int extra_shots = 1;     ///< additional scales around the regressed one
+  int init_scale = 600;    ///< Algorithm 1 initialization
+  float merge_nms = 0.3f;  ///< NMS threshold when merging shots
+};
+
+/// Per-frame output of the adaptive multi-shot pipeline.  Detections are in
+/// the coordinate frame of `primary_h` x `primary_w` (the regressed scale's
+/// resolution); shots at other scales are rescaled into it before the merge.
+struct MultiShotFrameOutput {
+  DetectionOutput detections;       ///< merged across shots
+  std::vector<int> scales_used;     ///< all scales run this frame
+  int primary_scale = 0;            ///< the regressed (center) scale
+  int next_scale = 0;               ///< decoded target for the next frame
+  float regressed_t = 0.0f;
+  double detect_ms = 0.0;           ///< summed across shots
+  double regressor_ms = 0.0;
+
+  double total_ms() const { return detect_ms + regressor_ms; }
+};
+
+/// Scales in `s` ordered by |scale - center|, starting with `center`'s
+/// nearest member (ties prefer the smaller scale: cheaper).  Exposed for
+/// tests.
+std::vector<int> shots_around(int center, const ScaleSet& s, int count);
+
+/// Stateful adaptive multi-shot runner; reset() per snippet.
+class MultiShotPipeline {
+ public:
+  MultiShotPipeline(Detector* detector, ScaleRegressor* regressor,
+                    const Renderer* renderer, const ScalePolicy& policy,
+                    const ScaleSet& sreg, const MultiShotConfig& cfg)
+      : detector_(detector),
+        regressor_(regressor),
+        renderer_(renderer),
+        policy_(policy),
+        sreg_(sreg),
+        cfg_(cfg),
+        target_scale_(cfg.init_scale) {}
+
+  void reset() { target_scale_ = cfg_.init_scale; }
+
+  int current_scale() const { return target_scale_; }
+
+  /// Detects at the current target scale and its neighbors, merges, and
+  /// updates the target scale from the primary shot's deep features.
+  MultiShotFrameOutput process(const Scene& frame);
+
+ private:
+  Detector* detector_;
+  ScaleRegressor* regressor_;
+  const Renderer* renderer_;
+  ScalePolicy policy_;
+  ScaleSet sreg_;
+  MultiShotConfig cfg_;
+  int target_scale_;
+};
+
+}  // namespace ada

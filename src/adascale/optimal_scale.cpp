@@ -1,0 +1,133 @@
+#include "adascale/optimal_scale.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/loss.h"
+
+namespace ada {
+
+float detection_box_loss(const Detection& det, const std::vector<GtBox>& gts,
+                         float fg_iou, float reg_weight, bool* foreground) {
+  int best_g = -1;
+  float best_iou = 0.0f;
+  for (std::size_t g = 0; g < gts.size(); ++g) {
+    const float v = iou(det.box, Box::from_gt(gts[g]));
+    if (v > best_iou) {
+      best_iou = v;
+      best_g = static_cast<int>(g);
+    }
+  }
+  if (best_g < 0 || best_iou < fg_iou) {
+    *foreground = false;
+    return 0.0f;
+  }
+  *foreground = true;
+  const GtBox& gt = gts[static_cast<std::size_t>(best_g)];
+
+  // L = Lcls + lambda * Lreg  (Eq. 1), evaluated on this prediction.
+  const float p =
+      std::max(det.probs[static_cast<std::size_t>(gt.class_id + 1)], 1e-12f);
+  const float lcls = -std::log(p);
+  const auto target = encode_box(Box::from_gt(gt), det.anchor);
+  const float lreg =
+      smooth_l1(det.delta.data(), target.data(), 4, nullptr);
+  return lcls + reg_weight * lreg;
+}
+
+std::vector<float> sorted_foreground_losses(const DetectionOutput& out,
+                                            const std::vector<GtBox>& gts,
+                                            float fg_iou, float reg_weight) {
+  std::vector<float> losses;
+  for (const Detection& det : out.detections) {
+    bool fg = false;
+    const float l = detection_box_loss(det, gts, fg_iou, reg_weight, &fg);
+    if (fg) losses.push_back(l);
+  }
+  std::sort(losses.begin(), losses.end());
+  return losses;
+}
+
+ScaleMetric summarize_scale_losses(
+    const std::vector<int>& scales,
+    const std::vector<std::vector<float>>& per_scale_losses,
+    const std::vector<int>& n_det, const OptimalScaleConfig& cfg) {
+  ScaleMetric m;
+  m.scales = scales;
+  m.n_det = n_det;
+  for (const auto& losses : per_scale_losses)
+    m.n_fg.push_back(static_cast<int>(losses.size()));
+
+  m.n_min = *std::min_element(m.n_fg.begin(), m.n_fg.end());
+
+  if (m.n_min > 0) {
+    // L̂: sum of the n_min smallest per-box losses at each scale (or, for
+    // the ablation's naive variant, of all foreground losses).
+    for (const auto& losses : per_scale_losses) {
+      float sum = 0.0f;
+      const int count = cfg.equalize_fg ? m.n_min
+                                        : static_cast<int>(losses.size());
+      for (int k = 0; k < count; ++k) sum += losses[static_cast<std::size_t>(k)];
+      m.lhat.push_back(sum);
+    }
+    int best = 0;
+    for (std::size_t i = 1; i < m.lhat.size(); ++i) {
+      const bool better = m.lhat[i] < m.lhat[static_cast<std::size_t>(best)] ||
+                          (m.lhat[i] == m.lhat[static_cast<std::size_t>(best)] &&
+                           m.scales[i] < m.scales[static_cast<std::size_t>(best)]);
+      if (better) best = static_cast<int>(i);
+    }
+    m.optimal_scale = m.scales[static_cast<std::size_t>(best)];
+    return m;
+  }
+
+  // Degenerate cases (paper unspecified; see header).
+  m.lhat.assign(m.scales.size(), 0.0f);
+  int best = 0;
+  for (std::size_t i = 1; i < m.scales.size(); ++i) {
+    const int nf_i = m.n_fg[i], nf_b = m.n_fg[static_cast<std::size_t>(best)];
+    if (nf_i > nf_b) {
+      best = static_cast<int>(i);
+    } else if (nf_i == nf_b && nf_i == 0) {
+      const int nd_i = m.n_det[i], nd_b = m.n_det[static_cast<std::size_t>(best)];
+      if (nd_i < nd_b ||
+          (nd_i == nd_b && m.scales[i] > m.scales[static_cast<std::size_t>(best)]))
+        best = static_cast<int>(i);
+    }
+  }
+  m.optimal_scale = m.scales[static_cast<std::size_t>(best)];
+  return m;
+}
+
+ScaleMetric compute_scale_metric(Detector* detector, const Renderer& renderer,
+                                 const ScalePolicy& policy, const Scene& scene,
+                                 const ScaleSet& s,
+                                 const OptimalScaleConfig& cfg) {
+  std::vector<std::vector<float>> all_losses;
+  std::vector<int> n_det;
+  for (int scale : s.scales) {
+    const Tensor image = renderer.render_at_scale(scene, scale, policy);
+    const std::vector<GtBox> gts =
+        scene_ground_truth(scene, image.h(), image.w());
+    DetectionOutput out = detector->detect(image);
+    all_losses.push_back(
+        sorted_foreground_losses(out, gts, cfg.fg_iou, cfg.reg_weight));
+    n_det.push_back(static_cast<int>(out.detections.size()));
+  }
+  return summarize_scale_losses(s.scales, all_losses, n_det, cfg);
+}
+
+std::vector<int> generate_optimal_scale_labels(
+    Detector* detector, const Renderer& renderer, const ScalePolicy& policy,
+    const std::vector<const Scene*>& frames, const ScaleSet& s,
+    const OptimalScaleConfig& cfg) {
+  std::vector<int> labels;
+  labels.reserve(frames.size());
+  for (const Scene* scene : frames)
+    labels.push_back(
+        compute_scale_metric(detector, renderer, policy, *scene, s, cfg)
+            .optimal_scale);
+  return labels;
+}
+
+}  // namespace ada

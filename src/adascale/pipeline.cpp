@@ -1,0 +1,22 @@
+#include "adascale/pipeline.h"
+
+namespace ada {
+
+AdaFrameOutput AdaScalePipeline::process(const Scene& frame) {
+  AdaFrameOutput out;
+  out.scale_used = target_scale_;
+
+  const Tensor image =
+      renderer_->render_at_scale(frame, target_scale_, policy_);
+  out.detections = detector_->detect(image);
+  out.detect_ms = out.detections.forward_ms;
+
+  // Regress t on the deep features of *this* frame; apply to the next.
+  out.regressed_t = regressor_->predict(detector_->features());
+  out.regressor_ms = regressor_->last_predict_ms();
+  out.next_scale = decode_scale_target(out.regressed_t, target_scale_, sreg_);
+  target_scale_ = out.next_scale;
+  return out;
+}
+
+}  // namespace ada

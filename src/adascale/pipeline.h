@@ -1,0 +1,67 @@
+// Algorithm 1: deploying AdaScale on a video stream.
+//
+//   targetScale = 600                     // initialize
+//   for each frame:
+//     image = resize(frame, targetScale)
+//     boxes, scores, t = detector.detect(image)   // regress Eq. (3)'s t
+//     targetScale = decode(t, base_size) ; clip ; round
+//
+// The current frame's deep features predict the *next* frame's scale — the
+// temporal-consistency assumption the paper's results justify empirically.
+#pragma once
+
+#include "adascale/scale_regressor.h"
+#include "adascale/scale_set.h"
+#include "adascale/scale_target.h"
+#include "data/renderer.h"
+#include "detection/detector.h"
+
+namespace ada {
+
+/// Per-frame output of the adaptive pipeline.
+struct AdaFrameOutput {
+  DetectionOutput detections;
+  int scale_used = 0;       ///< nominal scale this frame was processed at
+  int next_scale = 0;       ///< decoded regressor output for the next frame
+  float regressed_t = 0.0f; ///< raw regressor output
+  double detect_ms = 0.0;
+  double regressor_ms = 0.0;
+
+  double total_ms() const { return detect_ms + regressor_ms; }
+};
+
+/// Stateful Algorithm-1 runner.  Call reset() at each new video snippet.
+class AdaScalePipeline {
+ public:
+  AdaScalePipeline(Detector* detector, ScaleRegressor* regressor,
+                   const Renderer* renderer, const ScalePolicy& policy,
+                   const ScaleSet& sreg, int init_scale = 600)
+      : detector_(detector),
+        regressor_(regressor),
+        renderer_(renderer),
+        policy_(policy),
+        sreg_(sreg),
+        init_scale_(init_scale),
+        target_scale_(init_scale) {}
+
+  /// Re-initializes the scale for a new snippet (Algorithm 1 starts every
+  /// video at 600).
+  void reset() { target_scale_ = init_scale_; }
+
+  int current_scale() const { return target_scale_; }
+
+  /// Processes one frame: detect at the current target scale, then update
+  /// the target scale from the regressed relative scale.
+  AdaFrameOutput process(const Scene& frame);
+
+ private:
+  Detector* detector_;
+  ScaleRegressor* regressor_;
+  const Renderer* renderer_;
+  ScalePolicy policy_;
+  ScaleSet sreg_;
+  int init_scale_;
+  int target_scale_;
+};
+
+}  // namespace ada

@@ -1,0 +1,196 @@
+#include "adascale/regressor_trainer.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "util/file_io.h"
+
+namespace ada {
+
+std::string RegressorTrainConfig::fingerprint() const {
+  std::ostringstream os;
+  os << "regtrain:S=" << sreg.to_string() << ":ep=" << epochs
+     << ":lr=" << base_lr << ":stride=" << frame_stride << ":seed=" << seed;
+  return os.str();
+}
+
+namespace {
+
+/// Training frames after applying the config's stride.
+std::vector<const Scene*> strided_train_frames(const Dataset& dataset,
+                                               const RegressorTrainConfig& cfg) {
+  std::vector<const Scene*> frames = dataset.train_frames();
+  if (cfg.frame_stride > 1) {
+    std::vector<const Scene*> strided;
+    for (std::size_t i = 0; i < frames.size();
+         i += static_cast<std::size_t>(cfg.frame_stride))
+      strided.push_back(frames[i]);
+    frames = std::move(strided);
+  }
+  return frames;
+}
+
+}  // namespace
+
+std::vector<int> load_or_generate_labels(Detector* detector,
+                                         const std::string& detector_key,
+                                         const Dataset& dataset,
+                                         const RegressorTrainConfig& cfg,
+                                         const std::string& cache_dir) {
+  const std::vector<const Scene*> frames = strided_train_frames(dataset, cfg);
+
+  std::string cache_path;
+  if (!cache_dir.empty()) {
+    const std::string key = dataset.fingerprint() + "|" + detector_key +
+                            "|labels:S=" + cfg.sreg.to_string() +
+                            ":stride=" + std::to_string(cfg.frame_stride);
+    std::ostringstream os;
+    os << cache_dir << "/labels_" << std::hex << fnv1a(key) << ".bin";
+    cache_path = os.str();
+    std::vector<float> flat;
+    if (file_exists(cache_path) && load_floats(cache_path, &flat) &&
+        flat.size() == frames.size()) {
+      std::vector<int> labels(flat.size());
+      for (std::size_t i = 0; i < flat.size(); ++i)
+        labels[i] = static_cast<int>(flat[i]);
+      std::fprintf(stderr, "[regressor] loaded cached scale labels: %s\n",
+                   cache_path.c_str());
+      return labels;
+    }
+  }
+
+  std::fprintf(stderr,
+               "[regressor] generating optimal-scale labels for %zu frames\n",
+               frames.size());
+  const std::vector<int> labels = generate_optimal_scale_labels(
+      detector, dataset.make_renderer(), dataset.scale_policy(), frames,
+      cfg.sreg, OptimalScaleConfig{});
+
+  if (!cache_path.empty()) {
+    make_dirs(cache_dir);
+    std::vector<float> flat(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      flat[i] = static_cast<float>(labels[i]);
+    if (!save_floats(cache_path, flat))
+      std::fprintf(stderr, "[regressor] warning: failed to write %s\n",
+                   cache_path.c_str());
+  }
+  return labels;
+}
+
+float train_regressor(ScaleRegressor* regressor, Detector* detector,
+                      const Dataset& dataset, const RegressorTrainConfig& cfg,
+                      const std::vector<int>* precomputed_labels) {
+  const Renderer renderer = dataset.make_renderer();
+  const ScalePolicy& policy = dataset.scale_policy();
+  const std::vector<const Scene*> frames = strided_train_frames(dataset, cfg);
+
+  // Label-generation pass (Fig. 2): one optimal scale per training frame.
+  std::vector<int> labels;
+  if (precomputed_labels != nullptr) {
+    labels = *precomputed_labels;
+  } else {
+    std::fprintf(
+        stderr, "[regressor] generating optimal-scale labels for %zu frames\n",
+        frames.size());
+    labels = generate_optimal_scale_labels(detector, renderer, policy, frames,
+                                           cfg.sreg, OptimalScaleConfig{});
+  }
+  {
+    // Label distribution: the regressor can only be as adaptive as its
+    // labels are diverse, so surface this in the training log.
+    std::map<int, int> hist;
+    for (int l : labels) ++hist[l];
+    std::string msg = "[regressor] label histogram:";
+    for (const auto& [scale, count] : hist)
+      msg += " " + std::to_string(scale) + ":" + std::to_string(count);
+    std::fprintf(stderr, "%s\n", msg.c_str());
+  }
+
+  Rng rng(cfg.seed);
+  Rng scale_rng = rng.fork();
+
+  Sgd::Options opt_cfg;
+  opt_cfg.lr = cfg.base_lr;
+  opt_cfg.momentum = 0.9f;
+  opt_cfg.weight_decay = 1e-4f;
+  Sgd opt(regressor->parameters(), opt_cfg);
+
+  const auto steps_per_epoch = static_cast<long>(frames.size());
+  double last_epoch_loss = 0.0;
+  long last_epoch_count = 0;
+  long step = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::vector<std::size_t> order(frames.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      const float progress =
+          static_cast<float>(step) / static_cast<float>(steps_per_epoch);
+      opt.set_lr(progress >= cfg.lr_milestone ? cfg.base_lr * cfg.lr_decay
+                                              : cfg.base_lr);
+
+      // Input scale drawn uniformly from S_reg (Sec. 4.2).
+      const int m = cfg.sreg.scales[static_cast<std::size_t>(scale_rng.uniform_int(
+          0, cfg.sreg.count() - 1))];
+      const Tensor image = renderer.render_at_scale(*frames[idx], m, policy);
+      const Tensor& features = detector->forward(image);
+      const float target = encode_scale_target(m, labels[idx], cfg.sreg);
+      const float loss = regressor->train_step(features, target, &opt);
+      if (epoch == cfg.epochs - 1) {
+        last_epoch_loss += loss;
+        ++last_epoch_count;
+      }
+      ++step;
+    }
+  }
+  return last_epoch_count > 0
+             ? static_cast<float>(last_epoch_loss / last_epoch_count)
+             : 0.0f;
+}
+
+std::unique_ptr<ScaleRegressor> train_or_load_regressor(
+    Detector* detector, const std::string& detector_key,
+    const Dataset& dataset, const RegressorConfig& rcfg,
+    const RegressorTrainConfig& tcfg, const std::string& cache_dir) {
+  Rng init_rng(tcfg.seed ^ 0xa0761d6478bd642fULL);
+  auto regressor = std::make_unique<ScaleRegressor>(rcfg, &init_rng);
+
+  std::string cache_path;
+  if (!cache_dir.empty()) {
+    const std::string key = dataset.fingerprint() + "|" + detector_key + "|" +
+                            rcfg.fingerprint() + "|" + tcfg.fingerprint();
+    std::ostringstream os;
+    os << cache_dir << "/regressor_" << std::hex << fnv1a(key) << ".bin";
+    cache_path = os.str();
+    std::vector<float> flat;
+    if (file_exists(cache_path) && load_floats(cache_path, &flat)) {
+      std::vector<Param*> params = regressor->parameters();
+      if (unflatten_params(flat, params)) {
+        std::fprintf(stderr, "[regressor] loaded cached regressor: %s\n",
+                     cache_path.c_str());
+        return regressor;
+      }
+    }
+  }
+
+  std::fprintf(stderr, "[regressor] training regressor (%s) on %s ...\n",
+               rcfg.fingerprint().c_str(), dataset.name().c_str());
+  const std::vector<int> labels = load_or_generate_labels(
+      detector, detector_key, dataset, tcfg, cache_dir);
+  const float mse =
+      train_regressor(regressor.get(), detector, dataset, tcfg, &labels);
+  std::fprintf(stderr, "[regressor] done, final-epoch MSE %.4f\n", mse);
+
+  if (!cache_path.empty()) {
+    make_dirs(cache_dir);
+    std::vector<Param*> params = regressor->parameters();
+    if (!save_floats(cache_path, flatten_params(params)))
+      std::fprintf(stderr, "[regressor] warning: failed to write cache %s\n",
+                   cache_path.c_str());
+  }
+  return regressor;
+}
+
+}  // namespace ada

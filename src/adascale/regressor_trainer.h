@@ -1,0 +1,64 @@
+// Training loop for the scale regressor (Sec. 4.2, "Scale Regressor"):
+//   1. generate optimal-scale labels over the training frames with the
+//      multi-scale-trained detector (the Fig. 2 label-generation pass);
+//   2. for each training sample, draw the input scale uniformly from S_reg
+//      so the regressor sees every dynamic it must learn;
+//   3. train with MSE (Eq. 4) for two epochs, lr 1e-4 divided by 10 after
+//      1.3 epochs, with all detector weights frozen.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "adascale/optimal_scale.h"
+#include "adascale/scale_regressor.h"
+#include "adascale/scale_target.h"
+#include "data/dataset.h"
+
+namespace ada {
+
+struct RegressorTrainConfig {
+  ScaleSet sreg = ScaleSet::reg_default();
+  // The paper fine-tunes its regressor for 2 epochs at lr 1e-4 on 3862
+  // snippets; our from-scratch module sees two orders of magnitude fewer
+  // frames, so the schedule is longer and hotter (same two-phase shape).
+  int epochs = 12;
+  float base_lr = 2e-3f;
+  float lr_milestone = 8.0f;  ///< epochs
+  float lr_decay = 0.1f;
+  int frame_stride = 2;  ///< label/train on every k-th frame (see TrainConfig)
+  std::uint64_t seed = 11;
+
+  std::string fingerprint() const;
+};
+
+/// Trains `regressor` against `detector` (frozen) on the dataset's training
+/// frames.  Returns the mean squared error over the final epoch.
+/// `precomputed_labels` may carry optimal-scale labels for exactly the
+/// strided training frames (from load_or_generate_labels); pass nullptr to
+/// generate them in-place.
+float train_regressor(ScaleRegressor* regressor, Detector* detector,
+                      const Dataset& dataset, const RegressorTrainConfig& cfg,
+                      const std::vector<int>* precomputed_labels = nullptr);
+
+/// The label-generation pass of Fig. 2 with a disk cache: labels depend only
+/// on (dataset, detector weights, S_reg, stride), so regressor-architecture
+/// sweeps (Table 3) reuse them instead of re-running the detector at every
+/// scale.  `detector_key` must identify the detector weights.  `cache_dir`
+/// may be empty to disable caching.
+std::vector<int> load_or_generate_labels(Detector* detector,
+                                         const std::string& detector_key,
+                                         const Dataset& dataset,
+                                         const RegressorTrainConfig& cfg,
+                                         const std::string& cache_dir);
+
+/// Builds + trains (or loads from cache) a regressor for this detector.
+/// `detector_key` should identify the detector weights (e.g. its training
+/// fingerprint) so regressors trained against different detectors do not
+/// collide in the cache.
+std::unique_ptr<ScaleRegressor> train_or_load_regressor(
+    Detector* detector, const std::string& detector_key,
+    const Dataset& dataset, const RegressorConfig& rcfg,
+    const RegressorTrainConfig& tcfg, const std::string& cache_dir);
+
+}  // namespace ada

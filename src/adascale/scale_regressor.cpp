@@ -1,0 +1,89 @@
+#include "adascale/scale_regressor.h"
+
+#include <sstream>
+
+#include "tensor/loss.h"
+#include "util/timer.h"
+
+namespace ada {
+
+std::string RegressorConfig::fingerprint() const {
+  std::ostringstream os;
+  os << "reg:c=" << in_channels << ":k=";
+  for (int k : kernels) os << k << ',';
+  os << ":s=" << stream_channels;
+  return os.str();
+}
+
+ScaleRegressor::ScaleRegressor(const RegressorConfig& cfg, Rng* rng)
+    : cfg_(cfg),
+      fc_(static_cast<int>(cfg.kernels.size()) * cfg.stream_channels, 1) {
+  for (int k : cfg_.kernels) {
+    Stream s;
+    s.conv = std::make_unique<Conv2dLayer>(cfg_.in_channels,
+                                           cfg_.stream_channels, k, 1, k / 2);
+    s.conv->init_he(rng);
+    streams_.push_back(std::move(s));
+  }
+  fc_.init_he(rng);
+}
+
+void ScaleRegressor::forward(const Tensor& features) {
+  const int sc = cfg_.stream_channels;
+  const int total = static_cast<int>(streams_.size()) * sc;
+  if (concat_.c() != total) concat_ = Tensor(1, total, 1, 1);
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
+    s.conv->forward(features, &s.conv_out);
+    s.relu.forward(s.conv_out, &s.relu_out);
+    s.gap.forward(s.relu_out, &s.pooled);
+    for (int c = 0; c < sc; ++c)
+      concat_.at(0, static_cast<int>(i) * sc + c, 0, 0) = s.pooled.at(0, c, 0, 0);
+  }
+  fc_.forward(concat_, &fc_out_);
+}
+
+float ScaleRegressor::predict(const Tensor& features) {
+  Timer timer;
+  forward(features);
+  last_predict_ms_ = timer.elapsed_ms();
+  return fc_out_.at(0, 0, 0, 0);
+}
+
+float ScaleRegressor::train_step(const Tensor& features, float target,
+                                 Sgd* opt) {
+  opt->zero_grad();
+  forward(features);
+
+  float dpred = 0.0f;
+  const float loss = mse_scalar(fc_out_.at(0, 0, 0, 0), target, &dpred);
+
+  Tensor dout(1, 1, 1, 1);
+  dout.at(0, 0, 0, 0) = dpred;
+  Tensor dconcat(1, concat_.c(), 1, 1);
+  fc_.backward(dout, &dconcat);
+
+  const int sc = cfg_.stream_channels;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
+    Tensor dpool(1, sc, 1, 1);
+    for (int c = 0; c < sc; ++c)
+      dpool.at(0, c, 0, 0) = dconcat.at(0, static_cast<int>(i) * sc + c, 0, 0);
+    Tensor drelu(1, sc, s.relu_out.h(), s.relu_out.w());
+    s.gap.backward(dpool, &drelu);
+    Tensor dconv(1, sc, s.conv_out.h(), s.conv_out.w());
+    s.relu.backward(drelu, &dconv);
+    s.conv->backward(dconv, nullptr);  // features frozen: no input grad
+  }
+  opt->step();
+  return loss;
+}
+
+std::vector<Param*> ScaleRegressor::parameters() {
+  std::vector<Param*> out;
+  for (Stream& s : streams_) s.conv->collect_params(&out);
+  fc_.collect_params(&out);
+  return out;
+}
+
+}  // namespace ada

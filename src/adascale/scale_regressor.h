@@ -1,0 +1,76 @@
+// The scale regressor module (Sec. 3.2, Fig. 4).
+//
+// Takes the detector's deep features X ∈ R^{C×H×W} and regresses the Eq. (3)
+// relative-scale target.  Architecture per the paper: parallel convolution
+// streams — a 1×1 conv capturing per-channel size information and a 3×3 conv
+// capturing local patch complexity (Table 3 also ablates adding a 5×5) —
+// each followed by a non-linearity and global pooling ("a voting process"),
+// then a fully-connected layer combining the pooled streams into one scalar.
+//
+// The regressor trains with MSE (Eq. 4) while all detector weights stay
+// frozen, exactly as in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/sgd.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ada {
+
+struct RegressorConfig {
+  int in_channels = 40;               ///< detector deep-feature channels
+  std::vector<int> kernels = {1, 3};  ///< stream kernel sizes (Table 3)
+  int stream_channels = 16;           ///< conv output channels per stream
+
+  std::string fingerprint() const;
+};
+
+/// g : R^{C×H×W} -> R  (Fig. 4).
+class ScaleRegressor {
+ public:
+  ScaleRegressor(const RegressorConfig& cfg, Rng* rng);
+
+  ScaleRegressor(const ScaleRegressor&) = delete;
+  ScaleRegressor& operator=(const ScaleRegressor&) = delete;
+
+  /// Predicts the normalized relative scale t̂ for a feature map.
+  float predict(const Tensor& features);
+
+  /// One MSE training step on a single example (Eq. 4 term); returns the
+  /// squared error.  Features are treated as constants (no grad flows back).
+  float train_step(const Tensor& features, float target, Sgd* opt);
+
+  std::vector<Param*> parameters();
+
+  const RegressorConfig& config() const { return cfg_; }
+
+  /// Wall-clock of the last predict() call, for the overhead analysis
+  /// (paper: "incurs only 2 ms, 3% of R-FCN runtime").
+  double last_predict_ms() const { return last_predict_ms_; }
+
+ private:
+  /// One conv→ReLU→GAP stream.
+  struct Stream {
+    std::unique_ptr<Conv2dLayer> conv;
+    ReluLayer relu;
+    GlobalAvgPoolLayer gap;
+    Tensor conv_out, relu_out, pooled;
+  };
+
+  /// Forward through streams; fills pooled concat vector.
+  void forward(const Tensor& features);
+
+  RegressorConfig cfg_;
+  std::vector<Stream> streams_;
+  LinearLayer fc_;
+  Tensor concat_;   ///< pooled streams, (1, streams*stream_channels, 1, 1)
+  Tensor fc_out_;   ///< (1,1,1,1)
+  double last_predict_ms_ = 0.0;
+};
+
+}  // namespace ada

@@ -1,0 +1,45 @@
+// Scale sets (nominal shortest-side sizes) used throughout the paper.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace ada {
+
+/// An ordered set of nominal scales, largest first (paper convention).
+struct ScaleSet {
+  std::vector<int> scales;
+
+  int min() const {
+    assert(!scales.empty());
+    return *std::min_element(scales.begin(), scales.end());
+  }
+  int max() const {
+    assert(!scales.empty());
+    return *std::max_element(scales.begin(), scales.end());
+  }
+  int count() const { return static_cast<int>(scales.size()); }
+  bool contains(int s) const {
+    return std::find(scales.begin(), scales.end(), s) != scales.end();
+  }
+
+  std::string to_string() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+      out += std::to_string(scales[i]);
+      if (i + 1 < scales.size()) out += ",";
+    }
+    return out + "}";
+  }
+
+  /// S_train of the main experiments: {600, 480, 360, 240} (Sec. 4.2).
+  static ScaleSet train_default() { return ScaleSet{{600, 480, 360, 240}}; }
+
+  /// S_reg = S_train + {128}: 128 is the smallest anchor scale, included so
+  /// the regressor can push images as small as possible (Sec. 4.2).
+  static ScaleSet reg_default() { return ScaleSet{{600, 480, 360, 240, 128}}; }
+};
+
+}  // namespace ada

@@ -1,0 +1,35 @@
+#include "adascale/scale_target.h"
+
+#include <cmath>
+
+namespace ada {
+
+namespace {
+
+/// Shared Eq. (3) constants for a scale set.
+struct Eq3 {
+  float lo;    ///< m_min / m_max
+  float span;  ///< m_max/m_min - m_min/m_max
+
+  explicit Eq3(const ScaleSet& s)
+      : lo(static_cast<float>(s.min()) / static_cast<float>(s.max())),
+        span(static_cast<float>(s.max()) / static_cast<float>(s.min()) - lo) {}
+};
+
+}  // namespace
+
+float encode_scale_target(int m, int m_opt, const ScaleSet& s) {
+  const Eq3 k(s);
+  const float ratio = static_cast<float>(m_opt) / static_cast<float>(m);
+  return 2.0f * (ratio - k.lo) / k.span - 1.0f;
+}
+
+int decode_scale_target(float t, int current_scale, const ScaleSet& s) {
+  const Eq3 k(s);
+  const float ratio = (t + 1.0f) * 0.5f * k.span + k.lo;
+  const float raw = ratio * static_cast<float>(current_scale);
+  const int rounded = static_cast<int>(std::lround(raw));
+  return std::clamp(rounded, s.min(), s.max());
+}
+
+}  // namespace ada

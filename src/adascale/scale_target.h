@@ -1,0 +1,22 @@
+// Eq. (3) of the paper: the regressor does not predict the optimal scale
+// directly — it predicts a *relative*, normalized scale change
+//
+//   t(m, m_opt) = 2 * (m_opt/m - m_min/m_max) / (m_max/m_min - m_min/m_max) - 1
+//
+// which lives in [-1, 1] regardless of the current scale m.  Algorithm 1
+// inverts this at test time and rounds/clips to [m_min, m_max].
+#pragma once
+
+#include "adascale/scale_set.h"
+
+namespace ada {
+
+/// Encodes the regression target for an image currently at scale `m` whose
+/// optimal scale is `m_opt` (Eq. 3).
+float encode_scale_target(int m, int m_opt, const ScaleSet& s);
+
+/// Decodes a regressed `t` back to a nominal scale given the current scale
+/// (Algorithm 1: invert Eq. 3, round to integer, clip to [min, max]).
+int decode_scale_target(float t, int current_scale, const ScaleSet& s);
+
+}  // namespace ada

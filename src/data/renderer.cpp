@@ -1,0 +1,196 @@
+#include "data/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ada {
+
+namespace {
+
+float smoothstep(float e0, float e1, float x) {
+  float t = std::clamp((x - e0) / (e1 - e0), 0.0f, 1.0f);
+  return t * t * (3.0f - 2.0f * t);
+}
+
+/// Signed "inside-ness" of shapes in object-local coordinates (u,v) in
+/// [-1,1]^2; >0 inside, <=0 outside, magnitude ~ distance to the boundary in
+/// local units.
+float shape_field(Shape shape, float u, float v) {
+  switch (shape) {
+    case Shape::kEllipse:
+      return 1.0f - std::sqrt(u * u + v * v);
+    case Shape::kRectangle:
+      return std::min(1.0f - std::fabs(u), 0.85f - std::fabs(v));
+    case Shape::kTriangle:
+      // Apex up: inside when v <= 1 - 2|u| and v >= -0.9.
+      return std::min((1.0f - 2.0f * std::fabs(u) - v) * 0.5f, v + 0.9f);
+    case Shape::kDiamond:
+      return 1.0f - (std::fabs(u) + std::fabs(v));
+    case Shape::kRing: {
+      float r = std::sqrt(u * u + v * v);
+      return std::min(1.0f - r, r - 0.45f);
+    }
+    case Shape::kCross: {
+      float bar_h = std::min(1.0f - std::fabs(u), 0.35f - std::fabs(v));
+      float bar_v = std::min(0.35f - std::fabs(u), 1.0f - std::fabs(v));
+      return std::max(bar_h, bar_v);
+    }
+    default:
+      return -1.0f;
+  }
+}
+
+/// Texture mixing factor in [0,1]: 0 = base color, 1 = accent color.
+float texture_field(TexturePattern tex, float u, float v, float freq,
+                    float phase) {
+  constexpr float kPi = 3.14159265358979f;
+  switch (tex) {
+    case TexturePattern::kSolid:
+      return 0.0f;
+    case TexturePattern::kHStripes:
+      return std::sin(freq * kPi * v + phase) > 0.0f ? 1.0f : 0.0f;
+    case TexturePattern::kVStripes:
+      return std::sin(freq * kPi * u + phase) > 0.0f ? 1.0f : 0.0f;
+    case TexturePattern::kChecker: {
+      float a = std::sin(freq * kPi * u + phase);
+      float b = std::sin(freq * kPi * v + phase);
+      return a * b > 0.0f ? 1.0f : 0.0f;
+    }
+    case TexturePattern::kDots: {
+      float fu = freq * u + phase;
+      float fv = freq * v + phase;
+      float du = fu - std::round(fu);
+      float dv = fv - std::round(fv);
+      return (du * du + dv * dv) < 0.09f ? 1.0f : 0.0f;
+    }
+    default:
+      return 0.0f;
+  }
+}
+
+struct Pixel {
+  float r, g, b;
+};
+
+/// Pixel-footprint attenuation: a pattern with `cycles_per_pixel` at the
+/// current sampling density integrates toward its mean over the pixel area.
+/// Gaussian falloff approximates the sinc of box integration; at the Nyquist
+/// limit (0.5 cycles/px) contrast is ~60%, one cycle/px ~14%.  This is what
+/// makes fine detail (clutter textures, background waves) wash out at small
+/// rendering scales — the effect AdaScale exploits to kill false positives.
+float footprint_attenuation(float cycles_per_pixel) {
+  return std::exp(-2.0f * cycles_per_pixel * cycles_per_pixel);
+}
+
+/// Mean value of a texture pattern (what it fades to when unresolvable).
+float texture_mean(TexturePattern tex) {
+  switch (tex) {
+    case TexturePattern::kSolid:
+      return 0.0f;
+    case TexturePattern::kDots:
+      return 0.2827f;  // pi * 0.3^2
+    default:
+      return 0.5f;  // stripes / checker
+  }
+}
+
+Pixel background_color(const Background& bg, float wx, float wy,
+                       float pixel_world) {
+  Pixel p{bg.base.r + bg.gradient.r * wy, bg.base.g + bg.gradient.g * wy,
+          bg.base.b + bg.gradient.b * wy};
+  for (const Background::Wave& w : bg.waves) {
+    const float atten = footprint_attenuation(w.freq * pixel_world);
+    if (atten < 1e-3f) continue;
+    float axis = wx * std::cos(w.angle) + wy * std::sin(w.angle);
+    float v = atten * w.amplitude *
+              std::sin(6.2831853f * w.freq * axis + w.phase);
+    p.r += v;
+    p.g += v * 0.8f;
+    p.b += v * 1.2f;
+  }
+  return p;
+}
+
+}  // namespace
+
+Tensor Renderer::render(const Scene& scene, int h, int w) const {
+  Tensor img(1, 3, h, w);
+  const float inv_scale = 1.0f / static_cast<float>(h);
+  // Anti-alias width: one pixel footprint in world units.
+  const float aa_world = inv_scale;
+
+  // Paint order: background, then clutter, then objects (objects occlude
+  // clutter; later objects occlude earlier ones).
+  std::vector<const ObjectInstance*> paint;
+  paint.reserve(scene.clutter.size() + scene.objects.size());
+  for (const auto& c : scene.clutter) paint.push_back(&c);
+  for (const auto& o : scene.objects) paint.push_back(&o);
+
+  for (int i = 0; i < h; ++i) {
+    const float wy = (static_cast<float>(i) + 0.5f) * inv_scale;
+    for (int j = 0; j < w; ++j) {
+      const float wx = (static_cast<float>(j) + 0.5f) * inv_scale;
+      Pixel px = background_color(scene.background, wx, wy, aa_world);
+
+      for (const ObjectInstance* obj : paint) {
+        // Cheap reject on the bounding circle.
+        const float dx = wx - obj->cx;
+        const float dy = wy - obj->cy;
+        const float reach = obj->size * (obj->aspect > 1.0f
+                                             ? std::sqrt(obj->aspect)
+                                             : 1.0f / std::sqrt(obj->aspect)) *
+                            1.5f;
+        if (dx * dx + dy * dy > reach * reach) continue;
+
+        const ClassSignature& sig = catalog_->at(obj->class_id);
+        // World -> object-local coordinates.
+        const float ca = std::cos(obj->angle);
+        const float sa = std::sin(obj->angle);
+        const float rx = dx * ca + dy * sa;
+        const float ry = -dx * sa + dy * ca;
+        const float a = std::sqrt(obj->aspect);
+        const float u = rx / (obj->size * a);
+        const float v = ry / (obj->size / a);
+
+        const float field = shape_field(sig.shape, u, v);
+        // Convert local-unit field to world units (approx) for AA width.
+        const float aa_local = aa_world / std::max(obj->size, 1e-4f);
+        const float alpha = smoothstep(0.0f, aa_local * 1.5f, field);
+        if (alpha <= 0.0f) continue;
+
+        // Texture fades toward its mean when its cycles are sub-pixel:
+        // sin(freq*pi*u) has freq/2 cycles per local unit, and one pixel
+        // spans aa_local local units.
+        const float raw_t = texture_field(sig.texture, u, v, sig.texture_freq,
+                                          obj->texture_phase);
+        const float t_mean = texture_mean(sig.texture);
+        const float t = t_mean + (raw_t - t_mean) *
+                                     footprint_attenuation(
+                                         0.5f * sig.texture_freq * aa_local);
+        const float br = obj->brightness;
+        const float cr =
+            (sig.color.r * (1.0f - t) + sig.accent.r * t) * br + obj->tint.r;
+        const float cg =
+            (sig.color.g * (1.0f - t) + sig.accent.g * t) * br + obj->tint.g;
+        const float cb =
+            (sig.color.b * (1.0f - t) + sig.accent.b * t) * br + obj->tint.b;
+        px.r = px.r * (1.0f - alpha) + cr * alpha;
+        px.g = px.g * (1.0f - alpha) + cg * alpha;
+        px.b = px.b * (1.0f - alpha) + cb * alpha;
+      }
+
+      img.at(0, 0, i, j) = std::clamp(px.r, 0.0f, 1.0f);
+      img.at(0, 1, i, j) = std::clamp(px.g, 0.0f, 1.0f);
+      img.at(0, 2, i, j) = std::clamp(px.b, 0.0f, 1.0f);
+    }
+  }
+  return img;
+}
+
+Tensor Renderer::render_at_scale(const Scene& scene, int nominal_scale,
+                                 const ScalePolicy& policy) const {
+  return render(scene, policy.render_h(nominal_scale),
+                policy.render_w(nominal_scale));
+}
+
+}  // namespace ada

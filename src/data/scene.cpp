@@ -1,0 +1,37 @@
+#include "data/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ada {
+
+void instance_half_extents(const ObjectInstance& obj, float* hx, float* hy) {
+  // Object-local half extents before rotation.
+  const float a = std::sqrt(obj.aspect);
+  const float lx = obj.size * a;
+  const float ly = obj.size / a;
+  // Bounding box of a rotated rectangle [-lx,lx]x[-ly,ly].
+  const float c = std::fabs(std::cos(obj.angle));
+  const float s = std::fabs(std::sin(obj.angle));
+  *hx = lx * c + ly * s;
+  *hy = lx * s + ly * c;
+}
+
+std::vector<GtBox> scene_ground_truth(const Scene& scene, int h, int w) {
+  std::vector<GtBox> out;
+  const float scale = static_cast<float>(h);  // world unit = shortest side
+  for (const ObjectInstance& obj : scene.objects) {
+    float hx = 0, hy = 0;
+    instance_half_extents(obj, &hx, &hy);
+    GtBox box;
+    box.x1 = std::clamp((obj.cx - hx) * scale, 0.0f, static_cast<float>(w - 1));
+    box.x2 = std::clamp((obj.cx + hx) * scale, 0.0f, static_cast<float>(w - 1));
+    box.y1 = std::clamp((obj.cy - hy) * scale, 0.0f, static_cast<float>(h - 1));
+    box.y2 = std::clamp((obj.cy + hy) * scale, 0.0f, static_cast<float>(h - 1));
+    box.class_id = obj.class_id;
+    if (box.width() >= 2.0f && box.height() >= 2.0f) out.push_back(box);
+  }
+  return out;
+}
+
+}  // namespace ada

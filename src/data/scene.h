@@ -1,0 +1,78 @@
+// Resolution-independent scene description.
+//
+// A Scene lives in *world coordinates*: y in [0,1] spans the shortest image
+// side, x in [0, kAspect] spans the longer side.  The renderer can then draw
+// the same scene at any pixel resolution — which is exactly what "re-scaling
+// the input image" means in the paper, minus interpolation artifacts (the
+// scene plays the role of the physical world in front of the camera).
+#pragma once
+
+#include <vector>
+
+#include "data/class_catalog.h"
+
+namespace ada {
+
+/// Image aspect ratio (W / H); 4:3 like typical VID content.
+inline constexpr float kAspect = 4.0f / 3.0f;
+
+/// One rendered object (or clutter element).
+struct ObjectInstance {
+  int class_id = 0;        ///< class whose appearance signature is used
+  float cx = 0.5f;         ///< center x, world units
+  float cy = 0.5f;         ///< center y, world units
+  float size = 0.2f;       ///< half-extent of the shortest object side, world units
+  float aspect = 1.0f;     ///< object width / height
+  float angle = 0.0f;      ///< rotation, radians
+  float texture_phase = 0.0f;  ///< texture offset, decorrelates instances
+  float brightness = 1.0f;     ///< lighting variation
+  Rgb tint{0.0f, 0.0f, 0.0f};  ///< additive color shift (clutter uses this to
+                               ///< look *similar to* but not identical to a
+                               ///< class — a hazard, not a guaranteed FP)
+};
+
+/// Background appearance: smooth gradient + a bank of world-anchored
+/// sinusoidal detail components.  High-frequency components are only
+/// resolvable at fine scales — they are the "unnecessary details" the paper
+/// says cause false positives at large input scales.
+struct Background {
+  Rgb base{0.45f, 0.45f, 0.45f};
+  Rgb gradient{0.1f, 0.05f, -0.05f};  ///< per-channel top-to-bottom delta
+  struct Wave {
+    float freq = 8.0f;    ///< cycles per world unit
+    float angle = 0.0f;   ///< orientation
+    float phase = 0.0f;
+    float amplitude = 0.05f;
+  };
+  std::vector<Wave> waves;
+};
+
+/// A full frame description.
+struct Scene {
+  Background background;
+  std::vector<ObjectInstance> objects;  ///< labeled foreground
+  std::vector<ObjectInstance> clutter;  ///< unlabeled distractors
+};
+
+/// Axis-aligned box in pixel coordinates (x1,y1)-(x2,y2), inclusive corners.
+struct GtBox {
+  float x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  int class_id = 0;
+
+  float width() const { return x2 - x1; }
+  float height() const { return y2 - y1; }
+  float area() const {
+    return (x2 > x1 && y2 > y1) ? (x2 - x1) * (y2 - y1) : 0.0f;
+  }
+};
+
+/// World-space half extents (hx, hy) of an instance's bounding box,
+/// accounting for aspect and rotation.
+void instance_half_extents(const ObjectInstance& obj, float* hx, float* hy);
+
+/// Ground-truth boxes of the labeled objects when the scene is rendered at
+/// an image of `h` x `w` pixels.  Boxes are clipped to the image; objects
+/// whose visible area degenerates (fully outside) are dropped.
+std::vector<GtBox> scene_ground_truth(const Scene& scene, int h, int w);
+
+}  // namespace ada

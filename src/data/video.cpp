@@ -1,0 +1,154 @@
+#include "data/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ada {
+
+namespace {
+
+/// Per-object motion state advanced frame to frame.
+struct Motion {
+  float vx, vy;        // translation, world units / frame
+  float vangle;        // rotation rate
+  float size_rate;     // multiplicative size change / frame
+};
+
+
+Background make_background(const VideoConfig& cfg, Rng* rng) {
+  Background bg;
+  bg.base = Rgb{rng->uniform(0.3f, 0.6f), rng->uniform(0.3f, 0.6f),
+                rng->uniform(0.3f, 0.6f)};
+  bg.gradient = Rgb{rng->uniform(-0.15f, 0.15f), rng->uniform(-0.15f, 0.15f),
+                    rng->uniform(-0.15f, 0.15f)};
+  for (int i = 0; i < cfg.background_waves; ++i) {
+    Background::Wave w;
+    // Log-uniform frequency so both coarse structure and fine detail appear.
+    float t = rng->uniform();
+    w.freq = cfg.wave_freq_lo *
+             std::pow(cfg.wave_freq_hi / cfg.wave_freq_lo, t);
+    w.angle = rng->uniform(0.0f, 3.14159265f);
+    w.phase = rng->uniform(0.0f, 6.2831853f);
+    w.amplitude = rng->uniform(0.02f, 0.07f);
+    bg.waves.push_back(w);
+  }
+  return bg;
+}
+
+ObjectInstance make_object(const ClassCatalog& catalog, int class_id,
+                           SnippetTheme theme, Rng* rng) {
+  const ClassSignature& sig = catalog.at(class_id);
+  ObjectInstance o;
+  o.class_id = class_id;
+  o.cx = rng->uniform(0.2f, kAspect - 0.2f);
+  o.cy = rng->uniform(0.2f, 0.8f);
+  float lo = sig.size_lo, hi = sig.size_hi;
+  if (theme == SnippetTheme::kLargeObject) lo = std::max(lo, 0.25f);
+  if (theme == SnippetTheme::kSmallObjects) hi = std::min(hi, 0.18f);
+  if (lo > hi) std::swap(lo, hi);
+  // `size` in the signature is the full fraction of the shortest side; the
+  // instance stores the half-extent.
+  o.size = 0.5f * rng->uniform(lo, hi);
+  o.aspect = rng->uniform(0.8f, 1.25f);
+  o.angle = rng->uniform(-0.2f, 0.2f);
+  o.texture_phase = rng->uniform(0.0f, 6.2831853f);
+  o.brightness = rng->uniform(0.94f, 1.06f);
+  return o;
+}
+
+ObjectInstance make_clutter(const ClassCatalog& catalog, const VideoConfig& cfg,
+                            Rng* rng) {
+  // Clutter mimics a random class's appearance at sub-object size: visible
+  // (and thus a false-positive hazard) only at fine rendering scales.
+  ObjectInstance c =
+      make_object(catalog, rng->uniform_int(0, catalog.num_classes() - 1),
+                  SnippetTheme::kMixed, rng);
+  c.size = 0.5f * rng->uniform(cfg.clutter_size_lo, cfg.clutter_size_hi);
+  c.cx = rng->uniform(0.02f, kAspect - 0.02f);
+  c.cy = rng->uniform(0.02f, 0.98f);
+  // Clutter resembles a class without matching it exactly: a color tint and
+  // wide brightness range keep it a false-positive *hazard* at fine scales
+  // while letting the detector learn to reject it.
+  c.brightness = rng->uniform(0.72f, 1.28f);
+  c.tint = Rgb{rng->uniform(-cfg.clutter_tint, cfg.clutter_tint),
+               rng->uniform(-cfg.clutter_tint, cfg.clutter_tint),
+               rng->uniform(-cfg.clutter_tint, cfg.clutter_tint)};
+  return c;
+}
+
+void advance(ObjectInstance* o, Motion* m) {
+  o->cx += m->vx;
+  o->cy += m->vy;
+  o->angle += m->vangle;
+  o->size *= m->size_rate;
+  // Reflect at the frame border (keeps objects mostly visible).
+  if (o->cx < 0.05f || o->cx > kAspect - 0.05f) m->vx = -m->vx;
+  if (o->cy < 0.05f || o->cy > 0.95f) m->vy = -m->vy;
+  // Keep size within sane world bounds.
+  if (o->size < 0.02f || o->size > 0.55f) m->size_rate = 2.0f - m->size_rate;
+  o->size = std::clamp(o->size, 0.015f, 0.6f);
+}
+
+}  // namespace
+
+int SnippetGenerator::next_class(int regime) {
+  // Classes are striped into three size regimes by id % 3 (see ClassCatalog);
+  // rotate round-robin within the stripe for guaranteed coverage.
+  const int stride = 3;
+  const int n = catalog_->num_classes();
+  const int count = (n - regime + stride - 1) / stride;
+  const int k = regime_cursor_[regime]++ % count;
+  return regime + stride * k;
+}
+
+Snippet SnippetGenerator::generate(Rng* rng) {
+  const float roll = rng->uniform();
+  SnippetTheme theme = roll < 0.35f   ? SnippetTheme::kLargeObject
+                       : roll < 0.65f ? SnippetTheme::kSmallObjects
+                                      : SnippetTheme::kMixed;
+  return generate_with_theme(theme, rng);
+}
+
+Snippet SnippetGenerator::generate_with_theme(SnippetTheme theme,
+                                              Rng* rng) {
+  Snippet snip;
+  snip.theme = theme;
+
+  Scene scene;
+  scene.background = make_background(cfg_, rng);
+
+  int num_objects = rng->uniform_int(cfg_.min_objects, cfg_.max_objects);
+  if (theme == SnippetTheme::kLargeObject)
+    num_objects = std::min(num_objects, 2);
+  std::vector<Motion> motions;
+  for (int i = 0; i < num_objects; ++i) {
+    const int regime = theme == SnippetTheme::kLargeObject   ? 0
+                       : theme == SnippetTheme::kSmallObjects ? 2
+                                                              : rng->uniform_int(0, 2);
+    const int cls = next_class(regime);
+    scene.objects.push_back(make_object(*catalog_, cls, theme, rng));
+    Motion m;
+    m.vx = rng->uniform(-cfg_.max_speed, cfg_.max_speed);
+    m.vy = rng->uniform(-cfg_.max_speed, cfg_.max_speed);
+    m.vangle = rng->uniform(-0.03f, 0.03f);
+    // Large-object snippets tend to zoom (the "approaching object" case the
+    // paper's Fig. 9 clip 1 shows); others drift in size slowly.
+    float rate_span = theme == SnippetTheme::kLargeObject
+                          ? cfg_.max_size_rate
+                          : cfg_.max_size_rate * 0.4f;
+    m.size_rate = 1.0f + rng->uniform(-rate_span, rate_span);
+    motions.push_back(m);
+  }
+  for (int i = 0; i < cfg_.clutter_count; ++i)
+    scene.clutter.push_back(make_clutter(*catalog_, cfg_, rng));
+
+  snip.frames.reserve(static_cast<std::size_t>(cfg_.frames_per_snippet));
+  for (int f = 0; f < cfg_.frames_per_snippet; ++f) {
+    snip.frames.push_back(scene);
+    for (std::size_t i = 0; i < scene.objects.size(); ++i)
+      advance(&scene.objects[i], &motions[i]);
+  }
+  return snip;
+}
+
+}  // namespace ada

@@ -1,0 +1,75 @@
+// Video snippet synthesis: temporally-consistent scene sequences.
+//
+// Snippets come in three archetypes matching the dynamics the paper studies
+// in Fig. 9: a dominant large object (zooming), small distant objects, and a
+// mixed collection with varying sizes.  Motion is smooth (linear drift with
+// border reflection + slow size change), which provides the temporal
+// consistency AdaScale's frame-to-frame scale prediction relies on.
+#pragma once
+
+#include <vector>
+
+#include "data/class_catalog.h"
+#include "data/scene.h"
+#include "util/rng.h"
+
+namespace ada {
+
+/// Which size regime dominates a snippet.
+enum class SnippetTheme : int {
+  kLargeObject = 0,  ///< one/few big objects, often zooming in
+  kSmallObjects,     ///< several small objects
+  kMixed,            ///< objects of varying sizes
+};
+
+/// A video clip: one Scene per frame plus bookkeeping.
+struct Snippet {
+  SnippetTheme theme = SnippetTheme::kMixed;
+  std::vector<Scene> frames;
+
+  int num_frames() const { return static_cast<int>(frames.size()); }
+};
+
+/// Generation knobs; defaults match the SynthVID experiments.
+struct VideoConfig {
+  int frames_per_snippet = 12;
+  int min_objects = 1;
+  int max_objects = 4;
+  int clutter_count = 10;
+  float clutter_size_lo = 0.015f;
+  float clutter_size_hi = 0.04f;
+  float clutter_tint = 0.18f;    ///< additive RGB jitter on clutter color
+  float max_speed = 0.02f;       ///< world units / frame
+  float max_size_rate = 0.03f;   ///< relative size change / frame
+  int background_waves = 6;
+  float wave_freq_lo = 2.0f;
+  float wave_freq_hi = 40.0f;    ///< high-freq detail, visible only at large scales
+};
+
+/// Produces deterministic snippets given an Rng.
+class SnippetGenerator {
+ public:
+  SnippetGenerator(const ClassCatalog* catalog, VideoConfig cfg)
+      : catalog_(catalog), cfg_(cfg) {}
+
+  /// Generates one snippet with a randomly drawn theme.
+  Snippet generate(Rng* rng);
+
+  /// Generates one snippet with a fixed theme (used by the Fig. 9 bench).
+  Snippet generate_with_theme(SnippetTheme theme, Rng* rng);
+
+  const VideoConfig& config() const { return cfg_; }
+
+ private:
+  /// Next class id for a size regime.  Classes rotate round-robin within
+  /// each regime stripe so even small datasets cover every class — with ~30
+  /// classes and few snippets, independent draws would leave several classes
+  /// entirely absent from training.
+  int next_class(int regime);
+
+  const ClassCatalog* catalog_;
+  VideoConfig cfg_;
+  int regime_cursor_[3] = {0, 0, 0};
+};
+
+}  // namespace ada

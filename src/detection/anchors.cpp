@@ -1,0 +1,26 @@
+#include "detection/anchors.h"
+
+#include <cmath>
+
+namespace ada {
+
+std::vector<Box> generate_anchors(const AnchorConfig& cfg, int fh, int fw) {
+  std::vector<Box> anchors;
+  anchors.reserve(static_cast<std::size_t>(fh) * fw * cfg.per_cell());
+  for (int i = 0; i < fh; ++i) {
+    const float cy = (static_cast<float>(i) + 0.5f) * static_cast<float>(cfg.stride);
+    for (int j = 0; j < fw; ++j) {
+      const float cx = (static_cast<float>(j) + 0.5f) * static_cast<float>(cfg.stride);
+      for (float size : cfg.sizes)
+        for (float aspect : cfg.aspects) {
+          const float a = std::sqrt(aspect);
+          const float hw = 0.5f * size * a;
+          const float hh = 0.5f * size / a;
+          anchors.push_back(Box{cx - hw, cy - hh, cx + hw, cy + hh});
+        }
+    }
+  }
+  return anchors;
+}
+
+}  // namespace ada

@@ -1,0 +1,34 @@
+// Anchor grid generation.
+//
+// The anchors cover a bounded size range — this bound is what makes the
+// detector imperfectly scale-invariant, which is the premise of AdaScale
+// (Sec. 1: objects "too large" for the detector benefit from down-sampling).
+#pragma once
+
+#include <vector>
+
+#include "detection/box.h"
+
+namespace ada {
+
+/// Anchor layout configuration (sizes are in rendered pixels).
+struct AnchorConfig {
+  int stride = 8;                       ///< backbone output stride
+  // Covers objects up to ~130 px (render units) at IoU 0.5; the largest
+  // objects at scale 600 (up to ~142 px) deliberately exceed this range —
+  // they are the "too large for the detector" cases the paper's Fig. 1
+  // shows being fixed by down-sampling.
+  std::vector<float> sizes = {12.0f, 24.0f, 48.0f, 96.0f};
+  std::vector<float> aspects = {0.8f, 1.25f};
+
+  int per_cell() const {
+    return static_cast<int>(sizes.size() * aspects.size());
+  }
+};
+
+/// Generates anchors for a feature map of fh x fw cells.  Layout: for cell
+/// (i, j), anchors [ (i*fw + j)*per_cell , ... ) in size-major, aspect-minor
+/// order; this matches the channel layout of the detection heads.
+std::vector<Box> generate_anchors(const AnchorConfig& cfg, int fh, int fw);
+
+}  // namespace ada

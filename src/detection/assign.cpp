@@ -1,0 +1,58 @@
+#include "detection/assign.h"
+
+namespace ada {
+
+std::vector<AnchorTarget> assign_anchors(const std::vector<Box>& anchors,
+                                         const std::vector<GtBox>& gts,
+                                         const AssignConfig& cfg) {
+  std::vector<AnchorTarget> targets(anchors.size());
+  if (gts.empty()) return targets;  // all background
+
+  std::vector<int> best_anchor_for_gt(gts.size(), -1);
+  std::vector<float> best_iou_for_gt(gts.size(), 0.0f);
+
+  for (std::size_t a = 0; a < anchors.size(); ++a) {
+    AnchorTarget& t = targets[a];
+    for (std::size_t g = 0; g < gts.size(); ++g) {
+      const float v = iou(anchors[a], Box::from_gt(gts[g]));
+      if (v > t.max_iou) {
+        t.max_iou = v;
+        t.matched_gt = static_cast<int>(g);
+      }
+      if (v > best_iou_for_gt[g]) {
+        best_iou_for_gt[g] = v;
+        best_anchor_for_gt[g] = static_cast<int>(a);
+      }
+    }
+    if (t.max_iou >= cfg.fg_iou) {
+      t.label = gts[static_cast<std::size_t>(t.matched_gt)].class_id + 1;
+    } else if (t.max_iou < cfg.bg_iou) {
+      t.label = 0;
+      // background keeps matched_gt for diagnostics only
+    } else {
+      t.label = -1;
+    }
+  }
+
+  // Force-match: every GT claims its best anchor (if any overlap at all).
+  for (std::size_t g = 0; g < gts.size(); ++g) {
+    const int a = best_anchor_for_gt[g];
+    if (a < 0 || best_iou_for_gt[g] <= 0.0f) continue;
+    AnchorTarget& t = targets[static_cast<std::size_t>(a)];
+    t.label = gts[g].class_id + 1;
+    t.matched_gt = static_cast<int>(g);
+    t.max_iou = best_iou_for_gt[g];
+  }
+
+  // Fill regression targets for all foreground anchors.
+  for (std::size_t a = 0; a < anchors.size(); ++a) {
+    AnchorTarget& t = targets[a];
+    if (t.label > 0 && t.matched_gt >= 0)
+      t.delta = encode_box(
+          Box::from_gt(gts[static_cast<std::size_t>(t.matched_gt)]),
+          anchors[a]);
+  }
+  return targets;
+}
+
+}  // namespace ada

@@ -1,0 +1,39 @@
+// Anchor-to-ground-truth assignment for training, following the paper's
+// convention (Sec. 3.1): a box is foreground when some ground truth overlaps
+// it with IoU > 0.5; clearly-background anchors (IoU < 0.4) are negatives;
+// the band in between is ignored.  Each GT additionally force-matches its
+// best anchor so no object goes unsupervised.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "detection/box.h"
+
+namespace ada {
+
+/// Per-anchor training target.
+struct AnchorTarget {
+  // -1 = ignore, 0 = background, c >= 1 = foreground class (c-1 in GT ids).
+  int label = 0;
+  std::array<float, 4> delta{0, 0, 0, 0};  ///< regression target (fg only)
+  int matched_gt = -1;
+  float max_iou = 0.0f;
+};
+
+struct AssignConfig {
+  float fg_iou = 0.5f;
+  // No ignore band (bg_iou == fg_iou): synthetic ground truth is exact, so
+  // near-miss anchors are unambiguous negatives.  Leaving the usual
+  // [0.4, 0.5) band untrained lets those anchors fire as confident false
+  // positives at test time (worst at large input scales, where the near-miss
+  // ring around big objects is widest).
+  float bg_iou = 0.5f;
+};
+
+/// Computes targets for every anchor.
+std::vector<AnchorTarget> assign_anchors(const std::vector<Box>& anchors,
+                                         const std::vector<GtBox>& gts,
+                                         const AssignConfig& cfg);
+
+}  // namespace ada

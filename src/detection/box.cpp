@@ -1,0 +1,60 @@
+#include "detection/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ada {
+
+float iou(const Box& a, const Box& b) {
+  const float ix1 = std::max(a.x1, b.x1);
+  const float iy1 = std::max(a.y1, b.y1);
+  const float ix2 = std::min(a.x2, b.x2);
+  const float iy2 = std::min(a.y2, b.y2);
+  const float iw = ix2 - ix1;
+  const float ih = iy2 - iy1;
+  if (iw <= 0.0f || ih <= 0.0f) return 0.0f;
+  const float inter = iw * ih;
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+std::array<float, 4> encode_box(const Box& target, const Box& anchor) {
+  const float aw = std::max(anchor.width(), 1.0f);
+  const float ah = std::max(anchor.height(), 1.0f);
+  const float tw = std::max(target.width(), 1.0f);
+  const float th = std::max(target.height(), 1.0f);
+  return {
+      (target.cx() - anchor.cx()) / aw,
+      (target.cy() - anchor.cy()) / ah,
+      std::log(tw / aw),
+      std::log(th / ah),
+  };
+}
+
+Box decode_box(const std::array<float, 4>& delta, const Box& anchor) {
+  const float aw = std::max(anchor.width(), 1.0f);
+  const float ah = std::max(anchor.height(), 1.0f);
+  // Clamp exponent args to avoid inf boxes from an untrained head.
+  const float tw = std::exp(std::min(delta[2], 4.0f)) * aw;
+  const float th = std::exp(std::min(delta[3], 4.0f)) * ah;
+  const float cx = anchor.cx() + delta[0] * aw;
+  const float cy = anchor.cy() + delta[1] * ah;
+  return Box{cx - 0.5f * tw, cy - 0.5f * th, cx + 0.5f * tw, cy + 0.5f * th};
+}
+
+Box clip_box(const Box& b, int img_h, int img_w) {
+  Box out;
+  out.x1 = std::clamp(b.x1, 0.0f, static_cast<float>(img_w - 1));
+  out.y1 = std::clamp(b.y1, 0.0f, static_cast<float>(img_h - 1));
+  out.x2 = std::clamp(b.x2, 0.0f, static_cast<float>(img_w - 1));
+  out.y2 = std::clamp(b.y2, 0.0f, static_cast<float>(img_h - 1));
+  return out;
+}
+
+Box rescale_box(const Box& b, int from_h, int from_w, int to_h, int to_w) {
+  const float sy = static_cast<float>(to_h) / static_cast<float>(from_h);
+  const float sx = static_cast<float>(to_w) / static_cast<float>(from_w);
+  return Box{b.x1 * sx, b.y1 * sy, b.x2 * sx, b.y2 * sy};
+}
+
+}  // namespace ada

@@ -1,0 +1,45 @@
+// Axis-aligned boxes, IoU, and the Fast R-CNN box parametrization used by
+// both the detector's regression head (Eq. 1's Lreg operates on these
+// deltas) and the AdaScale per-box loss metric.
+#pragma once
+
+#include <array>
+
+#include "data/scene.h"
+
+namespace ada {
+
+/// Detection-space box (pixel coordinates, x1<=x2, y1<=y2).
+struct Box {
+  float x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+
+  float width() const { return x2 - x1; }
+  float height() const { return y2 - y1; }
+  float area() const {
+    float w = width(), h = height();
+    return (w > 0 && h > 0) ? w * h : 0.0f;
+  }
+  float cx() const { return 0.5f * (x1 + x2); }
+  float cy() const { return 0.5f * (y1 + y2); }
+
+  static Box from_gt(const GtBox& g) { return Box{g.x1, g.y1, g.x2, g.y2}; }
+};
+
+/// Jaccard overlap (intersection over union); 0 for degenerate boxes.
+float iou(const Box& a, const Box& b);
+
+/// Encodes `target` relative to `anchor` as (tx, ty, tw, th):
+/// tx = (cx_t - cx_a)/w_a, tw = log(w_t / w_a), etc.
+std::array<float, 4> encode_box(const Box& target, const Box& anchor);
+
+/// Inverse of encode_box.
+Box decode_box(const std::array<float, 4>& delta, const Box& anchor);
+
+/// Clips a box to the image extent [0, w-1] x [0, h-1].
+Box clip_box(const Box& b, int img_h, int img_w);
+
+/// Rescales a box from one image resolution to another (used to map
+/// detections made at a reduced scale back to a common reporting frame).
+Box rescale_box(const Box& b, int from_h, int from_w, int to_h, int to_w);
+
+}  // namespace ada

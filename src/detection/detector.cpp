@@ -1,0 +1,314 @@
+#include "detection/detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "detection/nms.h"
+#include "tensor/loss.h"
+#include "util/timer.h"
+
+namespace ada {
+
+std::string DetectorConfig::fingerprint() const {
+  std::ostringstream os;
+  os << "det:v3:k=" << num_classes << ":c=" << c1 << '/' << c2 << '/' << c3
+     << ":stride=" << anchors.stride << ":sizes=";
+  for (float s : anchors.sizes) os << s << ',';
+  os << ":aspects=";
+  for (float a : anchors.aspects) os << a << ',';
+  os << ":nms=" << nms_threshold << ":topk=" << top_k;
+  return os.str();
+}
+
+Detector::Detector(const DetectorConfig& cfg, Rng* rng)
+    : cfg_(cfg),
+      cls_head_(cfg.c3, cfg.anchors.per_cell() * (cfg.num_classes + 1), 1, 1,
+                0),
+      reg_head_(cfg.c3, cfg.anchors.per_cell() * 4, 1, 1, 0) {
+  // Backbone: three conv/ReLU/pool stages to stride 8, plus one stride-8
+  // conv that widens the receptive field for large objects.
+  auto* conv1 = backbone_.emplace<Conv2dLayer>(3, cfg.c1, 3, 1, 1);
+  backbone_.emplace<ReluLayer>();
+  backbone_.emplace<MaxPool2Layer>();
+  auto* conv2 = backbone_.emplace<Conv2dLayer>(cfg.c1, cfg.c2, 3, 1, 1);
+  backbone_.emplace<ReluLayer>();
+  backbone_.emplace<MaxPool2Layer>();
+  auto* conv3 = backbone_.emplace<Conv2dLayer>(cfg.c2, cfg.c3, 3, 1, 1);
+  backbone_.emplace<ReluLayer>();
+  backbone_.emplace<MaxPool2Layer>();
+  auto* conv4 = backbone_.emplace<Conv2dLayer>(cfg.c3, cfg.c3, 3, 1, 1);
+  backbone_.emplace<ReluLayer>();
+
+  conv1->init_he(rng);
+  conv2->init_he(rng);
+  conv3->init_he(rng);
+  conv4->init_he(rng);
+  cls_head_.init_he(rng);
+  reg_head_.init_he(rng);
+  // Bias the background logit up so early training is not drowned in
+  // false positives (standard single-stage detector initialization trick).
+  const int kp1 = cfg_.num_classes + 1;
+  Tensor& cb = cls_head_.bias().value;
+  for (int a = 0; a < cfg_.anchors.per_cell(); ++a)
+    cb[static_cast<std::size_t>(a * kp1)] = 2.0f;
+}
+
+const Tensor& Detector::forward(const Tensor& image) {
+  backbone_.forward(image, &features_);
+  cls_head_.forward(features_, &heads_.cls);
+  reg_head_.forward(features_, &heads_.reg);
+  return features_;
+}
+
+void Detector::anchor_logits(const Tensor& cls, int cell, int a,
+                             float* out) const {
+  const int kp1 = cfg_.num_classes + 1;
+  const int fw = cls.w();
+  const int i = cell / fw;
+  const int j = cell % fw;
+  for (int c = 0; c < kp1; ++c) out[c] = cls.at(0, a * kp1 + c, i, j);
+}
+
+DetectionOutput Detector::detect(const Tensor& image) {
+  Timer timer;
+  forward(image);
+  DetectionOutput out = detect_from_features(features_, image.h(), image.w());
+  out.forward_ms = timer.elapsed_ms();
+  return out;
+}
+
+DetectionOutput Detector::detect_from_features(const Tensor& features,
+                                               int image_h, int image_w) {
+  Timer timer;
+  // If called externally (DFF path), recompute heads on given features.
+  if (&features != &features_) {
+    cls_head_.forward(features, &heads_.cls);
+    reg_head_.forward(features, &heads_.reg);
+  }
+  const Tensor& cls = heads_.cls;
+  const Tensor& reg = heads_.reg;
+  const int fh = cls.h(), fw = cls.w();
+  const int per_cell = cfg_.anchors.per_cell();
+  const int kp1 = cfg_.num_classes + 1;
+  const std::vector<Box> anchors = generate_anchors(cfg_.anchors, fh, fw);
+
+  // Collect candidates above the score threshold.
+  std::vector<Box> cand_boxes;
+  std::vector<float> cand_scores;
+  std::vector<Detection> cand;
+  std::vector<float> logits(static_cast<std::size_t>(kp1));
+  std::vector<float> probs(static_cast<std::size_t>(kp1));
+  for (int cell = 0; cell < fh * fw; ++cell) {
+    for (int a = 0; a < per_cell; ++a) {
+      anchor_logits(cls, cell, a, logits.data());
+      softmax_span(logits.data(), kp1, probs.data());
+      int best_c = 0;
+      float best_p = 0.0f;
+      for (int c = 1; c < kp1; ++c)
+        if (probs[static_cast<std::size_t>(c)] > best_p) {
+          best_p = probs[static_cast<std::size_t>(c)];
+          best_c = c;
+        }
+      if (best_c == 0 || best_p < cfg_.score_threshold) continue;
+
+      const int i = cell / fw, j = cell % fw;
+      std::array<float, 4> delta;
+      for (int d = 0; d < 4; ++d) delta[static_cast<std::size_t>(d)] = reg.at(0, a * 4 + d, i, j);
+      const Box& anchor = anchors[static_cast<std::size_t>(cell * per_cell + a)];
+      Box box = clip_box(decode_box(delta, anchor), image_h, image_w);
+      if (box.width() < 1.0f || box.height() < 1.0f) continue;
+
+      Detection det;
+      det.box = box;
+      det.class_id = best_c - 1;
+      det.score = best_p;
+      det.probs = probs;
+      det.delta = delta;
+      det.anchor = anchor;
+      cand_boxes.push_back(box);
+      cand_scores.push_back(best_p);
+      cand.push_back(std::move(det));
+    }
+  }
+
+  // NMS (class-agnostic, matching the released R-FCN protocol) + top-K.
+  std::vector<int> keep = nms(cand_boxes, cand_scores, cfg_.nms_threshold);
+  if (static_cast<int>(keep.size()) > cfg_.top_k) keep.resize(static_cast<std::size_t>(cfg_.top_k));
+
+  DetectionOutput out;
+  out.image_h = image_h;
+  out.image_w = image_w;
+  out.detections.reserve(keep.size());
+  for (int idx : keep) out.detections.push_back(std::move(cand[static_cast<std::size_t>(idx)]));
+  out.forward_ms = timer.elapsed_ms();
+  return out;
+}
+
+float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
+                          Rng* rng, bool train) {
+  forward(image);
+  const Tensor& cls = heads_.cls;
+  const Tensor& reg = heads_.reg;
+  const int fh = cls.h(), fw = cls.w();
+  const int per_cell = cfg_.anchors.per_cell();
+  const int kp1 = cfg_.num_classes + 1;
+
+  const std::vector<Box> anchors = generate_anchors(cfg_.anchors, fh, fw);
+  const std::vector<AnchorTarget> targets =
+      assign_anchors(anchors, gts, AssignConfig{});
+
+  // Sample anchors: all foreground (capped), bg_per_fg background per fg.
+  std::vector<int> fg, bg;
+  for (std::size_t a = 0; a < targets.size(); ++a) {
+    if (targets[a].label > 0)
+      fg.push_back(static_cast<int>(a));
+    else if (targets[a].label == 0)
+      bg.push_back(static_cast<int>(a));
+  }
+  rng->shuffle(fg);
+  rng->shuffle(bg);
+  if (static_cast<int>(fg.size()) > cfg_.max_fg_samples)
+    fg.resize(static_cast<std::size_t>(cfg_.max_fg_samples));
+  const int want_bg = std::max(cfg_.min_bg_samples,
+                               static_cast<int>(fg.size()) * cfg_.bg_per_fg);
+  if (static_cast<int>(bg.size()) > want_bg) {
+    // Online hard-negative mining: half of the background budget goes to the
+    // highest-loss negatives (anchors the classifier currently mistakes for
+    // objects — typically clutter), half stays random.  Pure random sampling
+    // almost never revisits the few clutter anchors among thousands of easy
+    // ones, leaving confident false positives untrained.
+    const int hard_n = want_bg / 2;
+    std::vector<float> bg_loss(bg.size());
+    std::vector<float> lg(static_cast<std::size_t>(kp1));
+    for (std::size_t k = 0; k < bg.size(); ++k) {
+      const int cell = bg[k] / per_cell;
+      const int a = bg[k] % per_cell;
+      anchor_logits(cls, cell, a, lg.data());
+      bg_loss[k] = softmax_cross_entropy_span(lg.data(), kp1, 0, nullptr);
+    }
+    std::vector<int> idx(bg.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) idx[k] = static_cast<int>(k);
+    std::partial_sort(idx.begin(), idx.begin() + hard_n, idx.end(),
+                      [&](int a, int b) { return bg_loss[static_cast<std::size_t>(a)] >
+                                                 bg_loss[static_cast<std::size_t>(b)]; });
+    std::vector<int> chosen;
+    chosen.reserve(static_cast<std::size_t>(want_bg));
+    for (int k = 0; k < hard_n; ++k)
+      chosen.push_back(bg[static_cast<std::size_t>(idx[static_cast<std::size_t>(k)])]);
+    // bg is already shuffled; walk it for the random half, skipping the
+    // hard picks.
+    std::vector<char> taken(bg.size(), 0);
+    for (int k = 0; k < hard_n; ++k) taken[static_cast<std::size_t>(idx[static_cast<std::size_t>(k)])] = 1;
+    for (std::size_t k = 0; k < bg.size() && static_cast<int>(chosen.size()) < want_bg; ++k)
+      if (!taken[k]) chosen.push_back(bg[k]);
+    bg = std::move(chosen);
+  }
+
+  Tensor dcls, dreg;
+  if (train) {
+    dcls = Tensor(1, cls.c(), fh, fw);
+    dreg = Tensor(1, reg.c(), fh, fw);
+  }
+
+  // Foreground and background classification losses are normalized
+  // *separately* and averaged: with a shared mean the 3:1 background
+  // majority dominates and the classifier collapses to "everything is
+  // background" (observed during calibration; the paper starts from a
+  // pretrained R-FCN and never faces this cold-start regime).
+  const float fg_norm =
+      0.5f / static_cast<float>(std::max<std::size_t>(fg.size(), 1));
+  const float bg_norm =
+      0.5f / static_cast<float>(std::max<std::size_t>(bg.size(), 1));
+  const float reg_norm = 1.0f / static_cast<float>(std::max<std::size_t>(fg.size(), 1));
+
+  double total = 0.0;
+  std::vector<float> logits(static_cast<std::size_t>(kp1));
+  std::vector<float> dlogits(static_cast<std::size_t>(kp1));
+  auto process = [&](int flat_a, bool is_fg) {
+    const int cell = flat_a / per_cell;
+    const int a = flat_a % per_cell;
+    const int i = cell / fw, j = cell % fw;
+    const float cls_norm = is_fg ? fg_norm : bg_norm;
+    anchor_logits(cls, cell, a, logits.data());
+    std::fill(dlogits.begin(), dlogits.end(), 0.0f);
+    const AnchorTarget& t = targets[static_cast<std::size_t>(flat_a)];
+    const float lcls = softmax_cross_entropy_span(
+        logits.data(), kp1, t.label > 0 ? t.label : 0,
+        train ? dlogits.data() : nullptr);
+    total += static_cast<double>(lcls) * cls_norm;
+    if (train)
+      for (int c = 0; c < kp1; ++c)
+        dcls.at(0, a * kp1 + c, i, j) += dlogits[static_cast<std::size_t>(c)] * cls_norm;
+
+    if (is_fg) {
+      float pred[4], dpred[4] = {0, 0, 0, 0};
+      for (int d = 0; d < 4; ++d) pred[d] = reg.at(0, a * 4 + d, i, j);
+      const float lreg =
+          smooth_l1(pred, t.delta.data(), 4, train ? dpred : nullptr);
+      total += static_cast<double>(cfg_.reg_loss_weight) * lreg * reg_norm;
+      if (train)
+        for (int d = 0; d < 4; ++d)
+          dreg.at(0, a * 4 + d, i, j) +=
+              cfg_.reg_loss_weight * dpred[d] * reg_norm;
+    }
+  };
+  for (int a : fg) process(a, true);
+  for (int a : bg) process(a, false);
+
+  if (train) {
+    Tensor dfeat_cls(features_.n(), features_.c(), features_.h(),
+                     features_.w());
+    Tensor dfeat_reg(features_.n(), features_.c(), features_.h(),
+                     features_.w());
+    cls_head_.backward(dcls, &dfeat_cls);
+    reg_head_.backward(dreg, &dfeat_reg);
+    for (std::size_t k = 0; k < dfeat_cls.size(); ++k)
+      dfeat_cls[k] += dfeat_reg[k];
+    backbone_.backward(dfeat_cls, nullptr);
+  }
+  return static_cast<float>(total);
+}
+
+float Detector::train_step(const Tensor& image, const std::vector<GtBox>& gts,
+                           Sgd* opt, Rng* rng) {
+  opt->zero_grad();
+  const float loss = loss_impl(image, gts, rng, /*train=*/true);
+  opt->step();
+  return loss;
+}
+
+float Detector::compute_loss(const Tensor& image,
+                             const std::vector<GtBox>& gts, Rng* rng) {
+  return loss_impl(image, gts, rng, /*train=*/false);
+}
+
+std::vector<Param*> Detector::parameters() {
+  std::vector<Param*> out;
+  backbone_.collect_params(&out);
+  cls_head_.collect_params(&out);
+  reg_head_.collect_params(&out);
+  return out;
+}
+
+long long Detector::forward_macs(int img_h, int img_w) const {
+  long long total = 0;
+  int h = img_h, w = img_w;
+  ConvSpec s1{3, cfg_.c1, 3, 1, 1};
+  total += conv2d_macs(s1, h, w);
+  h /= 2; w /= 2;
+  ConvSpec s2{cfg_.c1, cfg_.c2, 3, 1, 1};
+  total += conv2d_macs(s2, h, w);
+  h /= 2; w /= 2;
+  ConvSpec s3{cfg_.c2, cfg_.c3, 3, 1, 1};
+  total += conv2d_macs(s3, h, w);
+  h /= 2; w /= 2;
+  ConvSpec s4{cfg_.c3, cfg_.c3, 3, 1, 1};
+  total += conv2d_macs(s4, h, w);
+  total += conv2d_macs(cls_head_.spec(), h, w);
+  total += conv2d_macs(reg_head_.spec(), h, w);
+  return total;
+}
+
+}  // namespace ada

@@ -1,0 +1,130 @@
+// Single-stage convolutional object detector.
+//
+// This is the reproduction's stand-in for the paper's R-FCN/ResNet-101: a
+// small backbone (3 conv/pool stages, output stride 8) with dense per-anchor
+// classification and box-regression heads.  What matters for AdaScale is
+// preserved exactly:
+//   * training loss has the Eq. (1) form: softmax CE + smooth-L1 on matched
+//     foreground anchors;
+//   * the backbone's last feature map ("deep features") feeds the scale
+//     regressor, as in Fig. 4 of the paper;
+//   * anchors span a bounded size range, so scale choice matters;
+//   * inference applies NMS(0.3) and keeps the top-300 boxes (Sec. 4.2).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detection/anchors.h"
+#include "detection/assign.h"
+#include "nn/layers.h"
+#include "nn/sgd.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ada {
+
+/// One output detection, self-contained enough for the AdaScale per-box loss
+/// metric (Sec. 3.1) to be computed without re-running the network.
+struct Detection {
+  Box box;                     ///< decoded, clipped to the image
+  int class_id = 0;            ///< 0-based foreground class
+  float score = 0.0f;          ///< max foreground softmax probability
+  std::vector<float> probs;    ///< full softmax (index 0 = background)
+  std::array<float, 4> delta{0, 0, 0, 0};  ///< raw regression output
+  Box anchor;                  ///< the anchor this detection came from
+};
+
+/// Full per-image inference output.
+struct DetectionOutput {
+  std::vector<Detection> detections;  ///< NMS'd, score-sorted, top-K
+  int image_h = 0, image_w = 0;       ///< resolution the image was processed at
+  double forward_ms = 0.0;            ///< backbone+head wall-clock time
+};
+
+/// Architecture and inference hyperparameters.
+struct DetectorConfig {
+  int num_classes = 30;       ///< foreground classes (background is implicit)
+  int c1 = 16, c2 = 32, c3 = 48;  ///< backbone stage widths
+  AnchorConfig anchors;
+  float nms_threshold = 0.3f;   ///< paper Sec. 4.2
+  int top_k = 300;              ///< paper Sec. 4.2
+  float score_threshold = 0.05f;  ///< pre-NMS candidate cutoff
+  float reg_loss_weight = 1.0f;   ///< lambda in Eq. (1)
+  int max_fg_samples = 48;
+  int bg_per_fg = 3;
+  int min_bg_samples = 16;
+
+  std::string fingerprint() const;
+};
+
+/// Trainable detector.  Not copyable (owns layer state); movable via
+/// unique_ptr at call sites.
+class Detector {
+ public:
+  explicit Detector(const DetectorConfig& cfg, Rng* rng);
+
+  Detector(const Detector&) = delete;
+  Detector& operator=(const Detector&) = delete;
+
+  const DetectorConfig& config() const { return cfg_; }
+
+  /// Runs backbone + heads. Returns the deep feature map (backbone output)
+  /// by const reference valid until the next forward.
+  const Tensor& forward(const Tensor& image);
+
+  /// Full inference: forward, decode, NMS, top-K.
+  DetectionOutput detect(const Tensor& image);
+
+  /// Inference reusing an externally produced feature map (the DFF path:
+  /// features warped from a key frame instead of computed by the backbone).
+  DetectionOutput detect_from_features(const Tensor& features, int image_h,
+                                       int image_w);
+
+  /// One SGD step on a single image; returns the Eq. (1) loss value.
+  /// `gts` must be in the image's pixel coordinates.
+  float train_step(const Tensor& image, const std::vector<GtBox>& gts,
+                   Sgd* opt, Rng* rng);
+
+  /// Evaluation-only loss (no gradients); used by tests.
+  float compute_loss(const Tensor& image, const std::vector<GtBox>& gts,
+                     Rng* rng);
+
+  /// Deep-feature channel count (input to the scale regressor).
+  int feature_channels() const { return cfg_.c3; }
+
+  /// Deep features of the most recent forward()/detect() call.
+  const Tensor& features() const { return features_; }
+
+  /// All learnable parameters (for optimizers and serialization).
+  std::vector<Param*> parameters();
+
+  /// Multiply-accumulate count of one forward at the given image size;
+  /// proportional to the ideal runtime at that scale.
+  long long forward_macs(int img_h, int img_w) const;
+
+ private:
+  struct HeadOutputs {
+    Tensor cls;  ///< (1, A*(K+1), fh, fw)
+    Tensor reg;  ///< (1, A*4, fh, fw)
+  };
+
+  /// Shared loss computation; when train is true, also backprops and expects
+  /// the caller to step the optimizer.
+  float loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
+                  Rng* rng, bool train);
+
+  /// Gathers one anchor's class logits from the head output.
+  void anchor_logits(const Tensor& cls, int cell, int a, float* out) const;
+
+  DetectorConfig cfg_;
+  Sequential backbone_;
+  Conv2dLayer cls_head_;
+  Conv2dLayer reg_head_;
+  Tensor features_;  ///< last backbone output
+  HeadOutputs heads_;
+};
+
+}  // namespace ada

@@ -1,0 +1,34 @@
+#include "detection/nms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ada {
+
+std::vector<int> nms(const std::vector<Box>& boxes,
+                     const std::vector<float>& scores, float iou_threshold) {
+  assert(boxes.size() == scores.size());
+  std::vector<int> order(boxes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[static_cast<std::size_t>(a)] >
+           scores[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<int> keep;
+  std::vector<char> suppressed(boxes.size(), 0);
+  for (int idx : order) {
+    if (suppressed[static_cast<std::size_t>(idx)]) continue;
+    keep.push_back(idx);
+    const Box& kept = boxes[static_cast<std::size_t>(idx)];
+    for (int other : order) {
+      if (suppressed[static_cast<std::size_t>(other)] || other == idx) continue;
+      if (iou(kept, boxes[static_cast<std::size_t>(other)]) > iou_threshold)
+        suppressed[static_cast<std::size_t>(other)] = 1;
+    }
+  }
+  return keep;
+}
+
+}  // namespace ada

@@ -1,0 +1,16 @@
+// Greedy non-maximum suppression (paper protocol: threshold 0.3, then keep
+// the top-300 most confident boxes).
+#pragma once
+
+#include <vector>
+
+#include "detection/box.h"
+
+namespace ada {
+
+/// Returns the indices of kept boxes, in descending score order.  Suppresses
+/// any box with IoU > `iou_threshold` against an already-kept box.
+std::vector<int> nms(const std::vector<Box>& boxes,
+                     const std::vector<float>& scores, float iou_threshold);
+
+}  // namespace ada

@@ -1,0 +1,142 @@
+#include "detection/trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "tensor/image_ops.h"
+#include "util/file_io.h"
+
+namespace ada {
+
+std::string TrainConfig::fingerprint() const {
+  std::ostringstream os;
+  os << "train:S=";
+  for (int s : train_scales) os << s << ',';
+  os << ":ep=" << epochs << ":lr=" << base_lr << ":hflip=" << hflip_augment
+     << ":stride=" << frame_stride << ":seed=" << seed;
+  return os.str();
+}
+
+float train_detector(Detector* detector, const Dataset& dataset,
+                     const TrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  Rng scale_rng = rng.fork();
+  Rng sample_rng = rng.fork();
+
+  const Renderer renderer = dataset.make_renderer();
+  const ScalePolicy& policy = dataset.scale_policy();
+  std::vector<const Scene*> frames = dataset.train_frames();
+  if (cfg.frame_stride > 1) {
+    std::vector<const Scene*> strided;
+    for (std::size_t i = 0; i < frames.size();
+         i += static_cast<std::size_t>(cfg.frame_stride))
+      strided.push_back(frames[i]);
+    frames = std::move(strided);
+  }
+
+  Sgd::Options opt_cfg;
+  opt_cfg.lr = cfg.base_lr;
+  opt_cfg.momentum = 0.9f;
+  opt_cfg.weight_decay = 5e-4f;
+  Sgd opt(detector->parameters(), opt_cfg);
+
+  const auto steps_per_epoch = static_cast<long>(frames.size());
+  double last_epoch_loss = 0.0;
+  long last_epoch_count = 0;
+  long step = 0;
+  const int log_every = std::max(1, cfg.epochs / 10);
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::vector<const Scene*> order = frames;
+    rng.shuffle(order);
+    for (const Scene* scene : order) {
+      // lr schedule (milestones are fractions of total training).
+      float lr = cfg.base_lr;
+      const float progress =
+          static_cast<float>(step) /
+          static_cast<float>(steps_per_epoch * cfg.epochs);
+      for (float ms : cfg.lr_milestones)
+        if (progress >= ms) lr *= cfg.lr_decay;
+      opt.set_lr(lr);
+
+      const int scale = cfg.train_scales[static_cast<std::size_t>(
+          scale_rng.uniform_int(0, static_cast<int>(cfg.train_scales.size()) - 1))];
+      Tensor image = renderer.render_at_scale(*scene, scale, policy);
+      std::vector<GtBox> gts = scene_ground_truth(*scene, image.h(), image.w());
+      if (cfg.hflip_augment && sample_rng.uniform() < 0.5f) {
+        Tensor flipped;
+        flip_horizontal(image, &flipped);
+        image = std::move(flipped);
+        const float w = static_cast<float>(image.w());
+        for (GtBox& g : gts) {
+          const float x1 = g.x1;
+          g.x1 = w - 1.0f - g.x2;
+          g.x2 = w - 1.0f - x1;
+        }
+      }
+      const float loss = detector->train_step(image, gts, &opt, &sample_rng);
+      epoch_loss += loss;
+      if (epoch == cfg.epochs - 1) {
+        last_epoch_loss += loss;
+        ++last_epoch_count;
+      }
+      ++step;
+    }
+    if (epoch % log_every == 0 || epoch == cfg.epochs - 1)
+      std::fprintf(stderr, "[trainer] epoch %3d/%d mean loss %.4f (lr %.2g)\n",
+                   epoch + 1, cfg.epochs,
+                   epoch_loss / static_cast<double>(steps_per_epoch),
+                   static_cast<double>(opt.lr()));
+  }
+  return last_epoch_count > 0
+             ? static_cast<float>(last_epoch_loss / last_epoch_count)
+             : 0.0f;
+}
+
+std::unique_ptr<Detector> train_or_load_detector(const Dataset& dataset,
+                                                 const DetectorConfig& dcfg,
+                                                 const TrainConfig& tcfg,
+                                                 const std::string& cache_dir) {
+  Rng init_rng(tcfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  auto detector = std::make_unique<Detector>(dcfg, &init_rng);
+
+  std::string cache_path;
+  if (!cache_dir.empty()) {
+    const std::string key = dataset.fingerprint() + "|" + dcfg.fingerprint() +
+                            "|" + tcfg.fingerprint();
+    std::ostringstream os;
+    os << cache_dir << "/detector_" << std::hex << fnv1a(key) << ".bin";
+    cache_path = os.str();
+    std::vector<float> flat;
+    if (file_exists(cache_path) && load_floats(cache_path, &flat)) {
+      std::vector<Param*> params = detector->parameters();
+      if (unflatten_params(flat, params)) {
+        std::fprintf(stderr, "[trainer] loaded cached detector: %s\n",
+                     cache_path.c_str());
+        return detector;
+      }
+      std::fprintf(stderr,
+                   "[trainer] cache mismatch (architecture changed), "
+                   "retraining: %s\n",
+                   cache_path.c_str());
+    }
+  }
+
+  std::fprintf(stderr, "[trainer] training detector (%s) on %s ...\n",
+               tcfg.fingerprint().c_str(), dataset.name().c_str());
+  const float final_loss = train_detector(detector.get(), dataset, tcfg);
+  std::fprintf(stderr, "[trainer] done, final-epoch mean loss %.4f\n",
+               final_loss);
+
+  if (!cache_path.empty()) {
+    make_dirs(cache_dir);
+    std::vector<Param*> params = detector->parameters();
+    if (!save_floats(cache_path, flatten_params(params)))
+      std::fprintf(stderr, "[trainer] warning: failed to write cache %s\n",
+                   cache_path.c_str());
+  }
+  return detector;
+}
+
+}  // namespace ada

@@ -1,0 +1,55 @@
+// Detector training loops reproducing Sec. 4.2 of the paper:
+//   * fine-tune with multi-scale training: per image, draw the scale
+//     uniformly from S_train (e.g. {600,480,360,240});
+//   * lr 2.5e-4, divided by 10 after 1.3 and 2.6 of 4 epochs;
+//   * single-image batches.
+// Single-scale (SS) training is the degenerate S_train = {600}.
+//
+// Trained weights are cached on disk keyed by (dataset, detector, S_train,
+// seed) so every bench binary trains at most once per configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "detection/detector.h"
+
+namespace ada {
+
+struct TrainConfig {
+  std::vector<int> train_scales = {600, 480, 360, 240};  ///< S_train
+  // The paper fine-tunes a pretrained R-FCN for 4 epochs at lr 2.5e-4 with
+  // milestones at 1.3/2.6 epochs.  We train from scratch, so the schedule is
+  // longer and hotter while keeping the same shape (two 10x decays at ~1/3
+  // and ~2/3 of training); milestones are expressed as fractions of the
+  // total epochs.  Documented substitution in DESIGN.md.
+  int epochs = 48;
+  float base_lr = 0.01f;
+  std::vector<float> lr_milestones = {0.6f, 0.85f};  ///< fraction of training
+  float lr_decay = 0.1f;
+  bool hflip_augment = true;  ///< horizontal flip augmentation (50% chance)
+  // Consecutive frames of a snippet are nearly identical; training on every
+  // `frame_stride`-th frame halves the epoch cost with no measurable mAP
+  // loss (single-core budget).  1 = use every frame.
+  int frame_stride = 2;
+  std::uint64_t seed = 7;
+
+  std::string fingerprint() const;
+};
+
+/// Trains `detector` on the dataset's training frames. Returns the mean loss
+/// of the final epoch.
+float train_detector(Detector* detector, const Dataset& dataset,
+                     const TrainConfig& cfg);
+
+/// Builds a detector for `dataset` and either loads cached weights from
+/// `cache_dir` or trains + saves them.  `cache_dir` may be empty to disable
+/// caching.  The returned pointer is never null.
+std::unique_ptr<Detector> train_or_load_detector(const Dataset& dataset,
+                                                 const DetectorConfig& dcfg,
+                                                 const TrainConfig& tcfg,
+                                                 const std::string& cache_dir);
+
+}  // namespace ada

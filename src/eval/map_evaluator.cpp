@@ -1,0 +1,111 @@
+#include "eval/map_evaluator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ada {
+
+MapEvaluator::MapEvaluator(std::vector<std::string> class_names)
+    : class_names_(std::move(class_names)) {}
+
+void MapEvaluator::add_frame(const std::vector<GtBox>& gts,
+                             const std::vector<EvalDetection>& detections) {
+  frames_.push_back(Frame{gts, detections});
+}
+
+MapResult MapEvaluator::compute(float iou_threshold,
+                                float tp_fp_threshold) const {
+  const int num_classes = static_cast<int>(class_names_.size());
+  MapResult result;
+  result.per_class.resize(static_cast<std::size_t>(num_classes));
+
+  for (int cls = 0; cls < num_classes; ++cls) {
+    ClassEval& ce = result.per_class[static_cast<std::size_t>(cls)];
+    ce.name = class_names_[static_cast<std::size_t>(cls)];
+
+    // Flatten this class's detections with frame ids, sort by score desc.
+    struct Flat {
+      float score;
+      int frame;
+      Box box;
+    };
+    std::vector<Flat> flats;
+    for (std::size_t f = 0; f < frames_.size(); ++f) {
+      for (const EvalDetection& d : frames_[f].dets)
+        if (d.class_id == cls)
+          flats.push_back(Flat{d.score, static_cast<int>(f), d.box});
+      for (const GtBox& g : frames_[f].gts)
+        if (g.class_id == cls) ++ce.num_gt;
+    }
+    std::stable_sort(flats.begin(), flats.end(),
+                     [](const Flat& a, const Flat& b) { return a.score > b.score; });
+
+    // Greedy matching per VOC: each GT may be claimed once, in score order.
+    std::vector<std::vector<char>> claimed(frames_.size());
+    for (std::size_t f = 0; f < frames_.size(); ++f)
+      claimed[f].assign(frames_[f].gts.size(), 0);
+
+    std::vector<char> is_tp(flats.size(), 0);
+    for (std::size_t k = 0; k < flats.size(); ++k) {
+      const Flat& d = flats[k];
+      const auto& gts = frames_[static_cast<std::size_t>(d.frame)].gts;
+      int best_g = -1;
+      float best_iou = iou_threshold;
+      for (std::size_t g = 0; g < gts.size(); ++g) {
+        if (gts[g].class_id != cls) continue;
+        const float v = iou(d.box, Box::from_gt(gts[g]));
+        if (v >= best_iou &&
+            !claimed[static_cast<std::size_t>(d.frame)][g]) {
+          best_iou = v;
+          best_g = static_cast<int>(g);
+        }
+      }
+      if (best_g >= 0) {
+        is_tp[k] = 1;
+        claimed[static_cast<std::size_t>(d.frame)][static_cast<std::size_t>(best_g)] = 1;
+      }
+    }
+
+    // PR curve + AP (all-point interpolation = area under monotone envelope).
+    int tp = 0, fp = 0;
+    ce.pr.reserve(flats.size());
+    for (std::size_t k = 0; k < flats.size(); ++k) {
+      if (is_tp[k]) ++tp; else ++fp;
+      PrPoint p;
+      p.recall = ce.num_gt > 0 ? static_cast<float>(tp) / static_cast<float>(ce.num_gt) : 0.0f;
+      p.precision = static_cast<float>(tp) / static_cast<float>(tp + fp);
+      p.score = flats[k].score;
+      ce.pr.push_back(p);
+      if (flats[k].score >= tp_fp_threshold) {
+        if (is_tp[k]) ++ce.tp_at_threshold; else ++ce.fp_at_threshold;
+      }
+    }
+
+    if (ce.num_gt > 0 && !ce.pr.empty()) {
+      // Monotone precision envelope, integrate over recall.
+      std::vector<PrPoint> env = ce.pr;
+      for (std::size_t k = env.size() - 1; k-- > 0;)
+        env[k].precision = std::max(env[k].precision, env[k + 1].precision);
+      float ap = 0.0f;
+      float prev_recall = 0.0f;
+      for (const PrPoint& p : env) {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+      }
+      ce.ap = ap;
+    }
+  }
+
+  // mAP over classes that actually appear in the ground truth.
+  float sum = 0.0f;
+  int counted = 0;
+  for (const ClassEval& ce : result.per_class)
+    if (ce.num_gt > 0) {
+      sum += ce.ap;
+      ++counted;
+    }
+  result.map = counted > 0 ? sum / static_cast<float>(counted) : 0.0f;
+  return result;
+}
+
+}  // namespace ada

@@ -1,0 +1,75 @@
+// Detection evaluation: VOC-protocol average precision, precision-recall
+// curves (Fig. 5), and thresholded TP/FP counting (Fig. 6).
+//
+// Detections made at different image scales are rescaled by the caller into
+// a single reference resolution before being added, so methods that process
+// frames at different scales (AdaScale!) are compared in one coordinate
+// frame — as the paper does by evaluating in original-image coordinates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detection/box.h"
+
+namespace ada {
+
+/// One detection in reference coordinates.
+struct EvalDetection {
+  Box box;
+  int class_id = 0;
+  float score = 0.0f;
+};
+
+/// A point on the precision-recall curve.
+struct PrPoint {
+  float recall = 0.0f;
+  float precision = 0.0f;
+  float score = 0.0f;  ///< confidence threshold that produces this point
+};
+
+/// Per-class evaluation result.
+struct ClassEval {
+  std::string name;
+  int num_gt = 0;
+  float ap = 0.0f;             ///< VOC all-point-interpolated AP
+  std::vector<PrPoint> pr;     ///< full precision-recall curve
+  int tp_at_threshold = 0;     ///< TPs with score >= tp_fp_threshold
+  int fp_at_threshold = 0;     ///< FPs with score >= tp_fp_threshold
+};
+
+/// Whole-dataset result.
+struct MapResult {
+  std::vector<ClassEval> per_class;
+  float map = 0.0f;  ///< mean AP over classes with at least one GT
+};
+
+/// Accumulates frames then computes AP.
+class MapEvaluator {
+ public:
+  /// `class_names` sets the class count and report labels.
+  explicit MapEvaluator(std::vector<std::string> class_names);
+
+  /// Adds one frame's ground truth and detections (reference coordinates).
+  void add_frame(const std::vector<GtBox>& gts,
+                 const std::vector<EvalDetection>& detections);
+
+  /// Computes AP per class and mAP.  `iou_threshold` is the match criterion
+  /// (0.5 throughout the paper); `tp_fp_threshold` is the confidence cutoff
+  /// for the Fig. 6 TP/FP counts.
+  MapResult compute(float iou_threshold = 0.5f,
+                    float tp_fp_threshold = 0.5f) const;
+
+  int num_frames() const { return static_cast<int>(frames_.size()); }
+
+ private:
+  struct Frame {
+    std::vector<GtBox> gts;
+    std::vector<EvalDetection> dets;
+  };
+
+  std::vector<std::string> class_names_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace ada

@@ -1,0 +1,94 @@
+#include "eval/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ada {
+
+bool is_dominated(const ParetoPoint& p,
+                  const std::vector<ParetoPoint>& points) {
+  for (const ParetoPoint& q : points) {
+    const bool at_least = q.fps >= p.fps && q.map >= p.map;
+    const bool strictly = q.fps > p.fps || q.map > p.map;
+    if (at_least && strictly) return true;
+  }
+  return false;
+}
+
+std::vector<ParetoPoint> pareto_frontier(std::vector<ParetoPoint> points) {
+  std::vector<ParetoPoint> frontier;
+  for (const ParetoPoint& p : points)
+    if (!is_dominated(p, points)) frontier.push_back(p);
+  std::stable_sort(frontier.begin(), frontier.end(),
+                   [](const ParetoPoint& a, const ParetoPoint& b) {
+                     return a.fps < b.fps;
+                   });
+  return frontier;
+}
+
+double frontier_share(const std::vector<ParetoPoint>& frontier,
+                      const std::string& tag) {
+  if (frontier.empty()) return 0.0;
+  int hits = 0;
+  for (const ParetoPoint& p : frontier)
+    if (p.label.find(tag) != std::string::npos) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(frontier.size());
+}
+
+std::string pareto_csv(const std::vector<ParetoPoint>& points) {
+  std::ostringstream os;
+  os << "label,fps,map\n";
+  char buf[64];
+  for (const ParetoPoint& p : points) {
+    std::snprintf(buf, sizeof buf, "%.2f,%.1f", p.fps, 100.0 * p.map);
+    os << p.label << ',' << buf << '\n';
+  }
+  return os.str();
+}
+
+std::string pareto_scatter(const std::vector<ParetoPoint>& points, int width,
+                           int height) {
+  if (points.empty() || width < 8 || height < 4) return "";
+  double fps_max = 0.0, map_max = 0.0;
+  for (const ParetoPoint& p : points) {
+    fps_max = std::max(fps_max, p.fps);
+    map_max = std::max(map_max, p.map);
+  }
+  fps_max = std::max(fps_max, 1e-9);
+  map_max = std::max(map_max, 1e-9);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const ParetoPoint& p = points[k];
+    const int x = std::min(width - 1,
+                           static_cast<int>(p.fps / fps_max * (width - 1)));
+    const int y = std::min(height - 1,
+                           static_cast<int>(p.map / map_max * (height - 1)));
+    const char mark = k < 10 ? static_cast<char>('0' + k)
+                             : static_cast<char>('a' + (k - 10));
+    grid[static_cast<std::size_t>(height - 1 - y)][static_cast<std::size_t>(x)] = mark;
+  }
+
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "mAP %.1f%%", 100.0 * map_max);
+  os << buf << '\n';
+  for (const std::string& row : grid) os << '|' << row << '\n';
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "> fps ";
+  std::snprintf(buf, sizeof buf, "%.1f", fps_max);
+  os << buf << '\n';
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const char mark = k < 10 ? static_cast<char>('0' + k)
+                             : static_cast<char>('a' + (k - 10));
+    std::snprintf(buf, sizeof buf, "  %c = %-22s fps %6.2f  mAP %5.1f\n", mark,
+                  points[k].label.c_str(), points[k].fps,
+                  100.0 * points[k].map);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace ada

@@ -1,0 +1,38 @@
+// Speed/accuracy Pareto-frontier assembly for the Fig. 7 comparison
+// (mAP vs FPS of R-FCN, DFF, Seq-NMS and their AdaScale combinations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ada {
+
+/// One method's operating point.
+struct ParetoPoint {
+  std::string label;
+  double fps = 0.0;
+  double map = 0.0;  ///< in [0,1]
+};
+
+/// True when `p` is dominated by some other point in `points` (another point
+/// is at least as fast AND at least as accurate, and strictly better in one).
+bool is_dominated(const ParetoPoint& p, const std::vector<ParetoPoint>& points);
+
+/// The subset of `points` on the Pareto frontier, sorted by ascending FPS.
+/// Duplicate operating points (same fps and mAP) are all kept.
+std::vector<ParetoPoint> pareto_frontier(std::vector<ParetoPoint> points);
+
+/// Fraction of frontier points (by label) contributed by labels containing
+/// `tag` — used to report how much of the frontier AdaScale variants own.
+double frontier_share(const std::vector<ParetoPoint>& frontier,
+                      const std::string& tag);
+
+/// Renders points as a CSV table: label,fps,map (mAP in percent, 1 decimal).
+std::string pareto_csv(const std::vector<ParetoPoint>& points);
+
+/// Renders a text scatter of mAP (y) vs FPS (x) for terminal output; rows
+/// are labeled with point indices, and a legend maps indices to labels.
+std::string pareto_scatter(const std::vector<ParetoPoint>& points, int width,
+                           int height);
+
+}  // namespace ada

@@ -1,0 +1,135 @@
+#include "export/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace ada {
+
+std::string coco_annotations_json(const Dataset& dataset,
+                                  const std::vector<Snippet>& split,
+                                  int nominal_scale) {
+  const ScalePolicy& policy = dataset.scale_policy();
+  const int h = policy.render_h(nominal_scale);
+  const int w = policy.render_w(nominal_scale);
+
+  JsonWriter j;
+  j.begin_object();
+
+  j.key("images").begin_array();
+  for (std::size_t s = 0; s < split.size(); ++s)
+    for (std::size_t f = 0; f < split[s].frames.size(); ++f) {
+      char name[64];
+      std::snprintf(name, sizeof name, "snippet%03zu_frame%03zu.ppm", s, f);
+      j.begin_object();
+      j.key("id").value(static_cast<long long>(s * 1000 + f));
+      j.key("file_name").value(name);
+      j.key("width").value(w);
+      j.key("height").value(h);
+      j.end_object();
+    }
+  j.end_array();
+
+  j.key("annotations").begin_array();
+  long long ann_id = 0;
+  for (std::size_t s = 0; s < split.size(); ++s)
+    for (std::size_t f = 0; f < split[s].frames.size(); ++f) {
+      const auto gts = scene_ground_truth(split[s].frames[f], h, w);
+      for (const GtBox& g : gts) {
+        j.begin_object();
+        j.key("id").value(ann_id++);
+        j.key("image_id").value(static_cast<long long>(s * 1000 + f));
+        j.key("category_id").value(g.class_id);
+        j.key("bbox").begin_array();
+        j.value(static_cast<double>(g.x1));
+        j.value(static_cast<double>(g.y1));
+        j.value(static_cast<double>(g.width()));
+        j.value(static_cast<double>(g.height()));
+        j.end_array();
+        j.key("area").value(static_cast<double>(g.area()));
+        j.key("iscrowd").value(0);
+        j.end_object();
+      }
+    }
+  j.end_array();
+
+  j.key("categories").begin_array();
+  for (int c = 0; c < dataset.catalog().num_classes(); ++c) {
+    j.begin_object();
+    j.key("id").value(c);
+    j.key("name").value(dataset.catalog().at(c).name);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.end_object();
+  return j.str();
+}
+
+std::string coco_results_json(
+    const std::vector<std::vector<EvalDetection>>& frame_dets,
+    const std::vector<int>& image_ids) {
+  JsonWriter j;
+  j.begin_array();
+  const std::size_t n = std::min(frame_dets.size(), image_ids.size());
+  for (std::size_t f = 0; f < n; ++f)
+    for (const EvalDetection& d : frame_dets[f]) {
+      j.begin_object();
+      j.key("image_id").value(image_ids[f]);
+      j.key("category_id").value(d.class_id);
+      j.key("bbox").begin_array();
+      j.value(static_cast<double>(d.box.x1));
+      j.value(static_cast<double>(d.box.y1));
+      j.value(static_cast<double>(d.box.width()));
+      j.value(static_cast<double>(d.box.height()));
+      j.end_array();
+      j.key("score").value(static_cast<double>(d.score));
+      j.end_object();
+    }
+  j.end_array();
+  return j.str();
+}
+
+void draw_box(Tensor* image, const Box& box, const Rgb& color) {
+  const int h = image->h(), w = image->w();
+  const int x1 = std::clamp(static_cast<int>(box.x1), 0, w - 1);
+  const int y1 = std::clamp(static_cast<int>(box.y1), 0, h - 1);
+  const int x2 = std::clamp(static_cast<int>(box.x2), 0, w - 1);
+  const int y2 = std::clamp(static_cast<int>(box.y2), 0, h - 1);
+  auto put = [&](int i, int j) {
+    image->at(0, 0, i, j) = color.r;
+    image->at(0, 1, i, j) = color.g;
+    image->at(0, 2, i, j) = color.b;
+  };
+  for (int j = x1; j <= x2; ++j) {
+    put(y1, j);
+    put(y2, j);
+  }
+  for (int i = y1; i <= y2; ++i) {
+    put(i, x1);
+    put(i, x2);
+  }
+}
+
+bool write_ppm(const std::string& path, const Tensor& image) {
+  if (image.n() != 1 || image.c() != 3) return false;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const int h = image.h(), w = image.w();
+  std::fprintf(f, "P6\n%d %d\n255\n", w, h);
+  std::vector<unsigned char> row(static_cast<std::size_t>(w) * 3);
+  bool ok = true;
+  for (int i = 0; i < h && ok; ++i) {
+    for (int jx = 0; jx < w; ++jx)
+      for (int c = 0; c < 3; ++c) {
+        const float v = std::clamp(image.at(0, c, i, jx), 0.0f, 1.0f);
+        row[static_cast<std::size_t>(jx) * 3 + static_cast<std::size_t>(c)] =
+            static_cast<unsigned char>(v * 255.0f + 0.5f);
+      }
+    ok = std::fwrite(row.data(), 1, row.size(), f) == row.size();
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ada

@@ -1,0 +1,40 @@
+// Dataset / detection export for interop and inspection:
+//   * COCO-style annotation JSON for a dataset split (images, annotations,
+//     categories) at a chosen nominal scale — lets external tooling consume
+//     SynthVID/SynthYTBB ground truth;
+//   * COCO-style results JSON for detections;
+//   * binary PPM image dump of rendered frames (no image library needed).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/map_evaluator.h"
+
+namespace ada {
+
+/// Serializes the split's ground truth as COCO-style JSON ("images",
+/// "annotations" with [x, y, w, h] boxes, "categories").  `image_id`s are
+/// snippet_index * 1000 + frame_index.  Scale is the nominal shortest side
+/// (boxes are in that render's pixel coordinates).
+std::string coco_annotations_json(const Dataset& dataset,
+                                  const std::vector<Snippet>& split,
+                                  int nominal_scale);
+
+/// Serializes per-frame detections as a COCO results array
+/// ([{image_id, category_id, bbox, score}, ...]); frame order and ids must
+/// match coco_annotations_json for the same split.
+std::string coco_results_json(
+    const std::vector<std::vector<EvalDetection>>& frame_dets,
+    const std::vector<int>& image_ids);
+
+/// Writes an RGB tensor (1,3,H,W, values in [0,1]) as a binary PPM (P6).
+/// Returns false on I/O failure.
+bool write_ppm(const std::string& path, const Tensor& image);
+
+/// Draws a 1px box outline into an RGB tensor in place (coordinates clamped
+/// to the image).  Used by the qualitative dumps (paper Fig. 8).
+void draw_box(Tensor* image, const Box& box, const Rgb& color);
+
+}  // namespace ada

@@ -1,0 +1,39 @@
+#include "nn/layer.h"
+
+namespace ada {
+
+std::vector<Param*> collect_all_params(const std::vector<Layer*>& layers) {
+  std::vector<Param*> out;
+  for (Layer* l : layers) l->collect_params(&out);
+  return out;
+}
+
+std::size_t param_count(const std::vector<Param*>& params) {
+  std::size_t n = 0;
+  for (const Param* p : params) n += p->value.size();
+  return n;
+}
+
+std::vector<float> flatten_params(const std::vector<Param*>& params) {
+  std::vector<float> flat;
+  flat.reserve(param_count(params));
+  for (const Param* p : params)
+    flat.insert(flat.end(), p->value.storage().begin(),
+                p->value.storage().end());
+  return flat;
+}
+
+bool unflatten_params(const std::vector<float>& flat,
+                      const std::vector<Param*>& params) {
+  if (flat.size() != param_count(params)) return false;
+  std::size_t off = 0;
+  for (Param* p : params) {
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + p->value.size()),
+              p->value.storage().begin());
+    off += p->value.size();
+  }
+  return true;
+}
+
+}  // namespace ada

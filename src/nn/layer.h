@@ -1,0 +1,60 @@
+// Minimal neural-network layer abstraction with explicit forward/backward.
+//
+// Layers cache whatever they need from the forward pass (inputs, argmax
+// indices) so backward can be called immediately after.  Training here is
+// single-example SGD, which matches the paper's effective batch size of
+// 1 image per GPU.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ada {
+
+/// A learnable parameter with its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class for all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes y = f(x); caches state needed by backward.
+  virtual void forward(const Tensor& x, Tensor* y) = 0;
+
+  /// Given dL/dy, accumulates parameter gradients and writes dL/dx into dx
+  /// (dx may be null when the input gradient is not needed, e.g. the first
+  /// layer or frozen features).
+  virtual void backward(const Tensor& dy, Tensor* dx) = 0;
+
+  /// Appends this layer's learnable parameters (may be none).
+  virtual void collect_params(std::vector<Param*>* out) { (void)out; }
+
+  /// Short identifier for logging / serialization sanity checks.
+  virtual std::string name() const = 0;
+};
+
+/// Collects all parameters of a set of layers into one list.
+std::vector<Param*> collect_all_params(
+    const std::vector<Layer*>& layers);
+
+/// Total number of scalar parameters.
+std::size_t param_count(const std::vector<Param*>& params);
+
+/// Flattens parameter values into a single vector (for the model cache).
+std::vector<float> flatten_params(const std::vector<Param*>& params);
+
+/// Restores parameter values from a flat vector; returns false on size
+/// mismatch (cache built with a different architecture).
+bool unflatten_params(const std::vector<float>& flat,
+                      const std::vector<Param*>& params);
+
+}  // namespace ada

@@ -1,0 +1,143 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/linear.h"
+#include "tensor/ops.h"
+
+namespace ada {
+
+// ---------------------------------------------------------------- Conv2d
+Conv2dLayer::Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad) {
+  spec_ = ConvSpec{in_c, out_c, kernel, stride, pad};
+  w_.value = Tensor(out_c, in_c, kernel, kernel);
+  w_.grad = Tensor(out_c, in_c, kernel, kernel);
+  b_.value = Tensor(1, out_c, 1, 1);
+  b_.grad = Tensor(1, out_c, 1, 1);
+}
+
+void Conv2dLayer::init_he(Rng* rng) {
+  const float fan_in =
+      static_cast<float>(spec_.in_channels * spec_.kernel * spec_.kernel);
+  const float std = std::sqrt(2.0f / fan_in);
+  for (std::size_t i = 0; i < w_.value.size(); ++i)
+    w_.value[i] = rng->normal(0.0f, std);
+  b_.value.fill(0.0f);
+}
+
+void Conv2dLayer::forward(const Tensor& x, Tensor* y) {
+  cached_x_ = x;
+  conv2d_forward(spec_, x, w_.value, b_.value, y);
+}
+
+void Conv2dLayer::backward(const Tensor& dy, Tensor* dx) {
+  if (dx != nullptr && !dx->same_shape(cached_x_)) {
+    *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
+  }
+  conv2d_backward(spec_, cached_x_, w_.value, dy, dx, &w_.grad, &b_.grad);
+}
+
+void Conv2dLayer::collect_params(std::vector<Param*>* out) {
+  out->push_back(&w_);
+  out->push_back(&b_);
+}
+
+// ------------------------------------------------------------------ ReLU
+void ReluLayer::forward(const Tensor& x, Tensor* y) {
+  cached_x_ = x;
+  relu_forward(x, y);
+}
+
+void ReluLayer::backward(const Tensor& dy, Tensor* dx) {
+  if (dx == nullptr) return;
+  if (!dx->same_shape(cached_x_))
+    *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
+  relu_backward(cached_x_, dy, dx);
+}
+
+// --------------------------------------------------------------- MaxPool
+void MaxPool2Layer::forward(const Tensor& x, Tensor* y) {
+  in_n_ = x.n(); in_c_ = x.c(); in_h_ = x.h(); in_w_ = x.w();
+  maxpool2_forward(x, y, &argmax_);
+}
+
+void MaxPool2Layer::backward(const Tensor& dy, Tensor* dx) {
+  if (dx == nullptr) return;
+  if (dx->n() != in_n_ || dx->c() != in_c_ || dx->h() != in_h_ ||
+      dx->w() != in_w_)
+    *dx = Tensor(in_n_, in_c_, in_h_, in_w_);
+  maxpool2_backward(dy, argmax_, dx);
+}
+
+// ------------------------------------------------------------------- GAP
+void GlobalAvgPoolLayer::forward(const Tensor& x, Tensor* y) {
+  cached_x_ = x;
+  global_avg_pool_forward(x, y);
+}
+
+void GlobalAvgPoolLayer::backward(const Tensor& dy, Tensor* dx) {
+  if (dx == nullptr) return;
+  if (!dx->same_shape(cached_x_))
+    *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
+  global_avg_pool_backward(cached_x_, dy, dx);
+}
+
+// ---------------------------------------------------------------- Linear
+LinearLayer::LinearLayer(int in, int out) {
+  w_.value = Tensor(out, in, 1, 1);
+  w_.grad = Tensor(out, in, 1, 1);
+  b_.value = Tensor(1, out, 1, 1);
+  b_.grad = Tensor(1, out, 1, 1);
+}
+
+void LinearLayer::init_he(Rng* rng) {
+  const float std = std::sqrt(2.0f / static_cast<float>(w_.value.c()));
+  for (std::size_t i = 0; i < w_.value.size(); ++i)
+    w_.value[i] = rng->normal(0.0f, std);
+  b_.value.fill(0.0f);
+}
+
+void LinearLayer::forward(const Tensor& x, Tensor* y) {
+  cached_x_ = x;
+  linear_forward(x, w_.value, b_.value, y);
+}
+
+void LinearLayer::backward(const Tensor& dy, Tensor* dx) {
+  if (dx != nullptr && !dx->same_shape(cached_x_))
+    *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
+  linear_backward(cached_x_, w_.value, dy, dx, &w_.grad, &b_.grad);
+}
+
+void LinearLayer::collect_params(std::vector<Param*>* out) {
+  out->push_back(&w_);
+  out->push_back(&b_);
+}
+
+// ------------------------------------------------------------ Sequential
+void Sequential::forward(const Tensor& x, Tensor* y) {
+  acts_.resize(layers_.size() + 1);
+  acts_[0] = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i]->forward(acts_[i], &acts_[i + 1]);
+  *y = acts_.back();
+}
+
+void Sequential::backward(const Tensor& dy, Tensor* dx) {
+  assert(!acts_.empty() && "forward must run before backward");
+  grads_.resize(layers_.size() + 1);
+  grads_.back() = dy;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Tensor* below = (i == 0) ? dx : &grads_[i];
+    if (below != nullptr) {
+      *below = Tensor(acts_[i].n(), acts_[i].c(), acts_[i].h(), acts_[i].w());
+    }
+    layers_[i]->backward(grads_[i + 1], below);
+  }
+}
+
+void Sequential::collect_params(std::vector<Param*>* out) {
+  for (auto& l : layers_) l->collect_params(out);
+}
+
+}  // namespace ada

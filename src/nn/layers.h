@@ -1,0 +1,123 @@
+// Concrete layers: Conv2d (+ReLU fusion option), MaxPool2, ReLU, Linear,
+// GlobalAvgPool, and a Sequential container.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/conv2d.h"
+#include "util/rng.h"
+
+namespace ada {
+
+/// 2-D convolution layer with bias.
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad);
+
+  void forward(const Tensor& x, Tensor* y) override;
+  void backward(const Tensor& dy, Tensor* dx) override;
+  void collect_params(std::vector<Param*>* out) override;
+  std::string name() const override { return "conv2d"; }
+
+  /// He-normal weight initialization, zero bias.
+  void init_he(Rng* rng);
+
+  const ConvSpec& spec() const { return spec_; }
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  ConvSpec spec_;
+  Param w_;
+  Param b_;
+  Tensor cached_x_;
+};
+
+/// ReLU activation.
+class ReluLayer : public Layer {
+ public:
+  void forward(const Tensor& x, Tensor* y) override;
+  void backward(const Tensor& dy, Tensor* dx) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor cached_x_;
+};
+
+/// 2x2 stride-2 max pooling.
+class MaxPool2Layer : public Layer {
+ public:
+  void forward(const Tensor& x, Tensor* y) override;
+  void backward(const Tensor& dy, Tensor* dx) override;
+  std::string name() const override { return "maxpool2"; }
+
+ private:
+  std::vector<int> argmax_;
+  int in_n_ = 0, in_c_ = 0, in_h_ = 0, in_w_ = 0;
+};
+
+/// Global average pooling to 1x1.
+class GlobalAvgPoolLayer : public Layer {
+ public:
+  void forward(const Tensor& x, Tensor* y) override;
+  void backward(const Tensor& dy, Tensor* dx) override;
+  std::string name() const override { return "gap"; }
+
+ private:
+  Tensor cached_x_;
+};
+
+/// Fully-connected layer.
+class LinearLayer : public Layer {
+ public:
+  LinearLayer(int in, int out);
+
+  void forward(const Tensor& x, Tensor* y) override;
+  void backward(const Tensor& dy, Tensor* dx) override;
+  void collect_params(std::vector<Param*>* out) override;
+  std::string name() const override { return "linear"; }
+
+  void init_he(Rng* rng);
+
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  Param w_;
+  Param b_;
+  Tensor cached_x_;
+};
+
+/// Runs layers in order; owns them.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Adds a layer; returns a borrowed pointer for configuration.
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void forward(const Tensor& x, Tensor* y) override;
+  void backward(const Tensor& dy, Tensor* dx) override;
+  void collect_params(std::vector<Param*>* out) override;
+  std::string name() const override { return "sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer* at(std::size_t i) { return layers_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  // Intermediate activations kept for the backward pass.
+  std::vector<Tensor> acts_;
+  std::vector<Tensor> grads_;
+};
+
+}  // namespace ada

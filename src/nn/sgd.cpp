@@ -1,0 +1,36 @@
+#include "nn/sgd.h"
+
+#include <algorithm>
+
+namespace ada {
+
+Sgd::Sgd(std::vector<Param*> params, Options opt)
+    : params_(std::move(params)), opt_(opt) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_)
+    velocity_.emplace_back(p->value.n(), p->value.c(), p->value.h(),
+                           p->value.w());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param* p = params_[k];
+    Tensor& v = velocity_[k];
+    float* val = p->value.data();
+    float* g = p->grad.data();
+    float* vel = v.data();
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      float gi = g[i] + opt_.weight_decay * val[i];
+      if (opt_.grad_clip > 0.0f)
+        gi = std::clamp(gi, -opt_.grad_clip, opt_.grad_clip);
+      vel[i] = opt_.momentum * vel[i] + gi;
+      val[i] -= opt_.lr * vel[i];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace ada

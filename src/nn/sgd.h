@@ -1,0 +1,39 @@
+// SGD with momentum and weight decay — the optimizer the paper's R-FCN
+// training uses (MXNet default schedule: lr divided by 10 at milestones).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ada {
+
+/// Plain SGD + momentum over an explicit parameter list.
+class Sgd {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-4f;
+    float grad_clip = 10.0f;  ///< clamp per-element gradient magnitude; <=0 disables
+  };
+
+  Sgd(std::vector<Param*> params, Options opt);
+
+  /// Applies one update using accumulated gradients, then leaves gradients
+  /// untouched (call zero_grad explicitly; keeps accumulation explicit).
+  void step();
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  void set_lr(float lr) { opt_.lr = lr; }
+  float lr() const { return opt_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  Options opt_;
+};
+
+}  // namespace ada

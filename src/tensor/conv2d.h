@@ -1,0 +1,48 @@
+// 2-D convolution via im2col + GEMM-style inner loops, with full backward
+// (input gradient, weight gradient, bias gradient).
+//
+// This single kernel carries the backbone, the detection heads, and the
+// AdaScale regressor streams, so correctness is verified by numerical
+// gradient checks in tests/tensor_conv2d_test.cpp.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace ada {
+
+/// Static convolution geometry.
+struct ConvSpec {
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel = 3;   ///< square kernel, k x k
+  int stride = 1;
+  int pad = 1;      ///< symmetric zero padding
+
+  /// Output spatial size for the given input size (floor semantics).
+  int out_dim(int in_dim) const {
+    return (in_dim + 2 * pad - kernel) / stride + 1;
+  }
+
+  /// Number of weight elements: out_c * in_c * k * k.
+  std::size_t weight_count() const {
+    return static_cast<std::size_t>(out_channels) * in_channels * kernel *
+           kernel;
+  }
+};
+
+/// y = conv(x, w) + b.  w is (out_c, in_c, k, k); b is (1, out_c, 1, 1) and
+/// may be empty (no bias).  y is resized as needed.
+void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
+                    const Tensor& b, Tensor* y);
+
+/// Backward pass: accumulates dL/dx into dx (if non-null), dL/dw into dw and
+/// dL/db into db (if non-null).  x must be the forward input, dy the gradient
+/// of the forward output.
+void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
+                     const Tensor& dy, Tensor* dx, Tensor* dw, Tensor* db);
+
+/// Multiply-accumulate count for one forward pass at the given input size.
+/// Used by benches to report the FLOP-proportional cost of each image scale.
+long long conv2d_macs(const ConvSpec& spec, int in_h, int in_w);
+
+}  // namespace ada

@@ -1,0 +1,25 @@
+// Image-space operations: bilinear resizing (the paper's re-scaling step,
+// Fast R-CNN protocol) and bilinear feature-map warping (used by the DFF
+// substrate to propagate key-frame features along optical flow).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace ada {
+
+/// Bilinearly resizes a CHW image/feature map (N must be 1) to (out_h,out_w).
+/// Uses align-corners=false convention (pixel centers at i+0.5).
+void bilinear_resize(const Tensor& src, int out_h, int out_w, Tensor* dst);
+
+/// Mirrors a CHW image (N must be 1) left-to-right.  Used for horizontal
+/// flip augmentation during detector training.
+void flip_horizontal(const Tensor& src, Tensor* dst);
+
+/// Warps `src` (1,C,H,W) by a backward flow field: for each destination pixel
+/// (i,j), samples src at (i + flow_y(i,j), j + flow_x(i,j)) bilinearly.
+/// flow_y/flow_x are (1,1,H,W) tensors in destination-pixel units.
+/// Out-of-range samples clamp to the border.
+void bilinear_warp(const Tensor& src, const Tensor& flow_y,
+                   const Tensor& flow_x, Tensor* dst);
+
+}  // namespace ada

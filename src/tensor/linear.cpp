@@ -1,0 +1,40 @@
+#include "tensor/linear.h"
+
+#include <cassert>
+
+namespace ada {
+
+void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    Tensor* y) {
+  assert(x.h() == 1 && x.w() == 1);
+  const int in = x.c();
+  const int out = w.n();
+  assert(w.c() == in);
+  if (y->n() != x.n() || y->c() != out || y->h() != 1 || y->w() != 1)
+    *y = Tensor(x.n(), out, 1, 1);
+  for (int n = 0; n < x.n(); ++n)
+    for (int o = 0; o < out; ++o) {
+      double acc = b.empty() ? 0.0 : b[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in; ++i)
+        acc += static_cast<double>(w.at(o, i, 0, 0)) * x.at(n, i, 0, 0);
+      y->at(n, o, 0, 0) = static_cast<float>(acc);
+    }
+}
+
+void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor* dw, Tensor* db) {
+  const int in = x.c();
+  const int out = w.n();
+  assert(dy.c() == out);
+  for (int n = 0; n < x.n(); ++n)
+    for (int o = 0; o < out; ++o) {
+      const float g = dy.at(n, o, 0, 0);
+      if (db != nullptr) (*db)[static_cast<std::size_t>(o)] += g;
+      for (int i = 0; i < in; ++i) {
+        if (dw != nullptr) dw->at(o, i, 0, 0) += g * x.at(n, i, 0, 0);
+        if (dx != nullptr) dx->at(n, i, 0, 0) += g * w.at(o, i, 0, 0);
+      }
+    }
+}
+
+}  // namespace ada

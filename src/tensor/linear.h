@@ -1,0 +1,17 @@
+// Fully-connected layer primitives (used by the scale regressor head).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace ada {
+
+/// y = W x + b with x: (N, in, 1, 1), W: (out, in, 1, 1), b: (1, out, 1, 1)
+/// (b may be empty). y resized to (N, out, 1, 1).
+void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                    Tensor* y);
+
+/// Accumulates gradients: dx (if non-null), dw, db (if non-null).
+void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor* dw, Tensor* db);
+
+}  // namespace ada

@@ -1,0 +1,32 @@
+// Loss primitives mirroring Eq. (1) of the paper: softmax cross-entropy for
+// classification and smooth-L1 for bounding-box regression, plus the MSE used
+// by the scale regressor (Eq. 4).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ada {
+
+/// Softmax cross-entropy for a single logit row (1,C,1,1).
+/// Returns the loss; if dlogits is non-null, accumulates d(loss)/d(logits).
+float softmax_cross_entropy(const Tensor& logits, int target_class,
+                            Tensor* dlogits);
+
+/// Softmax cross-entropy on a raw logit span (no tensor wrapper); used on
+/// per-anchor slices of the detection head output.
+float softmax_cross_entropy_span(const float* logits, int num_classes,
+                                 int target_class, float* dlogits);
+
+/// Smooth-L1 (Huber with delta=1) between pred and target spans of length n.
+/// Returns the summed loss; accumulates gradient into dpred if non-null.
+float smooth_l1(const float* pred, const float* target, int n, float* dpred);
+
+/// Mean squared error between two scalars, with derivative wrt pred.
+float mse_scalar(float pred, float target, float* dpred);
+
+/// Softmax probabilities of a raw logit span (stable).
+void softmax_span(const float* logits, int num_classes, float* probs);
+
+}  // namespace ada

@@ -1,0 +1,30 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ada {
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::mean() const {
+  return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[' << n_ << ',' << c_ << ',' << h_ << ',' << w_ << ']';
+  return os.str();
+}
+
+}  // namespace ada

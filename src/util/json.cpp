@@ -1,0 +1,115 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ada {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::raw(const std::string& s) {
+  comma();
+  out_ += s;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  raw("{");
+  needs_comma_.push_back(false);
+  ++depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  raw("[");
+  needs_comma_.push_back(false);
+  ++depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  raw('"' + json_escape(v) + '"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  char buf[32];
+  if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  } else {
+    // JSON has no inf/nan; emit null (documented lossy behavior).
+    std::snprintf(buf, sizeof buf, "null");
+  }
+  raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<long long>(v)); }
+
+JsonWriter& JsonWriter::value(bool v) {
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace ada

@@ -1,0 +1,55 @@
+// Minimal JSON writer (no parsing) used by the dataset/detection exporters.
+// Supports objects, arrays, strings (with escaping), numbers, and booleans —
+// enough for COCO-style annotation files and result dumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ada {
+
+/// Streaming JSON writer with automatic comma management.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("images"); w.begin_array();
+///   ... w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; must be followed by a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  /// The serialized document (valid once all containers are closed).
+  const std::string& str() const { return out_; }
+
+  /// True when every begin_* has a matching end_*.
+  bool complete() const { return depth_ == 0 && !out_.empty(); }
+
+ private:
+  void comma();
+  void raw(const std::string& s);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open container
+  int depth_ = 0;
+  bool after_key_ = false;
+};
+
+/// Escapes a string for inclusion in JSON (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace ada

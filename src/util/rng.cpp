@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace ada {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  assert(bound > 0);
+  // Debiased modulo (Lemire-style rejection kept simple for clarity).
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  assert(lo <= hi);
+  auto span = static_cast<std::uint32_t>(hi - lo) + 1u;
+  return lo + static_cast<int>(next_below(span));
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0,1) with full float precision.
+  return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  float u1 = 0.0f;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-12f);
+  float u2 = uniform();
+  float mag = std::sqrt(-2.0f * std::log(u1));
+  float two_pi_u2 = 6.28318530717958647692f * u2;
+  spare_ = mag * std::sin(two_pi_u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi_u2);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+bool Rng::chance(float p) { return uniform() < p; }
+
+std::size_t Rng::weighted_choice(const std::vector<float>& weights) {
+  assert(!weights.empty());
+  float total = 0.0f;
+  for (float w : weights) total += w;
+  if (total <= 0.0f) return next_below(static_cast<std::uint32_t>(weights.size()));
+  float r = uniform() * total;
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() {
+  std::uint64_t seed =
+      (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  std::uint64_t stream =
+      (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  return Rng(seed, stream);
+}
+
+}  // namespace ada

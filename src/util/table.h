@@ -1,0 +1,38 @@
+// Plain-text table formatting for bench output.  Every bench binary prints
+// the rows of the paper table/figure it reproduces through this formatter so
+// the output is uniform and machine-greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ada {
+
+/// Column-aligned ASCII table.  Cells are strings; the caller formats
+/// numbers (helpers below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Renders as CSV (for EXPERIMENTS.md ingestion).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt(double v, int prec = 1);
+
+/// Formats an integer.
+std::string fmt_int(long long v);
+
+}  // namespace ada

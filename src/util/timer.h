@@ -1,0 +1,61 @@
+// Wall-clock timing utilities used by the runtime profiler and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ada {
+
+/// Monotonic stopwatch with millisecond resolution reporting.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last reset, in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates per-event durations; used to report mean ms/frame.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum2_ += x * x;
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0; }
+  double variance() const {
+    if (n_ < 2) return 0.0;
+    double m = mean();
+    return sum2_ / static_cast<double>(n_) - m * m;
+  }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double sum_ = 0.0;
+  double sum2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ada

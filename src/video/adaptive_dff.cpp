@@ -1,0 +1,108 @@
+#include "video/adaptive_dff.h"
+
+#include <cmath>
+
+#include "tensor/image_ops.h"
+#include "util/timer.h"
+
+namespace ada {
+
+void AdaptiveDffPipeline::reset() {
+  since_key_ = 0;
+  frames_ = 0;
+  keys_ = 0;
+  current_scale_ = init_scale_;
+  pending_scale_ = init_scale_;
+  key_features_ = Tensor();
+  key_gray_ = Tensor();
+}
+
+void AdaptiveDffPipeline::refresh_key(const Tensor& image,
+                                      AdaptiveDffFrameOutput* out) {
+  Timer backbone_timer;
+  const Tensor& features = detector_->forward(image);
+  out->backbone_ms = backbone_timer.elapsed_ms();
+
+  key_features_ = features;
+  Tensor gray = to_grayscale(image);
+  key_gray_ = Tensor();
+  bilinear_resize(gray, features.h(), features.w(), &key_gray_);
+
+  Timer head_timer;
+  out->detections =
+      detector_->detect_from_features(key_features_, image.h(), image.w());
+  out->head_ms = head_timer.elapsed_ms();
+
+  if (regressor_ != nullptr) {
+    const float t = regressor_->predict(key_features_);
+    out->regressor_ms = regressor_->last_predict_ms();
+    pending_scale_ = decode_scale_target(t, current_scale_, sreg_);
+  }
+  out->is_key = true;
+  since_key_ = 0;
+  ++keys_;
+}
+
+AdaptiveDffFrameOutput AdaptiveDffPipeline::process(const Scene& frame) {
+  AdaptiveDffFrameOutput out;
+
+  const bool first = key_features_.size() == 0;
+  const bool interval_exceeded = since_key_ >= cfg_.max_interval;
+  if (first || interval_exceeded) current_scale_ = pending_scale_;
+  out.scale_used = current_scale_;
+
+  const Tensor image =
+      renderer_->render_at_scale(frame, current_scale_, policy_);
+
+  if (first || interval_exceeded) {
+    refresh_key(image, &out);
+    ++frames_;
+    return out;
+  }
+
+  // Try propagation: estimate flow, check its quality via the warp residual.
+  Timer flow_timer;
+  Tensor gray = to_grayscale(image);
+  Tensor cur_gray;
+  bilinear_resize(gray, key_features_.h(), key_features_.w(), &cur_gray);
+  Tensor flow_y, flow_x;
+  block_matching_flow(key_gray_, cur_gray, cfg_.flow, &flow_y, &flow_x);
+
+  Tensor warped_gray;
+  bilinear_warp(key_gray_, flow_y, flow_x, &warped_gray);
+  double residual = 0.0;
+  for (std::size_t i = 0; i < warped_gray.size(); ++i)
+    residual += std::abs(static_cast<double>(warped_gray[i]) - cur_gray[i]);
+  residual /= static_cast<double>(warped_gray.size());
+  out.warp_residual = static_cast<float>(residual);
+  out.flow_ms = flow_timer.elapsed_ms();
+
+  if (out.warp_residual > cfg_.residual_threshold) {
+    // Propagation unreliable: this frame becomes the new key.  The scale
+    // regressed at the previous key takes effect now (same key-frame-only
+    // scale-change rule as DffPipeline).
+    current_scale_ = pending_scale_;
+    out.scale_used = current_scale_;
+    const Tensor key_image =
+        renderer_->render_at_scale(frame, current_scale_, policy_);
+    refresh_key(key_image, &out);
+    ++frames_;
+    return out;
+  }
+
+  Timer warp_timer;
+  Tensor warped;
+  bilinear_warp(key_features_, flow_y, flow_x, &warped);
+  out.flow_ms += warp_timer.elapsed_ms();
+
+  Timer head_timer;
+  out.detections =
+      detector_->detect_from_features(warped, image.h(), image.w());
+  out.head_ms = head_timer.elapsed_ms();
+
+  ++since_key_;
+  ++frames_;
+  return out;
+}
+
+}  // namespace ada

@@ -1,0 +1,68 @@
+#include "video/dff.h"
+
+#include "tensor/image_ops.h"
+#include "util/timer.h"
+
+namespace ada {
+
+void DffPipeline::reset() {
+  frame_index_ = 0;
+  current_scale_ = init_scale_;
+  pending_scale_ = init_scale_;
+  key_features_ = Tensor();
+  key_gray_ = Tensor();
+}
+
+DffFrameOutput DffPipeline::process(const Scene& frame) {
+  DffFrameOutput out;
+  out.is_key = (frame_index_ % cfg_.key_interval) == 0;
+
+  if (out.is_key) current_scale_ = pending_scale_;
+  out.scale_used = current_scale_;
+
+  const Tensor image =
+      renderer_->render_at_scale(frame, current_scale_, policy_);
+
+  if (out.is_key) {
+    Timer backbone_timer;
+    const Tensor& features = detector_->forward(image);
+    out.backbone_ms = backbone_timer.elapsed_ms();
+
+    key_features_ = features;
+    // Grayscale image downsampled to the feature grid for flow estimation.
+    Tensor gray = to_grayscale(image);
+    key_gray_ = Tensor();
+    bilinear_resize(gray, features.h(), features.w(), &key_gray_);
+
+    Timer head_timer;
+    out.detections =
+        detector_->detect_from_features(key_features_, image.h(), image.w());
+    out.head_ms = head_timer.elapsed_ms();
+
+    if (regressor_ != nullptr) {
+      const float t = regressor_->predict(key_features_);
+      out.regressor_ms = regressor_->last_predict_ms();
+      pending_scale_ = decode_scale_target(t, current_scale_, sreg_);
+    }
+  } else {
+    Timer flow_timer;
+    Tensor gray = to_grayscale(image);
+    Tensor cur_gray;
+    bilinear_resize(gray, key_features_.h(), key_features_.w(), &cur_gray);
+    Tensor flow_y, flow_x;
+    block_matching_flow(key_gray_, cur_gray, cfg_.flow, &flow_y, &flow_x);
+    Tensor warped;
+    bilinear_warp(key_features_, flow_y, flow_x, &warped);
+    out.flow_ms = flow_timer.elapsed_ms();
+
+    Timer head_timer;
+    out.detections =
+        detector_->detect_from_features(warped, image.h(), image.w());
+    out.head_ms = head_timer.elapsed_ms();
+  }
+
+  ++frame_index_;
+  return out;
+}
+
+}  // namespace ada

@@ -1,0 +1,87 @@
+// Deep Feature Flow (Zhu et al., CVPR 2017b), the video-acceleration method
+// the paper combines AdaScale with in Fig. 7.
+//
+// Every `key_interval` frames, the full backbone runs and its deep features
+// are cached; on intermediate frames only a cheap optical flow is computed,
+// the cached features are bilinearly warped along the flow, and the (cheap)
+// detection heads run on the warped features.  Speedup comes from skipping
+// the backbone on non-key frames.
+//
+// AdaScale composition (paper Sec. 4.6): the scale regressor runs on key
+// frames and the decoded scale takes effect at the *next key frame* — the
+// interval between keys keeps a fixed scale so warped features match the
+// cached feature geometry (interaction unspecified in the paper; documented
+// in DESIGN.md).
+#pragma once
+
+#include <optional>
+
+#include "adascale/scale_regressor.h"
+#include "adascale/scale_set.h"
+#include "adascale/scale_target.h"
+#include "data/renderer.h"
+#include "detection/detector.h"
+#include "video/optical_flow.h"
+
+namespace ada {
+
+struct DffConfig {
+  int key_interval = 10;  ///< paper's DFF default
+  FlowConfig flow;
+};
+
+/// Per-frame DFF output.
+struct DffFrameOutput {
+  DetectionOutput detections;
+  bool is_key = false;
+  int scale_used = 0;
+  double backbone_ms = 0.0;  ///< 0 on non-key frames
+  double flow_ms = 0.0;      ///< 0 on key frames
+  double head_ms = 0.0;
+  double regressor_ms = 0.0;
+
+  double total_ms() const {
+    return backbone_ms + flow_ms + head_ms + regressor_ms;
+  }
+};
+
+/// Stateful DFF runner; optionally wraps AdaScale (pass a regressor).
+class DffPipeline {
+ public:
+  /// `regressor` may be null (plain DFF at a fixed scale).
+  DffPipeline(Detector* detector, ScaleRegressor* regressor,
+              const Renderer* renderer, const ScalePolicy& policy,
+              const DffConfig& cfg, const ScaleSet& sreg,
+              int init_scale = 600)
+      : detector_(detector),
+        regressor_(regressor),
+        renderer_(renderer),
+        policy_(policy),
+        cfg_(cfg),
+        sreg_(sreg),
+        init_scale_(init_scale) {
+    reset();
+  }
+
+  /// Starts a new snippet: next frame is a key frame, scale re-initializes.
+  void reset();
+
+  DffFrameOutput process(const Scene& frame);
+
+ private:
+  Detector* detector_;
+  ScaleRegressor* regressor_;
+  const Renderer* renderer_;
+  ScalePolicy policy_;
+  DffConfig cfg_;
+  ScaleSet sreg_;
+  int init_scale_;
+
+  int frame_index_ = 0;
+  int current_scale_ = 0;
+  int pending_scale_ = 0;  ///< regressed scale waiting for the next key frame
+  Tensor key_features_;
+  Tensor key_gray_;        ///< key frame at feature resolution, grayscale
+};
+
+}  // namespace ada

@@ -1,0 +1,94 @@
+#include "video/optical_flow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ada {
+
+Tensor to_grayscale(const Tensor& rgb) {
+  assert(rgb.n() == 1 && rgb.c() == 3);
+  Tensor gray(1, 1, rgb.h(), rgb.w());
+  for (int i = 0; i < rgb.h(); ++i)
+    for (int j = 0; j < rgb.w(); ++j)
+      gray.at(0, 0, i, j) = 0.299f * rgb.at(0, 0, i, j) +
+                            0.587f * rgb.at(0, 1, i, j) +
+                            0.114f * rgb.at(0, 2, i, j);
+  return gray;
+}
+
+namespace {
+
+/// SAD between patch centered at (cy,cx) in cur and (cy+dy,cx+dx) in ref.
+/// Border pixels clamp.
+float patch_sad(const Tensor& ref, const Tensor& cur, int cy, int cx, int dy,
+                int dx, int pr) {
+  const int h = cur.h(), w = cur.w();
+  float sad = 0.0f;
+  for (int oy = -pr; oy <= pr; ++oy)
+    for (int ox = -pr; ox <= pr; ++ox) {
+      const int y1 = std::clamp(cy + oy, 0, h - 1);
+      const int x1 = std::clamp(cx + ox, 0, w - 1);
+      const int y2 = std::clamp(cy + dy + oy, 0, h - 1);
+      const int x2 = std::clamp(cx + dx + ox, 0, w - 1);
+      sad += std::fabs(cur.at(0, 0, y1, x1) - ref.at(0, 0, y2, x2));
+    }
+  return sad;
+}
+
+/// Parabolic refinement: given costs at offsets -1/0/+1, the sub-cell
+/// minimum location in [-0.5, 0.5].  A (near-)zero center cost is a perfect
+/// match — no refinement, otherwise asymmetric neighbors would pull the
+/// vertex off an exact alignment.
+float parabolic(float cm, float c0, float cp) {
+  if (c0 <= 1e-6f) return 0.0f;
+  const float denom = cm - 2.0f * c0 + cp;
+  if (denom <= 1e-9f) return 0.0f;
+  return std::clamp(0.5f * (cm - cp) / denom, -0.5f, 0.5f);
+}
+
+}  // namespace
+
+void block_matching_flow(const Tensor& ref, const Tensor& cur,
+                         const FlowConfig& cfg, Tensor* flow_y,
+                         Tensor* flow_x) {
+  assert(ref.h() == cur.h() && ref.w() == cur.w());
+  const int h = cur.h(), w = cur.w();
+  if (flow_y->h() != h || flow_y->w() != w) *flow_y = Tensor(1, 1, h, w);
+  if (flow_x->h() != h || flow_x->w() != w) *flow_x = Tensor(1, 1, h, w);
+
+  const int r = cfg.search_radius;
+  const int pr = cfg.patch_radius;
+  for (int i = 0; i < h; ++i)
+    for (int j = 0; j < w; ++j) {
+      float best = 1e30f;
+      int bdy = 0, bdx = 0;
+      for (int dy = -r; dy <= r; ++dy)
+        for (int dx = -r; dx <= r; ++dx) {
+          const float c = patch_sad(ref, cur, i, j, dy, dx, pr);
+          // Small bias toward zero motion stabilizes flat regions.
+          const float cost =
+              c + 1e-3f * static_cast<float>(dy * dy + dx * dx);
+          if (cost < best) {
+            best = cost;
+            bdy = dy;
+            bdx = dx;
+          }
+        }
+      // Sub-cell refinement along each axis (only in the search interior).
+      float fy = static_cast<float>(bdy);
+      float fx = static_cast<float>(bdx);
+      if (bdy > -r && bdy < r)
+        fy += parabolic(patch_sad(ref, cur, i, j, bdy - 1, bdx, pr),
+                        patch_sad(ref, cur, i, j, bdy, bdx, pr),
+                        patch_sad(ref, cur, i, j, bdy + 1, bdx, pr));
+      if (bdx > -r && bdx < r)
+        fx += parabolic(patch_sad(ref, cur, i, j, bdy, bdx - 1, pr),
+                        patch_sad(ref, cur, i, j, bdy, bdx, pr),
+                        patch_sad(ref, cur, i, j, bdy, bdx + 1, pr));
+      flow_y->at(0, 0, i, j) = fy;
+      flow_x->at(0, 0, i, j) = fx;
+    }
+}
+
+}  // namespace ada

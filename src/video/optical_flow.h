@@ -1,0 +1,33 @@
+// Block-matching optical flow.
+//
+// Stand-in for the FlowNet used by Deep Feature Flow (Zhu et al., 2017b):
+// DFF only needs a coarse flow field at feature-map resolution to warp
+// key-frame features, so we estimate flow directly on grayscale images
+// resized to the feature grid, with integer-displacement block matching and
+// a parabolic sub-pixel refinement.  Like FlowNet in DFF, its cost is much
+// smaller than the detection backbone — that gap is where DFF's speedup
+// comes from.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace ada {
+
+struct FlowConfig {
+  int search_radius = 3;  ///< max displacement in grid cells
+  int patch_radius = 1;   ///< SAD window = (2r+1)^2
+};
+
+/// RGB (1,3,H,W) -> grayscale (1,1,H,W).
+Tensor to_grayscale(const Tensor& rgb);
+
+/// Dense backward flow from `cur` to `ref` (both (1,1,H,W) grayscale at the
+/// same resolution): for each cell of `cur`, the displacement into `ref`
+/// minimizing the SAD patch cost.  Writes (1,1,H,W) flow_y / flow_x such
+/// that ref(y + flow_y, x + flow_x) ≈ cur(y, x) — directly usable by
+/// bilinear_warp to pull reference features to the current frame.
+void block_matching_flow(const Tensor& ref, const Tensor& cur,
+                         const FlowConfig& cfg, Tensor* flow_y,
+                         Tensor* flow_x);
+
+}  // namespace ada

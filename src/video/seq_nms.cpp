@@ -1,0 +1,130 @@
+#include "video/seq_nms.h"
+
+#include <algorithm>
+
+namespace ada {
+
+namespace {
+
+struct Node {
+  EvalDetection det;
+  bool alive = true;
+  // DP state (recomputed each iteration).
+  float best_sum = 0.0f;
+  int prev = -1;  ///< index into previous frame's node list
+};
+
+}  // namespace
+
+void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
+             const SeqNmsConfig& cfg) {
+  const int num_frames = static_cast<int>(frames->size());
+  if (num_frames == 0) return;
+
+  // Determine the class set present.
+  int max_class = -1;
+  for (const auto& f : *frames)
+    for (const auto& d : f) max_class = std::max(max_class, d.class_id);
+
+  for (int cls = 0; cls <= max_class; ++cls) {
+    // Pool this class's detections per frame.
+    std::vector<std::vector<Node>> pool(static_cast<std::size_t>(num_frames));
+    for (int f = 0; f < num_frames; ++f)
+      for (const auto& d : (*frames)[static_cast<std::size_t>(f)])
+        if (d.class_id == cls)
+          pool[static_cast<std::size_t>(f)].push_back(Node{d, true, 0.0f, -1});
+
+    std::vector<std::vector<EvalDetection>> rescored(
+        static_cast<std::size_t>(num_frames));
+
+    for (int iter = 0; iter < cfg.max_iterations; ++iter) {
+      // DP over frames on alive nodes.
+      float global_best = -1.0f;
+      int best_frame = -1, best_idx = -1;
+      for (int f = 0; f < num_frames; ++f) {
+        auto& cur = pool[static_cast<std::size_t>(f)];
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+          if (!cur[i].alive) continue;
+          cur[i].best_sum = cur[i].det.score;
+          cur[i].prev = -1;
+          if (f > 0) {
+            const auto& prev = pool[static_cast<std::size_t>(f - 1)];
+            for (std::size_t j = 0; j < prev.size(); ++j) {
+              if (!prev[j].alive) continue;
+              if (iou(cur[i].det.box, prev[j].det.box) <= cfg.link_iou)
+                continue;
+              const float cand = cur[i].det.score + prev[j].best_sum;
+              if (cand > cur[i].best_sum) {
+                cur[i].best_sum = cand;
+                cur[i].prev = static_cast<int>(j);
+              }
+            }
+          }
+          if (cur[i].best_sum > global_best) {
+            global_best = cur[i].best_sum;
+            best_frame = f;
+            best_idx = static_cast<int>(i);
+          }
+        }
+      }
+      if (best_frame < 0) break;  // pool empty
+
+      // Backtrack the best path.
+      std::vector<std::pair<int, int>> path;  // (frame, idx)
+      for (int f = best_frame, i = best_idx; i >= 0;) {
+        path.emplace_back(f, i);
+        const int p = pool[static_cast<std::size_t>(f)][static_cast<std::size_t>(i)].prev;
+        i = p;
+        --f;
+      }
+
+      // Rescore along the path.
+      float acc = 0.0f, mx = 0.0f;
+      for (auto [f, i] : path) {
+        const float s = pool[static_cast<std::size_t>(f)][static_cast<std::size_t>(i)].det.score;
+        acc += s;
+        mx = std::max(mx, s);
+      }
+      const float new_score =
+          cfg.rescore_avg ? acc / static_cast<float>(path.size()) : mx;
+
+      for (auto [f, i] : path) {
+        Node& node = pool[static_cast<std::size_t>(f)][static_cast<std::size_t>(i)];
+        EvalDetection d = node.det;
+        d.score = new_score;
+        rescored[static_cast<std::size_t>(f)].push_back(d);
+        node.alive = false;
+        // Suppress same-frame overlaps of the path box.
+        for (Node& other : pool[static_cast<std::size_t>(f)]) {
+          if (!other.alive) continue;
+          if (iou(node.det.box, other.det.box) > cfg.suppress_iou) {
+            // Suppressed boxes keep their original score in the output —
+            // Seq-NMS removes them from further linking but they remain
+            // detections.
+            rescored[static_cast<std::size_t>(f)].push_back(other.det);
+            other.alive = false;
+          }
+        }
+      }
+    }
+
+    // Any leftovers (isolated boxes never on a path) pass through unchanged.
+    for (int f = 0; f < num_frames; ++f)
+      for (const Node& n : pool[static_cast<std::size_t>(f)])
+        if (n.alive) rescored[static_cast<std::size_t>(f)].push_back(n.det);
+
+    // Replace this class's detections.
+    for (int f = 0; f < num_frames; ++f) {
+      auto& dst = (*frames)[static_cast<std::size_t>(f)];
+      dst.erase(std::remove_if(dst.begin(), dst.end(),
+                               [cls](const EvalDetection& d) {
+                                 return d.class_id == cls;
+                               }),
+                dst.end());
+      dst.insert(dst.end(), rescored[static_cast<std::size_t>(f)].begin(),
+                 rescored[static_cast<std::size_t>(f)].end());
+    }
+  }
+}
+
+}  // namespace ada

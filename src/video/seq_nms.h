@@ -1,0 +1,30 @@
+// Seq-NMS (Han et al., 2016): cross-frame detection rescoring, the second
+// video method the paper composes AdaScale with in Fig. 7.
+//
+// Per class, detections in consecutive frames are linked when their IoU
+// exceeds `link_iou`; dynamic programming finds the maximum-total-score
+// temporal path; all boxes on the path are rescored (average or max of the
+// path's scores), removed from the pool together with same-frame boxes they
+// suppress, and the search repeats until no links remain.
+#pragma once
+
+#include <vector>
+
+#include "eval/map_evaluator.h"
+
+namespace ada {
+
+struct SeqNmsConfig {
+  float link_iou = 0.5f;
+  float suppress_iou = 0.3f;
+  bool rescore_avg = true;  ///< true: average; false: max
+  int max_iterations = 10000;  ///< safety bound
+};
+
+/// Applies Seq-NMS in place to one snippet's per-frame detections (all boxes
+/// in a common coordinate frame).  Wall-clock cost is the caller's to
+/// measure (the paper counts it against runtime in Fig. 7).
+void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
+             const SeqNmsConfig& cfg);
+
+}  // namespace ada

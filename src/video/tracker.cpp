@@ -1,0 +1,93 @@
+#include "video/tracker.h"
+
+#include <algorithm>
+
+#include "detection/box.h"
+
+namespace ada {
+
+void OnlineTracker::reset() {
+  tracks_.clear();
+  next_id_ = 0;
+}
+
+std::vector<EvalDetection> OnlineTracker::update(
+    const std::vector<EvalDetection>& dets) {
+  // Greedy association: highest-score detections claim tracks first; a track
+  // can be claimed once per frame, and only by a same-class detection with
+  // IoU above the link threshold.
+  std::vector<int> order(dets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return dets[static_cast<std::size_t>(a)].score >
+           dets[static_cast<std::size_t>(b)].score;
+  });
+
+  std::vector<char> track_claimed(tracks_.size(), 0);
+  std::vector<int> det_track(dets.size(), -1);
+  for (int di : order) {
+    const EvalDetection& d = dets[static_cast<std::size_t>(di)];
+    int best_t = -1;
+    float best_iou = cfg_.link_iou;
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (track_claimed[t] || tracks_[t].class_id != d.class_id) continue;
+      const float v = iou(d.box, tracks_[t].box);
+      if (v >= best_iou) {
+        best_iou = v;
+        best_t = static_cast<int>(t);
+      }
+    }
+    if (best_t >= 0) {
+      track_claimed[static_cast<std::size_t>(best_t)] = 1;
+      det_track[static_cast<std::size_t>(di)] = best_t;
+    }
+  }
+
+  // Update matched tracks, spawn tracks for unmatched detections.
+  std::vector<EvalDetection> out = dets;
+  for (std::size_t di = 0; di < dets.size(); ++di) {
+    const EvalDetection& d = dets[di];
+    if (det_track[di] >= 0) {
+      Track& t = tracks_[static_cast<std::size_t>(det_track[di])];
+      t.box = d.box;
+      t.score = cfg_.score_ema * t.score + (1.0f - cfg_.score_ema) * d.score;
+      t.age += 1;
+      t.missed = 0;
+      float rescored = t.score;
+      if (t.age >= cfg_.mature_age) rescored += cfg_.mature_boost;
+      out[di].score = std::min(rescored, cfg_.max_score);
+    } else {
+      Track t;
+      t.id = next_id_++;
+      t.class_id = d.class_id;
+      t.box = d.box;
+      t.score = d.score;
+      t.age = 1;
+      tracks_.push_back(t);
+      // First observation keeps its detector score.
+    }
+  }
+
+  // Age out unmatched tracks.
+  std::vector<Track> alive;
+  alive.reserve(tracks_.size());
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    // Tracks created this frame were never in `track_claimed`; keep them.
+    const bool existed = t < track_claimed.size();
+    if (existed && !track_claimed[t]) {
+      if (++tracks_[t].missed > cfg_.max_missed) continue;
+    }
+    alive.push_back(tracks_[t]);
+  }
+  tracks_ = std::move(alive);
+  return out;
+}
+
+void track_rescore(std::vector<std::vector<EvalDetection>>* frames,
+                   const TrackerConfig& cfg) {
+  OnlineTracker tracker(cfg);
+  tracker.reset();
+  for (auto& frame : *frames) frame = tracker.update(frame);
+}
+
+}  // namespace ada

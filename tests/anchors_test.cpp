@@ -1,0 +1,65 @@
+#include "detection/anchors.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+TEST(Anchors, CountMatchesGridTimesPerCell) {
+  AnchorConfig cfg;
+  const auto anchors = generate_anchors(cfg, 4, 5);
+  EXPECT_EQ(anchors.size(), static_cast<std::size_t>(4 * 5 * cfg.per_cell()));
+}
+
+TEST(Anchors, PerCellCountsSizesTimesAspects) {
+  AnchorConfig cfg;
+  cfg.sizes = {8, 16, 32};
+  cfg.aspects = {0.5f, 1.0f, 2.0f};
+  EXPECT_EQ(cfg.per_cell(), 9);
+}
+
+TEST(Anchors, CentersAlignWithStride) {
+  AnchorConfig cfg;
+  cfg.stride = 8;
+  cfg.sizes = {16};
+  cfg.aspects = {1.0f};
+  const auto anchors = generate_anchors(cfg, 2, 3);
+  // Cell (0,0) center at (4,4); cell (1,2) center at (20,12) in (x,y).
+  EXPECT_FLOAT_EQ(anchors[0].cx(), 4.0f);
+  EXPECT_FLOAT_EQ(anchors[0].cy(), 4.0f);
+  EXPECT_FLOAT_EQ(anchors[5].cx(), 20.0f);
+  EXPECT_FLOAT_EQ(anchors[5].cy(), 12.0f);
+}
+
+TEST(Anchors, SquareAnchorHasRequestedSize) {
+  AnchorConfig cfg;
+  cfg.sizes = {20};
+  cfg.aspects = {1.0f};
+  const auto anchors = generate_anchors(cfg, 1, 1);
+  EXPECT_NEAR(anchors[0].width(), 20.0f, 1e-4f);
+  EXPECT_NEAR(anchors[0].height(), 20.0f, 1e-4f);
+}
+
+TEST(Anchors, AspectPreservesArea) {
+  AnchorConfig cfg;
+  cfg.sizes = {20};
+  cfg.aspects = {2.0f};
+  const auto anchors = generate_anchors(cfg, 1, 1);
+  EXPECT_NEAR(anchors[0].area(), 400.0f, 1.0f);
+  EXPECT_NEAR(anchors[0].width() / anchors[0].height(), 2.0f, 1e-4f);
+}
+
+TEST(Anchors, LayoutIsCellMajorThenSizeThenAspect) {
+  AnchorConfig cfg;
+  cfg.sizes = {10, 20};
+  cfg.aspects = {1.0f, 2.0f};
+  const auto anchors = generate_anchors(cfg, 1, 2);
+  // First 4 anchors belong to cell (0,0): sizes (10,10,20,20).
+  EXPECT_NEAR(anchors[0].area(), 100.0f, 1.0f);
+  EXPECT_NEAR(anchors[2].area(), 400.0f, 1.0f);
+  // Next 4 belong to cell (0,1) with shifted center.
+  EXPECT_GT(anchors[4].cx(), anchors[0].cx());
+}
+
+}  // namespace
+}  // namespace ada

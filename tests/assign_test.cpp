@@ -1,0 +1,88 @@
+#include "detection/assign.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+GtBox gt(float x1, float y1, float x2, float y2, int cls) {
+  GtBox g;
+  g.x1 = x1; g.y1 = y1; g.x2 = x2; g.y2 = y2; g.class_id = cls;
+  return g;
+}
+
+TEST(Assign, NoGtAllBackground) {
+  std::vector<Box> anchors = {Box{0, 0, 10, 10}, Box{20, 20, 30, 30}};
+  const auto t = assign_anchors(anchors, {}, AssignConfig{});
+  for (const auto& a : t) EXPECT_EQ(a.label, 0);
+}
+
+TEST(Assign, PerfectOverlapIsForeground) {
+  std::vector<Box> anchors = {Box{0, 0, 10, 10}};
+  const auto t = assign_anchors(anchors, {gt(0, 0, 10, 10, 3)}, AssignConfig{});
+  EXPECT_EQ(t[0].label, 4);  // class 3 -> label 4 (background shifted)
+  EXPECT_EQ(t[0].matched_gt, 0);
+  EXPECT_NEAR(t[0].max_iou, 1.0f, 1e-6f);
+  for (float d : t[0].delta) EXPECT_NEAR(d, 0.0f, 1e-5f);
+}
+
+TEST(Assign, FarAnchorIsBackground) {
+  std::vector<Box> anchors = {Box{100, 100, 110, 110}};
+  const auto t = assign_anchors(anchors, {gt(0, 0, 10, 10, 0)}, AssignConfig{});
+  EXPECT_EQ(t[0].label, 0);
+}
+
+TEST(Assign, NearMissIsBackgroundByDefault) {
+  // Anchor 0 has IoU 0.45 with the GT.  The default config has no ignore
+  // band (bg_iou == fg_iou; synthetic GT is exact), so the near miss is a
+  // plain negative.  Anchor 1 matches the GT better (force-matching claims
+  // anchor 1, not anchor 0, keeping anchor 0's label observable).
+  std::vector<Box> anchors = {Box{0, 0, 10, 10}, Box{0, 0, 10, 5}};
+  const auto t =
+      assign_anchors(anchors, {gt(0, 0, 10, 4.5f, 1)}, AssignConfig{});
+  EXPECT_EQ(t[0].label, 0);
+  EXPECT_EQ(t[1].label, 2);  // fg via threshold (IoU 0.9) and force-match
+}
+
+TEST(Assign, CustomIgnoreBandStillWorks) {
+  // With an explicit band [0.4, 0.5), the same near miss becomes ignored
+  // (the conventional single-stage setting remains available).
+  AssignConfig cfg;
+  cfg.bg_iou = 0.4f;
+  std::vector<Box> anchors = {Box{0, 0, 10, 10}, Box{0, 0, 10, 5}};
+  const auto t = assign_anchors(anchors, {gt(0, 0, 10, 4.5f, 1)}, cfg);
+  EXPECT_EQ(t[0].label, -1);
+  EXPECT_EQ(t[1].label, 2);
+}
+
+TEST(Assign, ForceMatchGivesEveryGtAnAnchor) {
+  // The GT box overlaps no anchor above fg threshold, but the closest anchor
+  // must still be claimed.
+  std::vector<Box> anchors = {Box{0, 0, 8, 8}, Box{40, 40, 48, 48}};
+  const auto t =
+      assign_anchors(anchors, {gt(2, 2, 20, 20, 5)}, AssignConfig{});
+  EXPECT_EQ(t[0].label, 6);
+  EXPECT_EQ(t[0].matched_gt, 0);
+}
+
+TEST(Assign, AnchorPicksHighestIouGt) {
+  std::vector<Box> anchors = {Box{0, 0, 10, 10}};
+  std::vector<GtBox> gts = {gt(0, 0, 10, 8, 1), gt(0, 0, 10, 10, 2)};
+  const auto t = assign_anchors(anchors, gts, AssignConfig{});
+  EXPECT_EQ(t[0].label, 3);  // class 2
+  EXPECT_EQ(t[0].matched_gt, 1);
+}
+
+TEST(Assign, RegressionTargetMatchesEncode) {
+  std::vector<Box> anchors = {Box{0, 0, 10, 10}};
+  GtBox g = gt(1, 1, 11, 11, 0);
+  const auto t = assign_anchors(anchors, {g}, AssignConfig{});
+  ASSERT_EQ(t[0].label, 1);
+  const auto expected = encode_box(Box::from_gt(g), anchors[0]);
+  for (int d = 0; d < 4; ++d)
+    EXPECT_NEAR(t[0].delta[static_cast<std::size_t>(d)],
+                expected[static_cast<std::size_t>(d)], 1e-6f);
+}
+
+}  // namespace
+}  // namespace ada

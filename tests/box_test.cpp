@@ -1,0 +1,142 @@
+#include "detection/box.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ada {
+namespace {
+
+TEST(Box, AreaAndCenter) {
+  Box b{0, 0, 10, 20};
+  EXPECT_FLOAT_EQ(b.area(), 200.0f);
+  EXPECT_FLOAT_EQ(b.cx(), 5.0f);
+  EXPECT_FLOAT_EQ(b.cy(), 10.0f);
+}
+
+TEST(Box, DegenerateAreaIsZero) {
+  Box b{5, 5, 5, 5};
+  EXPECT_FLOAT_EQ(b.area(), 0.0f);
+  Box inverted{10, 10, 5, 5};
+  EXPECT_FLOAT_EQ(inverted.area(), 0.0f);
+}
+
+TEST(Iou, IdenticalBoxesIsOne) {
+  Box a{1, 2, 11, 12};
+  EXPECT_FLOAT_EQ(iou(a, a), 1.0f);
+}
+
+TEST(Iou, DisjointBoxesIsZero) {
+  Box a{0, 0, 5, 5}, b{10, 10, 20, 20};
+  EXPECT_FLOAT_EQ(iou(a, b), 0.0f);
+}
+
+TEST(Iou, TouchingEdgesIsZero) {
+  Box a{0, 0, 5, 5}, b{5, 0, 10, 5};
+  EXPECT_FLOAT_EQ(iou(a, b), 0.0f);
+}
+
+TEST(Iou, HalfOverlapKnownValue) {
+  Box a{0, 0, 10, 10}, b{5, 0, 15, 10};
+  // inter = 50, union = 150.
+  EXPECT_NEAR(iou(a, b), 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Iou, ContainedBoxRatioOfAreas) {
+  Box outer{0, 0, 10, 10}, inner{2, 2, 7, 7};
+  EXPECT_NEAR(iou(outer, inner), 25.0f / 100.0f, 1e-6f);
+}
+
+// --- property-based checks over random boxes ---
+struct IouProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IouProperty, SymmetricBoundedAndSelfUnit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_box = [&]() {
+      float x1 = rng.uniform(0.0f, 50.0f);
+      float y1 = rng.uniform(0.0f, 50.0f);
+      return Box{x1, y1, x1 + rng.uniform(1.0f, 30.0f),
+                 y1 + rng.uniform(1.0f, 30.0f)};
+    };
+    Box a = random_box(), b = random_box();
+    const float ab = iou(a, b), ba = iou(b, a);
+    EXPECT_FLOAT_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0f);
+    EXPECT_LE(ab, 1.0f);
+    EXPECT_NEAR(iou(a, a), 1.0f, 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+struct EncodeDecodeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeDecodeProperty, RoundTripsThroughDeltas) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97);
+  for (int trial = 0; trial < 300; ++trial) {
+    float ax = rng.uniform(0.0f, 100.0f), ay = rng.uniform(0.0f, 100.0f);
+    Box anchor{ax, ay, ax + rng.uniform(4.0f, 40.0f),
+               ay + rng.uniform(4.0f, 40.0f)};
+    float tx = rng.uniform(0.0f, 100.0f), ty = rng.uniform(0.0f, 100.0f);
+    Box target{tx, ty, tx + rng.uniform(4.0f, 40.0f),
+               ty + rng.uniform(4.0f, 40.0f)};
+    const auto delta = encode_box(target, anchor);
+    const Box back = decode_box(delta, anchor);
+    EXPECT_NEAR(back.x1, target.x1, 0.01f);
+    EXPECT_NEAR(back.y1, target.y1, 0.01f);
+    EXPECT_NEAR(back.x2, target.x2, 0.01f);
+    EXPECT_NEAR(back.y2, target.y2, 0.01f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeDecodeProperty,
+                         ::testing::Values(1, 2, 3));
+
+TEST(EncodeBox, ZeroDeltaForAnchorItself) {
+  Box anchor{10, 10, 30, 40};
+  const auto d = encode_box(anchor, anchor);
+  for (float v : d) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(DecodeBox, ClampsExplodingExponent) {
+  Box anchor{0, 0, 10, 10};
+  const Box b = decode_box({0, 0, 100.0f, 100.0f}, anchor);
+  EXPECT_LT(b.width(), 1000.0f);  // exp clamped, no inf
+}
+
+TEST(ClipBox, ClipsToImage) {
+  Box b{-5, -5, 200, 300};
+  const Box c = clip_box(b, 100, 150);
+  EXPECT_FLOAT_EQ(c.x1, 0.0f);
+  EXPECT_FLOAT_EQ(c.y1, 0.0f);
+  EXPECT_FLOAT_EQ(c.x2, 149.0f);
+  EXPECT_FLOAT_EQ(c.y2, 99.0f);
+}
+
+TEST(RescaleBox, ScalesCoordinates) {
+  Box b{10, 20, 30, 40};
+  const Box r = rescale_box(b, 100, 200, 50, 100);
+  EXPECT_FLOAT_EQ(r.x1, 5.0f);
+  EXPECT_FLOAT_EQ(r.y1, 10.0f);
+  EXPECT_FLOAT_EQ(r.x2, 15.0f);
+  EXPECT_FLOAT_EQ(r.y2, 20.0f);
+}
+
+TEST(RescaleBox, RoundTripIsIdentity) {
+  Box b{3, 7, 21, 17};
+  const Box r = rescale_box(rescale_box(b, 100, 133, 37, 49), 37, 49, 100, 133);
+  EXPECT_NEAR(r.x1, b.x1, 1e-4f);
+  EXPECT_NEAR(r.y2, b.y2, 1e-4f);
+}
+
+TEST(GtBox, FromGtCopiesCoordinates) {
+  GtBox g;
+  g.x1 = 1; g.y1 = 2; g.x2 = 3; g.y2 = 4; g.class_id = 5;
+  const Box b = Box::from_gt(g);
+  EXPECT_FLOAT_EQ(b.x1, 1.0f);
+  EXPECT_FLOAT_EQ(b.y2, 4.0f);
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,176 @@
+// Property-style sweeps over detector-facing invariants that must hold for
+// ANY input resolution, anchor layout, or random weights — the contracts the
+// AdaScale pipeline silently relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "detection/detector.h"
+
+namespace ada {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Across input scales: detect() must produce boxes inside the image, scores
+// in (0,1], sorted output, and at most top_k detections.
+class DetectAtScale : public ::testing::TestWithParam<int> {
+ protected:
+  static Detector* detector() {
+    static Detector* det = [] {
+      DetectorConfig cfg;
+      cfg.num_classes = 30;
+      Rng rng(17);
+      return new Detector(cfg, &rng);
+    }();
+    return det;
+  }
+};
+
+TEST_P(DetectAtScale, OutputsAreWellFormed) {
+  const int scale = GetParam();
+  Dataset ds = Dataset::synth_vid(1, 1, 77);
+  const Renderer renderer = ds.make_renderer();
+  const Tensor image =
+      renderer.render_at_scale(*ds.val_frames()[0], scale, ds.scale_policy());
+  const DetectionOutput out = detector()->detect(image);
+
+  EXPECT_EQ(out.image_h, image.h());
+  EXPECT_EQ(out.image_w, image.w());
+  EXPECT_LE(static_cast<int>(out.detections.size()),
+            detector()->config().top_k);
+  for (std::size_t i = 0; i < out.detections.size(); ++i) {
+    const Detection& d = out.detections[i];
+    EXPECT_GE(d.box.x1, 0.0f);
+    EXPECT_GE(d.box.y1, 0.0f);
+    EXPECT_LE(d.box.x2, static_cast<float>(image.w() - 1));
+    EXPECT_LE(d.box.y2, static_cast<float>(image.h() - 1));
+    EXPECT_LT(d.box.x1, d.box.x2);
+    EXPECT_LT(d.box.y1, d.box.y2);
+    EXPECT_GT(d.score, 0.0f);
+    EXPECT_LE(d.score, 1.0f);
+    EXPECT_GE(d.class_id, 0);
+    EXPECT_LT(d.class_id, detector()->config().num_classes);
+    if (i > 0) EXPECT_GE(out.detections[i - 1].score, d.score);
+    // The stored softmax must be a distribution over K+1 classes.
+    ASSERT_EQ(static_cast<int>(d.probs.size()),
+              detector()->config().num_classes + 1);
+    float sum = 0.0f;
+    for (float p : d.probs) sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST_P(DetectAtScale, FeatureMapTracksInputResolution) {
+  const int scale = GetParam();
+  Dataset ds = Dataset::synth_vid(1, 1, 77);
+  const Renderer renderer = ds.make_renderer();
+  const Tensor image =
+      renderer.render_at_scale(*ds.val_frames()[0], scale, ds.scale_policy());
+  (void)detector()->detect(image);
+  const Tensor& feat = detector()->features();
+  const int stride = detector()->config().anchors.stride;
+  EXPECT_EQ(feat.h(), image.h() / stride);
+  EXPECT_EQ(feat.w(), image.w() / stride);
+  EXPECT_EQ(feat.c(), detector()->feature_channels());
+}
+
+TEST_P(DetectAtScale, MacsGrowWithArea) {
+  const int scale = GetParam();
+  Dataset ds = Dataset::synth_vid(1, 1, 77);
+  const ScalePolicy& policy = ds.scale_policy();
+  const long long macs = detector()->forward_macs(policy.render_h(scale),
+                                                  policy.render_w(scale));
+  EXPECT_GT(macs, 0);
+  if (scale > 128) {
+    const long long macs_smaller = detector()->forward_macs(
+        policy.render_h(128), policy.render_w(128));
+    EXPECT_GT(macs, macs_smaller);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNominalScales, DetectAtScale,
+                         ::testing::Values(600, 480, 360, 240, 128),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "scale" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Training-loss contract across scales: finite, positive before training,
+// and the gradient step reduces the loss on the same image (smoke check of
+// the full backward path at every resolution).
+class LossAtScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossAtScale, LossIsFiniteAndImprovable) {
+  const int scale = GetParam();
+  Dataset ds = Dataset::synth_vid(1, 1, 31);
+  const Renderer renderer = ds.make_renderer();
+  const Scene& scene = *ds.train_frames()[0];
+  const Tensor image =
+      renderer.render_at_scale(scene, scale, ds.scale_policy());
+  const auto gts = scene_ground_truth(scene, image.h(), image.w());
+
+  DetectorConfig cfg;
+  cfg.num_classes = ds.catalog().num_classes();
+  Rng rng(9);
+  Detector det(cfg, &rng);
+  Sgd::Options opt_cfg;
+  opt_cfg.lr = 0.005f;
+  Sgd opt(det.parameters(), opt_cfg);
+
+  Rng sample_rng(3);
+  const float before = det.compute_loss(image, gts, &sample_rng);
+  EXPECT_TRUE(std::isfinite(before));
+  EXPECT_GT(before, 0.0f);
+  float after = before;
+  Rng step_rng(3);
+  for (int i = 0; i < 12; ++i)
+    after = det.train_step(image, gts, &opt, &step_rng);
+  EXPECT_TRUE(std::isfinite(after));
+  EXPECT_LT(after, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNominalScales, LossAtScale,
+                         ::testing::Values(600, 360, 128),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "scale" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds must give bit-identical detectors (the model
+// cache and every bench depend on this).
+TEST(DetectorDeterminism, SameSeedSameWeights) {
+  DetectorConfig cfg;
+  cfg.num_classes = 7;
+  Rng r1(123), r2(123);
+  Detector a(cfg, &r1), b(cfg, &r2);
+  auto pa = a.parameters(), pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.size(), pb[i]->value.size());
+    for (std::size_t k = 0; k < pa[i]->value.size(); ++k)
+      EXPECT_EQ(pa[i]->value[k], pb[i]->value[k]);
+  }
+}
+
+TEST(DetectorDeterminism, DetectIsPure) {
+  Dataset ds = Dataset::synth_vid(1, 1, 5);
+  const Renderer renderer = ds.make_renderer();
+  const Tensor image =
+      renderer.render_at_scale(*ds.val_frames()[0], 360, ds.scale_policy());
+  DetectorConfig cfg;
+  cfg.num_classes = ds.catalog().num_classes();
+  Rng rng(2);
+  Detector det(cfg, &rng);
+  const DetectionOutput a = det.detect(image);
+  const DetectionOutput b = det.detect(image);
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].score, b.detections[i].score);
+    EXPECT_EQ(a.detections[i].class_id, b.detections[i].class_id);
+    EXPECT_EQ(a.detections[i].box.x1, b.detections[i].box.x1);
+  }
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,124 @@
+#include "export/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ada {
+namespace {
+
+TEST(CocoExport, AnnotationsContainAllSections) {
+  Dataset ds = Dataset::synth_vid(1, 1, 7);
+  const std::string json =
+      coco_annotations_json(ds, ds.val_snippets(), 600);
+  EXPECT_NE(json.find("\"images\":["), std::string::npos);
+  EXPECT_NE(json.find("\"annotations\":["), std::string::npos);
+  EXPECT_NE(json.find("\"categories\":["), std::string::npos);
+  // 30 categories, each by name.
+  EXPECT_NE(json.find("\"airplane\""), std::string::npos);
+  EXPECT_NE(json.find("\"zebra\""), std::string::npos);
+  // One image entry per frame.
+  std::size_t images = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"file_name\"", pos)) != std::string::npos; ++pos)
+    ++images;
+  EXPECT_EQ(images, ds.val_snippets()[0].frames.size());
+}
+
+TEST(CocoExport, ImageIdsEncodeSnippetAndFrame) {
+  Dataset ds = Dataset::synth_vid(1, 2, 7);
+  const std::string json = coco_annotations_json(ds, ds.val_snippets(), 240);
+  // Snippet 1, frame 2 -> id 1002.
+  EXPECT_NE(json.find("\"id\":1002"), std::string::npos);
+}
+
+TEST(CocoExport, ResultsArrayRoundTripsScores) {
+  std::vector<std::vector<EvalDetection>> dets(2);
+  EvalDetection d;
+  d.box = Box{1, 2, 11, 22};
+  d.class_id = 5;
+  d.score = 0.875f;
+  dets[1].push_back(d);
+  const std::string json = coco_results_json(dets, {0, 1});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"image_id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"category_id\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"score\":0.875"), std::string::npos);
+  EXPECT_NE(json.find("\"bbox\":[1,2,10,20]"), std::string::npos);
+}
+
+TEST(CocoExport, EmptyResultsIsEmptyArray) {
+  EXPECT_EQ(coco_results_json({}, {}), "[]");
+}
+
+TEST(Ppm, WritesValidHeaderAndSize) {
+  Tensor img(1, 3, 4, 6);
+  img.fill(0.5f);
+  const std::string path = "/tmp/ada_export_test.ppm";
+  ASSERT_TRUE(write_ppm(path, img));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  int w = 0, h = 0, maxv = 0;
+  ASSERT_EQ(std::fscanf(f, "%2s %d %d %d", magic, &w, &h, &maxv), 4);
+  EXPECT_STREQ(magic, "P6");
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxv, 255);
+  std::fclose(f);
+  EXPECT_EQ(std::filesystem::file_size(path),
+            std::string("P6\n6 4\n255\n").size() + 4u * 6u * 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, RejectsNonRgbTensor) {
+  Tensor gray(1, 1, 4, 4);
+  EXPECT_FALSE(write_ppm("/tmp/ada_export_bad.ppm", gray));
+}
+
+TEST(Ppm, ClampsOutOfRangeValues) {
+  Tensor img(1, 3, 1, 2);
+  img.at(0, 0, 0, 0) = -1.0f;
+  img.at(0, 0, 0, 1) = 2.0f;
+  const std::string path = "/tmp/ada_export_clamp.ppm";
+  ASSERT_TRUE(write_ppm(path, img));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  // Skip the 11-byte header "P6\n2 1\n255\n".
+  std::fseek(f, 11, SEEK_SET);
+  unsigned char px[6];
+  ASSERT_EQ(std::fread(px, 1, 6, f), 6u);
+  EXPECT_EQ(px[0], 0);    // clamped low
+  EXPECT_EQ(px[3], 255);  // clamped high
+  std::fclose(f);
+  std::filesystem::remove(path);
+}
+
+
+TEST(DrawBox, OutlinesExactRectangle) {
+  Tensor img(1, 3, 10, 10);
+  img.fill(0.0f);
+  draw_box(&img, Box{2, 3, 6, 7}, Rgb{1.0f, 0.5f, 0.25f});
+  // Corners and edges are painted...
+  EXPECT_FLOAT_EQ(img.at(0, 0, 3, 2), 1.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 1, 7, 6), 0.5f);
+  EXPECT_FLOAT_EQ(img.at(0, 2, 3, 4), 0.25f);  // top edge interior column
+  // ...the box interior is not.
+  EXPECT_FLOAT_EQ(img.at(0, 0, 5, 4), 0.0f);
+  // Pixels outside stay untouched.
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 0, 9, 9), 0.0f);
+}
+
+TEST(DrawBox, ClampsOutOfImageBoxes) {
+  Tensor img(1, 3, 8, 8);
+  img.fill(0.2f);
+  draw_box(&img, Box{-5, -5, 20, 20}, Rgb{1.0f, 1.0f, 1.0f});
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 0, 7, 7), 1.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 0, 4, 4), 0.2f);  // interior untouched
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,133 @@
+// Experiment-harness plumbing tests (no training — uses untrained models).
+#include "experiments/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+struct HarnessFixture : public ::testing::Test {
+  HarnessFixture()
+      : harness(Dataset::synth_vid(2, 2, 42), "") {}
+
+  // Untrained detector/regressor built directly (bypasses the trainer).
+  std::unique_ptr<Detector> make_detector() {
+    DetectorConfig dcfg;
+    dcfg.num_classes = harness.dataset().catalog().num_classes();
+    dcfg.c1 = 4;
+    dcfg.c2 = 6;
+    dcfg.c3 = 8;
+    Rng rng(9);
+    return std::make_unique<Detector>(dcfg, &rng);
+  }
+
+  Harness harness;
+};
+
+TEST_F(HarnessFixture, ReferenceFrameIsScale600) {
+  EXPECT_EQ(harness.reference_h(), 150);
+  EXPECT_EQ(harness.reference_w(), 200);
+}
+
+TEST_F(HarnessFixture, RunFixedProducesOneEntryPerFrame) {
+  auto det = make_detector();
+  const auto runs = harness.run_fixed(det.get(), 240);
+  ASSERT_EQ(runs.size(), harness.dataset().val_snippets().size());
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    const auto& snip = harness.dataset().val_snippets()[s];
+    EXPECT_EQ(runs[s].frame_dets.size(),
+              static_cast<std::size_t>(snip.num_frames()));
+    EXPECT_EQ(runs[s].frame_ms.size(), runs[s].frame_dets.size());
+    for (int scale : runs[s].frame_scales) EXPECT_EQ(scale, 240);
+  }
+}
+
+TEST_F(HarnessFixture, DetectionsAreMappedToReferenceFrame) {
+  auto det = make_detector();
+  const auto runs = harness.run_fixed(det.get(), 240);
+  for (const SnippetRun& run : runs)
+    for (const auto& frame : run.frame_dets)
+      for (const EvalDetection& d : frame) {
+        EXPECT_GE(d.box.x1, 0.0f);
+        EXPECT_LE(d.box.x2, 200.0f);
+        EXPECT_GE(d.box.y1, 0.0f);
+        EXPECT_LE(d.box.y2, 150.0f);
+      }
+}
+
+TEST_F(HarnessFixture, EvaluateCountsAllFrames) {
+  auto det = make_detector();
+  MethodRun run = harness.evaluate("x", harness.run_fixed(det.get(), 128));
+  int total_frames = 0;
+  for (const auto& s : harness.dataset().val_snippets())
+    total_frames += s.num_frames();
+  EXPECT_EQ(static_cast<int>(run.used_scales.size()), total_frames);
+  EXPECT_EQ(run.label, "x");
+  EXPECT_GE(run.eval.map, 0.0f);
+  EXPECT_LE(run.eval.map, 1.0f);
+}
+
+TEST_F(HarnessFixture, RandomRunUsesOnlySregScales) {
+  auto det = make_detector();
+  const ScaleSet sreg = ScaleSet::reg_default();
+  MethodRun run =
+      harness.evaluate("rnd", harness.run_random(det.get(), sreg, 3));
+  for (int s : run.used_scales) EXPECT_TRUE(sreg.contains(s));
+}
+
+TEST_F(HarnessFixture, MultiscaleRespectsTopK) {
+  auto det = make_detector();
+  const auto runs = harness.run_multiscale(det.get(), ScaleSet::reg_default());
+  for (const SnippetRun& run : runs)
+    for (const auto& frame : run.frame_dets)
+      EXPECT_LE(static_cast<int>(frame.size()), det->config().top_k);
+}
+
+TEST_F(HarnessFixture, DefaultRegressorConfigMatchesDetectorWidth) {
+  const RegressorConfig rcfg = harness.default_regressor_config();
+  DetectorConfig dcfg;
+  EXPECT_EQ(rcfg.in_channels, dcfg.c3);
+}
+
+TEST(HarnessFactories, VidAndYtbbDiffer) {
+  HarnessSizes sizes;
+  sizes.train_snippets = 1;
+  sizes.val_snippets = 1;
+  Harness vid = make_vid_harness("", sizes);
+  Harness ytbb = make_ytbb_harness("", sizes);
+  EXPECT_EQ(vid.dataset().catalog().num_classes(), 30);
+  EXPECT_EQ(ytbb.dataset().catalog().num_classes(), 23);
+}
+
+TEST(HarnessFactories, CacheDirEnvOverride) {
+  setenv("ADASCALE_CACHE_DIR", "/tmp/ada_custom_cache", 1);
+  EXPECT_EQ(default_cache_dir(), "/tmp/ada_custom_cache");
+  unsetenv("ADASCALE_CACHE_DIR");
+  EXPECT_EQ(default_cache_dir(), "model_cache");
+}
+
+TEST(ClassCatalogColors, BaseColorsAreWellSeparated) {
+  // The palette must keep every class pair at a usable distance — this is
+  // what the single-core training budget relies on.
+  const ClassCatalog cat = ClassCatalog::synth_vid();
+  float min_dist = 1e9f;
+  for (int a = 0; a < cat.num_classes(); ++a)
+    for (int b = a + 1; b < cat.num_classes(); ++b) {
+      const Rgb& ca = cat.at(a).color;
+      const Rgb& cb = cat.at(b).color;
+      const float d = std::abs(ca.r - cb.r) + std::abs(ca.g - cb.g) +
+                      std::abs(ca.b - cb.b);
+      // Same lattice cell is allowed only when shape or texture differs.
+      if (d < 1e-6f) {
+        EXPECT_TRUE(cat.at(a).shape != cat.at(b).shape ||
+                    cat.at(a).texture != cat.at(b).texture)
+            << "classes " << a << " and " << b << " are indistinguishable";
+      } else {
+        min_dist = std::min(min_dist, d);
+      }
+    }
+  EXPECT_GE(min_dist, 0.3f);
+}
+
+}  // namespace
+}  // namespace ada

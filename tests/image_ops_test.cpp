@@ -1,0 +1,139 @@
+#include "tensor/image_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+TEST(ImageOps, ResizeIdentity) {
+  Tensor src = Tensor::chw(2, 4, 5);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<float>(i);
+  Tensor dst;
+  bilinear_resize(src, 4, 5, &dst);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_FLOAT_EQ(dst[i], src[i]);
+}
+
+TEST(ImageOps, ResizeConstantStaysConstant) {
+  Tensor src = Tensor::chw(1, 6, 8);
+  src.fill(0.7f);
+  Tensor dst;
+  bilinear_resize(src, 3, 4, &dst);
+  for (std::size_t i = 0; i < dst.size(); ++i) EXPECT_NEAR(dst[i], 0.7f, 1e-6f);
+  bilinear_resize(src, 12, 16, &dst);
+  for (std::size_t i = 0; i < dst.size(); ++i) EXPECT_NEAR(dst[i], 0.7f, 1e-6f);
+}
+
+TEST(ImageOps, DownsampleAveragesLocally) {
+  // 2x2 -> 1x1 must average the four pixels (align-corners=false).
+  Tensor src = Tensor::chw(1, 2, 2);
+  src.at(0, 0, 0, 0) = 0.0f;
+  src.at(0, 0, 0, 1) = 1.0f;
+  src.at(0, 0, 1, 0) = 1.0f;
+  src.at(0, 0, 1, 1) = 2.0f;
+  Tensor dst;
+  bilinear_resize(src, 1, 1, &dst);
+  EXPECT_NEAR(dst[0], 1.0f, 1e-5f);
+}
+
+TEST(ImageOps, ResizePreservesLinearRamp) {
+  // Bilinear interpolation reproduces linear functions exactly (interior).
+  Tensor src = Tensor::chw(1, 8, 8);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) src.at(0, 0, i, j) = static_cast<float>(j);
+  Tensor dst;
+  bilinear_resize(src, 8, 16, &dst);
+  // Interior columns follow the ramp: dst(j) ~ (j+0.5)/2 - 0.5.
+  for (int j = 2; j < 14; ++j) {
+    const float expected = (static_cast<float>(j) + 0.5f) * 0.5f - 0.5f;
+    EXPECT_NEAR(dst.at(0, 0, 4, j), expected, 1e-4f);
+  }
+}
+
+TEST(ImageOps, WarpZeroFlowIsIdentity) {
+  Tensor src = Tensor::chw(2, 5, 6);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<float>(i % 13);
+  Tensor fy = Tensor::chw(1, 5, 6), fx = Tensor::chw(1, 5, 6);
+  Tensor dst;
+  bilinear_warp(src, fy, fx, &dst);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_FLOAT_EQ(dst[i], src[i]);
+}
+
+TEST(ImageOps, WarpIntegerShift) {
+  Tensor src = Tensor::chw(1, 4, 4);
+  for (std::size_t i = 0; i < 16; ++i) src[i] = static_cast<float>(i);
+  // flow = +1 in x: dst(i,j) = src(i, j+1).
+  Tensor fy = Tensor::chw(1, 4, 4), fx = Tensor::chw(1, 4, 4);
+  fx.fill(1.0f);
+  Tensor dst;
+  bilinear_warp(src, fy, fx, &dst);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_FLOAT_EQ(dst.at(0, 0, i, j), src.at(0, 0, i, j + 1));
+}
+
+TEST(ImageOps, WarpClampsAtBorder) {
+  Tensor src = Tensor::chw(1, 2, 2);
+  src.at(0, 0, 0, 0) = 1.0f;
+  src.at(0, 0, 0, 1) = 2.0f;
+  src.at(0, 0, 1, 0) = 3.0f;
+  src.at(0, 0, 1, 1) = 4.0f;
+  Tensor fy = Tensor::chw(1, 2, 2), fx = Tensor::chw(1, 2, 2);
+  fx.fill(100.0f);  // way out of range -> clamp to right edge
+  Tensor dst;
+  bilinear_warp(src, fy, fx, &dst);
+  EXPECT_FLOAT_EQ(dst.at(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(dst.at(0, 0, 1, 1), 4.0f);
+}
+
+TEST(ImageOps, WarpHalfPixelInterpolates) {
+  Tensor src = Tensor::chw(1, 1, 2);
+  src.at(0, 0, 0, 0) = 0.0f;
+  src.at(0, 0, 0, 1) = 2.0f;
+  Tensor fy = Tensor::chw(1, 1, 2), fx = Tensor::chw(1, 1, 2);
+  fx.at(0, 0, 0, 0) = 0.5f;
+  Tensor dst;
+  bilinear_warp(src, fy, fx, &dst);
+  EXPECT_NEAR(dst.at(0, 0, 0, 0), 1.0f, 1e-5f);
+}
+
+
+TEST(FlipHorizontal, MirrorsColumns) {
+  Tensor src = Tensor::chw(2, 3, 4);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<float>(i);
+  Tensor dst;
+  flip_horizontal(src, &dst);
+  for (int c = 0; c < 2; ++c)
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(dst.at(0, c, i, j), src.at(0, c, i, 3 - j));
+}
+
+TEST(FlipHorizontal, IsAnInvolution) {
+  Tensor src = Tensor::chw(3, 5, 7);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<float>((i * 2654435761u) % 1000) / 1000.0f;
+  Tensor once, twice;
+  flip_horizontal(src, &once);
+  flip_horizontal(once, &twice);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_FLOAT_EQ(twice[i], src[i]);
+}
+
+TEST(FlipHorizontal, PreservesRowAndChannelSums) {
+  Tensor src = Tensor::chw(2, 4, 6);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<float>((i * 131) % 17);
+  Tensor dst;
+  flip_horizontal(src, &dst);
+  for (int c = 0; c < 2; ++c)
+    for (int i = 0; i < 4; ++i) {
+      float a = 0, b = 0;
+      for (int j = 0; j < 6; ++j) {
+        a += src.at(0, c, i, j);
+        b += dst.at(0, c, i, j);
+      }
+      EXPECT_FLOAT_EQ(a, b);
+    }
+}
+
+}  // namespace
+}  // namespace ada

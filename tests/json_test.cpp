@@ -1,0 +1,77 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  JsonWriter a;
+  a.begin_object().end_object();
+  EXPECT_EQ(a.str(), "{}");
+  EXPECT_TRUE(a.complete());
+  JsonWriter b;
+  b.begin_array().end_array();
+  EXPECT_EQ(b.str(), "[]");
+}
+
+TEST(JsonWriter, ObjectWithMixedValues) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("name").value("adascale");
+  j.key("scale").value(600);
+  j.key("map").value(0.755);
+  j.key("fast").value(true);
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            "{\"name\":\"adascale\",\"scale\":600,\"map\":0.755,"
+            "\"fast\":true}");
+}
+
+TEST(JsonWriter, NestedContainersGetCommasRight) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("rows").begin_array();
+  j.begin_object().key("a").value(1).end_object();
+  j.begin_object().key("a").value(2).end_object();
+  j.end_array();
+  j.key("n").value(2);
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"rows\":[{\"a\":1},{\"a\":2}],\"n\":2}");
+  EXPECT_TRUE(j.complete());
+}
+
+TEST(JsonWriter, ArrayOfNumbersSeparatedByCommas) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(1).value(2).value(3);
+  j.end_array();
+  EXPECT_EQ(j.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, IncompleteDocumentReportsIncomplete) {
+  JsonWriter j;
+  j.begin_object();
+  EXPECT_FALSE(j.complete());
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(std::numeric_limits<double>::infinity());
+  j.value(std::numeric_limits<double>::quiet_NaN());
+  j.end_array();
+  EXPECT_EQ(j.str(), "[null,null]");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace ada

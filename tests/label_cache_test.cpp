@@ -1,0 +1,101 @@
+// The optimal-scale label disk cache (load_or_generate_labels): labels feed
+// regressor training (Fig. 2), are expensive to generate (one detector pass
+// per scale per frame), and must be bit-stable across processes — Table 3's
+// architecture sweep reuses them for three regressor variants.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "adascale/regressor_trainer.h"
+#include "detection/trainer.h"
+
+namespace ada {
+namespace {
+
+class LabelCacheTest : public ::testing::Test {
+ protected:
+  LabelCacheTest() : dir_("/tmp/ada_label_cache_test") {
+    std::filesystem::remove_all(dir_);
+  }
+  ~LabelCacheTest() override { std::filesystem::remove_all(dir_); }
+
+  const std::string dir_;
+};
+
+TEST_F(LabelCacheTest, SecondCallLoadsIdenticalLabels) {
+  Dataset ds = Dataset::synth_vid(2, 1, 314);
+  DetectorConfig dcfg;
+  dcfg.num_classes = ds.catalog().num_classes();
+  Rng rng(1);
+  Detector det(dcfg, &rng);  // untrained is fine: labels just must be stable
+
+  RegressorTrainConfig cfg;
+  const auto first = load_or_generate_labels(&det, "det-key", ds, cfg, dir_);
+  ASSERT_FALSE(first.empty());
+  // A cache file now exists.
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1);
+
+  const auto second = load_or_generate_labels(&det, "det-key", ds, cfg, dir_);
+  EXPECT_EQ(first, second);
+  for (int label : first) EXPECT_TRUE(cfg.sreg.contains(label));
+}
+
+TEST_F(LabelCacheTest, DifferentDetectorKeyMisses) {
+  Dataset ds = Dataset::synth_vid(1, 1, 314);
+  DetectorConfig dcfg;
+  dcfg.num_classes = ds.catalog().num_classes();
+  Rng rng(1);
+  Detector det(dcfg, &rng);
+
+  RegressorTrainConfig cfg;
+  (void)load_or_generate_labels(&det, "key-a", ds, cfg, dir_);
+  (void)load_or_generate_labels(&det, "key-b", ds, cfg, dir_);
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 2) << "labels for different detectors must not collide";
+}
+
+TEST_F(LabelCacheTest, EmptyCacheDirDisablesCaching) {
+  Dataset ds = Dataset::synth_vid(1, 1, 314);
+  DetectorConfig dcfg;
+  dcfg.num_classes = ds.catalog().num_classes();
+  Rng rng(1);
+  Detector det(dcfg, &rng);
+  RegressorTrainConfig cfg;
+  const auto labels = load_or_generate_labels(&det, "k", ds, cfg, "");
+  EXPECT_EQ(labels.size(),
+            (ds.train_frames().size() + 1) / static_cast<std::size_t>(cfg.frame_stride));
+  EXPECT_FALSE(std::filesystem::exists(dir_));
+}
+
+TEST_F(LabelCacheTest, StrideChangesLabelCountAndCacheKey) {
+  Dataset ds = Dataset::synth_vid(2, 1, 314);
+  DetectorConfig dcfg;
+  dcfg.num_classes = ds.catalog().num_classes();
+  Rng rng(1);
+  Detector det(dcfg, &rng);
+
+  RegressorTrainConfig stride2;
+  RegressorTrainConfig stride4;
+  stride4.frame_stride = 4;
+  const auto a = load_or_generate_labels(&det, "k", ds, stride2, dir_);
+  const auto b = load_or_generate_labels(&det, "k", ds, stride4, dir_);
+  EXPECT_GT(a.size(), b.size());
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 2);
+}
+
+}  // namespace
+}  // namespace ada

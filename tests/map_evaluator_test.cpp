@@ -1,0 +1,144 @@
+#include "eval/map_evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+GtBox gt(float x1, float y1, float x2, float y2, int cls) {
+  GtBox g;
+  g.x1 = x1; g.y1 = y1; g.x2 = x2; g.y2 = y2; g.class_id = cls;
+  return g;
+}
+
+EvalDetection det(float x1, float y1, float x2, float y2, int cls, float s) {
+  EvalDetection d;
+  d.box = Box{x1, y1, x2, y2};
+  d.class_id = cls;
+  d.score = s;
+  return d;
+}
+
+TEST(MapEvaluator, PerfectDetectionGivesApOne) {
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)}, {det(0, 0, 10, 10, 0, 0.9f)});
+  const MapResult r = ev.compute();
+  EXPECT_FLOAT_EQ(r.per_class[0].ap, 1.0f);
+  EXPECT_FLOAT_EQ(r.map, 1.0f);
+}
+
+TEST(MapEvaluator, MissedGtGivesApZero) {
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)}, {});
+  const MapResult r = ev.compute();
+  EXPECT_FLOAT_EQ(r.per_class[0].ap, 0.0f);
+}
+
+TEST(MapEvaluator, WrongLocationIsFalsePositive) {
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)}, {det(50, 50, 60, 60, 0, 0.9f)});
+  const MapResult r = ev.compute();
+  EXPECT_FLOAT_EQ(r.per_class[0].ap, 0.0f);
+  EXPECT_EQ(r.per_class[0].fp_at_threshold, 1);
+  EXPECT_EQ(r.per_class[0].tp_at_threshold, 0);
+}
+
+TEST(MapEvaluator, WrongClassDoesNotMatch) {
+  MapEvaluator ev({"a", "b"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)}, {det(0, 0, 10, 10, 1, 0.9f)});
+  const MapResult r = ev.compute();
+  EXPECT_FLOAT_EQ(r.per_class[0].ap, 0.0f);
+  // Class b has no GT; it is excluded from mAP.
+  EXPECT_FLOAT_EQ(r.map, 0.0f);
+}
+
+TEST(MapEvaluator, HalfDetectedKnownAp) {
+  // Two GT, one detected perfectly: precision 1 at recall 0.5 -> AP 0.5.
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0), gt(30, 30, 40, 40, 0)},
+               {det(0, 0, 10, 10, 0, 0.9f)});
+  const MapResult r = ev.compute();
+  EXPECT_NEAR(r.per_class[0].ap, 0.5f, 1e-5f);
+}
+
+TEST(MapEvaluator, DuplicateDetectionIsFalsePositive) {
+  // Second detection of the same GT counts as FP (VOC protocol).
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)},
+               {det(0, 0, 10, 10, 0, 0.9f), det(1, 1, 10, 10, 0, 0.8f)});
+  const MapResult r = ev.compute();
+  EXPECT_EQ(r.per_class[0].tp_at_threshold, 1);
+  EXPECT_EQ(r.per_class[0].fp_at_threshold, 1);
+  EXPECT_FLOAT_EQ(r.per_class[0].ap, 1.0f);  // recall reached 1 at precision 1
+}
+
+TEST(MapEvaluator, LowConfidenceFpAfterTpDoesNotHurtAp) {
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)},
+               {det(0, 0, 10, 10, 0, 0.9f), det(70, 70, 90, 90, 0, 0.1f)});
+  const MapResult r = ev.compute();
+  EXPECT_FLOAT_EQ(r.per_class[0].ap, 1.0f);
+}
+
+TEST(MapEvaluator, HighConfidenceFpBeforeTpHurtsAp) {
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)},
+               {det(0, 0, 10, 10, 0, 0.5f), det(70, 70, 90, 90, 0, 0.9f)});
+  const MapResult r = ev.compute();
+  EXPECT_NEAR(r.per_class[0].ap, 0.5f, 1e-5f);
+}
+
+TEST(MapEvaluator, MapAveragesOnlyClassesWithGt) {
+  MapEvaluator ev({"a", "b", "c"});
+  ev.add_frame({gt(0, 0, 10, 10, 0), gt(20, 20, 30, 30, 1)},
+               {det(0, 0, 10, 10, 0, 0.9f)});
+  const MapResult r = ev.compute();
+  // Class a AP=1, class b AP=0, class c excluded -> mAP 0.5.
+  EXPECT_NEAR(r.map, 0.5f, 1e-5f);
+}
+
+TEST(MapEvaluator, IouThresholdMatters) {
+  MapEvaluator ev({"a"});
+  // Detection with IoU ~ 0.58 against GT.
+  ev.add_frame({gt(0, 0, 10, 10, 0)}, {det(0, 0, 10, 7.3f, 0, 0.9f)});
+  EXPECT_NEAR(ev.compute(0.5f).per_class[0].ap, 1.0f, 1e-5f);
+  EXPECT_NEAR(ev.compute(0.9f).per_class[0].ap, 0.0f, 1e-5f);
+}
+
+TEST(MapEvaluator, PrCurveIsMonotoneInRecall) {
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0), gt(30, 30, 45, 45, 0)},
+               {det(0, 0, 10, 10, 0, 0.9f), det(60, 60, 70, 70, 0, 0.7f),
+                det(30, 30, 45, 45, 0, 0.6f)});
+  const MapResult r = ev.compute();
+  const auto& pr = r.per_class[0].pr;
+  ASSERT_EQ(pr.size(), 3u);
+  for (std::size_t i = 1; i < pr.size(); ++i)
+    EXPECT_GE(pr[i].recall, pr[i - 1].recall);
+  // Scores along the curve are descending.
+  for (std::size_t i = 1; i < pr.size(); ++i)
+    EXPECT_LE(pr[i].score, pr[i - 1].score);
+}
+
+TEST(MapEvaluator, MultiFrameAccumulates) {
+  MapEvaluator ev({"a"});
+  for (int f = 0; f < 4; ++f)
+    ev.add_frame({gt(0, 0, 10, 10, 0)}, {det(0, 0, 10, 10, 0, 0.9f)});
+  const MapResult r = ev.compute();
+  EXPECT_EQ(r.per_class[0].num_gt, 4);
+  EXPECT_EQ(r.per_class[0].tp_at_threshold, 4);
+  EXPECT_FLOAT_EQ(r.per_class[0].ap, 1.0f);
+  EXPECT_EQ(ev.num_frames(), 4);
+}
+
+TEST(MapEvaluator, TpFpThresholdFilters) {
+  MapEvaluator ev({"a"});
+  ev.add_frame({gt(0, 0, 10, 10, 0)},
+               {det(0, 0, 10, 10, 0, 0.3f)});  // below 0.5 threshold
+  const MapResult r = ev.compute(0.5f, 0.5f);
+  EXPECT_EQ(r.per_class[0].tp_at_threshold, 0);
+  EXPECT_GT(r.per_class[0].ap, 0.9f);  // AP unaffected by the count threshold
+}
+
+}  // namespace
+}  // namespace ada

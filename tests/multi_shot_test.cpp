@@ -1,0 +1,126 @@
+#include "adascale/multi_shot.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace ada {
+namespace {
+
+TEST(ShotsAround, CenterMemberComesFirst) {
+  const ScaleSet s = ScaleSet::reg_default();  // {600,480,360,240,128}
+  const auto shots = shots_around(360, s, 3);
+  ASSERT_EQ(shots.size(), 3u);
+  EXPECT_EQ(shots[0], 360);
+  // 240 and 480 are both 120 away; the tie prefers the cheaper scale.
+  EXPECT_EQ(shots[1], 240);
+  EXPECT_EQ(shots[2], 480);
+}
+
+TEST(ShotsAround, NonMemberCenterPicksNearest) {
+  const ScaleSet s = ScaleSet::reg_default();
+  const auto shots = shots_around(400, s, 2);
+  ASSERT_EQ(shots.size(), 2u);
+  EXPECT_EQ(shots[0], 360);  // |360-400| = 40 < |480-400| = 80
+  EXPECT_EQ(shots[1], 480);
+}
+
+TEST(ShotsAround, CountClampsToSetSize) {
+  const ScaleSet s{{600, 240}};
+  const auto shots = shots_around(600, s, 5);
+  ASSERT_EQ(shots.size(), 2u);
+  EXPECT_EQ(shots[0], 600);
+  EXPECT_EQ(shots[1], 240);
+}
+
+TEST(ShotsAround, SingleShotDegeneratesToNearest) {
+  const ScaleSet s = ScaleSet::reg_default();
+  EXPECT_EQ(shots_around(600, s, 1), std::vector<int>{600});
+  EXPECT_EQ(shots_around(130, s, 1), std::vector<int>{128});
+}
+
+class MultiShotPipelineTest : public ::testing::Test {
+ protected:
+  MultiShotPipelineTest()
+      : dataset_(Dataset::synth_vid(1, 1, 99)),
+        renderer_(dataset_.make_renderer()) {
+    DetectorConfig dcfg;
+    dcfg.num_classes = dataset_.catalog().num_classes();
+    Rng rng(5);
+    detector_ = std::make_unique<Detector>(dcfg, &rng);
+    RegressorConfig rcfg;
+    rcfg.in_channels = detector_->feature_channels();
+    Rng rng2(6);
+    regressor_ = std::make_unique<ScaleRegressor>(rcfg, &rng2);
+  }
+
+  Dataset dataset_;
+  Renderer renderer_;
+  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<ScaleRegressor> regressor_;
+};
+
+TEST_F(MultiShotPipelineTest, RunsRequestedShotCountAndStaysInRange) {
+  MultiShotConfig cfg;
+  cfg.extra_shots = 1;
+  MultiShotPipeline pipeline(detector_.get(), regressor_.get(), &renderer_,
+                             dataset_.scale_policy(), ScaleSet::reg_default(),
+                             cfg);
+  const Scene& frame = dataset_.val_snippets()[0].frames[0];
+  const MultiShotFrameOutput out = pipeline.process(frame);
+  EXPECT_EQ(out.scales_used.size(), 2u);
+  EXPECT_EQ(out.primary_scale, 600);
+  EXPECT_EQ(out.scales_used[0], 600);
+  EXPECT_GE(out.next_scale, 128);
+  EXPECT_LE(out.next_scale, 600);
+  EXPECT_GT(out.detect_ms, 0.0);
+}
+
+TEST_F(MultiShotPipelineTest, ZeroExtraShotsMatchesSingleShotScaleDynamics) {
+  // With extra_shots = 0 the multi-shot pipeline must follow exactly the
+  // same scale trajectory as Algorithm 1.
+  MultiShotConfig cfg;
+  cfg.extra_shots = 0;
+  MultiShotPipeline multi(detector_.get(), regressor_.get(), &renderer_,
+                          dataset_.scale_policy(), ScaleSet::reg_default(),
+                          cfg);
+  AdaScalePipeline single(detector_.get(), regressor_.get(), &renderer_,
+                          dataset_.scale_policy(), ScaleSet::reg_default());
+  for (const Scene& frame : dataset_.val_snippets()[0].frames) {
+    const MultiShotFrameOutput m = multi.process(frame);
+    const AdaFrameOutput s = single.process(frame);
+    EXPECT_EQ(m.primary_scale, s.scale_used);
+    EXPECT_EQ(m.next_scale, s.next_scale);
+    EXPECT_EQ(m.detections.detections.size(), s.detections.detections.size());
+  }
+}
+
+TEST_F(MultiShotPipelineTest, ResetRestoresInitScale) {
+  MultiShotConfig cfg;
+  MultiShotPipeline pipeline(detector_.get(), regressor_.get(), &renderer_,
+                             dataset_.scale_policy(), ScaleSet::reg_default(),
+                             cfg);
+  const Scene& frame = dataset_.val_snippets()[0].frames[0];
+  (void)pipeline.process(frame);
+  pipeline.reset();
+  EXPECT_EQ(pipeline.current_scale(), cfg.init_scale);
+}
+
+TEST_F(MultiShotPipelineTest, MergedOutputRespectsTopK) {
+  MultiShotConfig cfg;
+  cfg.extra_shots = 2;
+  MultiShotPipeline pipeline(detector_.get(), regressor_.get(), &renderer_,
+                             dataset_.scale_policy(), ScaleSet::reg_default(),
+                             cfg);
+  const Scene& frame = dataset_.val_snippets()[0].frames[0];
+  const MultiShotFrameOutput out = pipeline.process(frame);
+  EXPECT_LE(static_cast<int>(out.detections.detections.size()),
+            detector_->config().top_k);
+  // Scores must be sorted descending after the NMS merge.
+  const auto& dets = out.detections.detections;
+  for (std::size_t i = 1; i < dets.size(); ++i)
+    EXPECT_GE(dets[i - 1].score, dets[i].score);
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,89 @@
+#include "detection/nms.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ada {
+namespace {
+
+TEST(Nms, EmptyInput) {
+  EXPECT_TRUE(nms({}, {}, 0.3f).empty());
+}
+
+TEST(Nms, SingleBoxKept) {
+  const auto keep = nms({Box{0, 0, 10, 10}}, {0.9f}, 0.3f);
+  ASSERT_EQ(keep.size(), 1u);
+  EXPECT_EQ(keep[0], 0);
+}
+
+TEST(Nms, SuppressesHighOverlapKeepsHighestScore) {
+  std::vector<Box> boxes = {Box{0, 0, 10, 10}, Box{1, 1, 11, 11},
+                            Box{50, 50, 60, 60}};
+  std::vector<float> scores = {0.8f, 0.9f, 0.5f};
+  const auto keep = nms(boxes, scores, 0.3f);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0], 1);  // highest score first
+  EXPECT_EQ(keep[1], 2);
+}
+
+TEST(Nms, LowOverlapAllKept) {
+  std::vector<Box> boxes = {Box{0, 0, 10, 10}, Box{8, 8, 18, 18}};
+  std::vector<float> scores = {0.9f, 0.8f};
+  // IoU of these = 4/196 ~ 0.02 < 0.3.
+  EXPECT_EQ(nms(boxes, scores, 0.3f).size(), 2u);
+}
+
+TEST(Nms, OutputSortedByScore) {
+  std::vector<Box> boxes;
+  std::vector<float> scores;
+  for (int i = 0; i < 5; ++i) {
+    boxes.push_back(Box{static_cast<float>(i * 100), 0,
+                        static_cast<float>(i * 100 + 10), 10});
+    scores.push_back(0.1f * static_cast<float>(i + 1));
+  }
+  const auto keep = nms(boxes, scores, 0.3f);
+  ASSERT_EQ(keep.size(), 5u);
+  for (std::size_t k = 1; k < keep.size(); ++k)
+    EXPECT_GE(scores[static_cast<std::size_t>(keep[k - 1])],
+              scores[static_cast<std::size_t>(keep[k])]);
+}
+
+struct NmsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NmsProperty, KeptBoxesMutuallyBelowThreshold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  const float thresh = 0.3f;
+  std::vector<Box> boxes;
+  std::vector<float> scores;
+  for (int i = 0; i < 120; ++i) {
+    float x = rng.uniform(0.0f, 80.0f), y = rng.uniform(0.0f, 80.0f);
+    boxes.push_back(Box{x, y, x + rng.uniform(5.0f, 25.0f),
+                        y + rng.uniform(5.0f, 25.0f)});
+    scores.push_back(rng.uniform());
+  }
+  const auto keep = nms(boxes, scores, thresh);
+  for (std::size_t a = 0; a < keep.size(); ++a)
+    for (std::size_t b = a + 1; b < keep.size(); ++b)
+      EXPECT_LE(iou(boxes[static_cast<std::size_t>(keep[a])],
+                    boxes[static_cast<std::size_t>(keep[b])]),
+                thresh + 1e-6f);
+  // Every suppressed box overlaps some kept box above threshold.
+  std::vector<char> kept(boxes.size(), 0);
+  for (int k : keep) kept[static_cast<std::size_t>(k)] = 1;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    if (kept[i]) continue;
+    bool covered = false;
+    for (int k : keep)
+      if (iou(boxes[i], boxes[static_cast<std::size_t>(k)]) > thresh) {
+        covered = true;
+        break;
+      }
+    EXPECT_TRUE(covered) << "suppressed box " << i << " not covered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NmsProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,112 @@
+#include "video/optical_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/image_ops.h"
+#include "util/rng.h"
+
+namespace ada {
+namespace {
+
+/// Textured test pattern (block matching needs local structure).
+Tensor textured(int h, int w, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor img(1, 1, h, w);
+  for (int i = 0; i < h; ++i)
+    for (int j = 0; j < w; ++j)
+      img.at(0, 0, i, j) =
+          0.5f + 0.3f * std::sin(0.9f * i) * std::cos(1.1f * j) +
+          0.1f * rng.uniform();
+  return img;
+}
+
+/// Shifts an image by integer (dy,dx) with border clamp.
+Tensor shift(const Tensor& src, int dy, int dx) {
+  Tensor out(1, 1, src.h(), src.w());
+  for (int i = 0; i < src.h(); ++i)
+    for (int j = 0; j < src.w(); ++j) {
+      const int si = std::clamp(i + dy, 0, src.h() - 1);
+      const int sj = std::clamp(j + dx, 0, src.w() - 1);
+      out.at(0, 0, i, j) = src.at(0, 0, si, sj);
+    }
+  return out;
+}
+
+TEST(Grayscale, WeightsSumToOne) {
+  Tensor rgb = Tensor::chw(3, 2, 2);
+  rgb.fill(0.5f);
+  const Tensor g = to_grayscale(rgb);
+  EXPECT_EQ(g.c(), 1);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(g[i], 0.5f, 1e-5f);
+}
+
+TEST(Grayscale, GreenDominates) {
+  Tensor rgb = Tensor::chw(3, 1, 1);
+  rgb.at(0, 1, 0, 0) = 1.0f;  // green only
+  const Tensor g = to_grayscale(rgb);
+  EXPECT_NEAR(g[0], 0.587f, 1e-4f);
+}
+
+TEST(Flow, ZeroForIdenticalImages) {
+  const Tensor img = textured(16, 20, 1);
+  Tensor fy, fx;
+  block_matching_flow(img, img, FlowConfig{}, &fy, &fx);
+  for (std::size_t i = 0; i < fy.size(); ++i) {
+    EXPECT_NEAR(fy[i], 0.0f, 0.51f);
+    EXPECT_NEAR(fx[i], 0.0f, 0.51f);
+  }
+}
+
+TEST(Flow, RecoversIntegerTranslation) {
+  const Tensor ref = textured(20, 24, 2);
+  // cur(i,j) = ref(i+2, j+1): backward flow from cur into ref is (+2, +1).
+  const Tensor cur = shift(ref, 2, 1);
+  Tensor fy, fx;
+  FlowConfig cfg;
+  cfg.search_radius = 3;
+  block_matching_flow(ref, cur, cfg, &fy, &fx);
+  // Check interior cells (borders are clamped).
+  int good = 0, total = 0;
+  for (int i = 4; i < 16; ++i)
+    for (int j = 4; j < 20; ++j) {
+      ++total;
+      if (std::abs(fy.at(0, 0, i, j) - 2.0f) < 0.6f &&
+          std::abs(fx.at(0, 0, i, j) - 1.0f) < 0.6f)
+        ++good;
+    }
+  EXPECT_GT(static_cast<double>(good) / total, 0.85);
+}
+
+TEST(Flow, WarpWithEstimatedFlowReconstructsCurrent) {
+  const Tensor ref = textured(20, 24, 3);
+  const Tensor cur = shift(ref, 1, 2);
+  Tensor fy, fx;
+  block_matching_flow(ref, cur, FlowConfig{}, &fy, &fx);
+  Tensor warped;
+  bilinear_warp(ref, fy, fx, &warped);
+  // Interior reconstruction error must be small.
+  double err = 0;
+  int n = 0;
+  for (int i = 4; i < 16; ++i)
+    for (int j = 4; j < 20; ++j) {
+      err += std::abs(warped.at(0, 0, i, j) - cur.at(0, 0, i, j));
+      ++n;
+    }
+  EXPECT_LT(err / n, 0.05);
+}
+
+TEST(Flow, DisplacementBoundedBySearchRadius) {
+  const Tensor a = textured(12, 12, 4);
+  const Tensor b = textured(12, 12, 5);  // unrelated images
+  Tensor fy, fx;
+  FlowConfig cfg;
+  cfg.search_radius = 2;
+  block_matching_flow(a, b, cfg, &fy, &fx);
+  for (std::size_t i = 0; i < fy.size(); ++i) {
+    EXPECT_LE(std::abs(fy[i]), 2.5f);
+    EXPECT_LE(std::abs(fx[i]), 2.5f);
+  }
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,213 @@
+#include "adascale/optimal_scale.h"
+
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ada {
+namespace {
+
+GtBox gt(float x1, float y1, float x2, float y2, int cls) {
+  GtBox g;
+  g.x1 = x1; g.y1 = y1; g.x2 = x2; g.y2 = y2; g.class_id = cls;
+  return g;
+}
+
+/// Builds a detection whose box and anchor coincide with the GT and whose
+/// class probabilities put `p` on the GT class (uniform elsewhere).
+Detection make_det(const GtBox& g, int num_classes, float p_gt) {
+  Detection d;
+  d.box = Box::from_gt(g);
+  d.anchor = d.box;
+  d.class_id = g.class_id;
+  d.score = p_gt;
+  d.probs.assign(static_cast<std::size_t>(num_classes + 1),
+                 (1.0f - p_gt) / static_cast<float>(num_classes));
+  d.probs[static_cast<std::size_t>(g.class_id + 1)] = p_gt;
+  d.delta = {0, 0, 0, 0};  // anchor == target => perfect regression
+  return d;
+}
+
+TEST(BoxLoss, PerfectPredictionLossIsMinusLogP) {
+  const GtBox g = gt(10, 10, 30, 30, 2);
+  const Detection d = make_det(g, 5, 0.8f);
+  bool fg = false;
+  const float loss = detection_box_loss(d, {g}, 0.5f, 1.0f, &fg);
+  EXPECT_TRUE(fg);
+  EXPECT_NEAR(loss, -std::log(0.8f), 1e-4f);
+}
+
+TEST(BoxLoss, NoOverlapIsBackground) {
+  const GtBox g = gt(10, 10, 30, 30, 2);
+  Detection d = make_det(g, 5, 0.8f);
+  d.box = Box{100, 100, 120, 120};
+  d.anchor = d.box;
+  bool fg = true;
+  const float loss = detection_box_loss(d, {g}, 0.5f, 1.0f, &fg);
+  EXPECT_FALSE(fg);
+  EXPECT_EQ(loss, 0.0f);
+}
+
+TEST(BoxLoss, RegressionErrorAddsLambdaWeightedLoss) {
+  const GtBox g = gt(10, 10, 30, 30, 1);
+  Detection d = make_det(g, 5, 0.8f);
+  d.delta = {0.5f, 0.0f, 0.0f, 0.0f};  // pred delta differs from target (0)
+  // Keep box overlapping: the box field stays on the GT.
+  bool fg = false;
+  const float l1 = detection_box_loss(d, {g}, 0.5f, 1.0f, &fg);
+  const float l2 = detection_box_loss(d, {g}, 0.5f, 2.0f, &fg);
+  const float lcls = -std::log(0.8f);
+  EXPECT_NEAR(l1 - lcls, 0.125f, 1e-4f);       // smooth-L1 of 0.5
+  EXPECT_NEAR(l2 - lcls, 0.25f, 1e-4f);        // lambda doubles it
+}
+
+TEST(BoxLoss, MatchesBestIouGt) {
+  const GtBox g1 = gt(0, 0, 20, 20, 0);
+  const GtBox g2 = gt(5, 5, 25, 25, 3);
+  Detection d = make_det(g2, 5, 0.9f);
+  bool fg = false;
+  const float loss = detection_box_loss(d, {g1, g2}, 0.5f, 1.0f, &fg);
+  EXPECT_TRUE(fg);
+  // Matched to g2 (IoU 1) so the class prob used is class 3's = 0.9.
+  EXPECT_NEAR(loss, -std::log(0.9f), 1e-4f);
+}
+
+TEST(SortedForegroundLosses, SortsAscendingAndFiltersBackground) {
+  const GtBox g1 = gt(0, 0, 20, 20, 0);
+  const GtBox g2 = gt(50, 50, 70, 70, 1);
+  DetectionOutput out;
+  out.detections.push_back(make_det(g1, 3, 0.5f));   // loss ~0.69
+  out.detections.push_back(make_det(g2, 3, 0.9f));   // loss ~0.105
+  Detection bgd = make_det(g1, 3, 0.9f);
+  bgd.box = Box{200, 200, 220, 220};
+  out.detections.push_back(bgd);                     // background
+  const auto losses = sorted_foreground_losses(out, {g1, g2}, 0.5f, 1.0f);
+  ASSERT_EQ(losses.size(), 2u);
+  EXPECT_LT(losses[0], losses[1]);
+  EXPECT_NEAR(losses[0], -std::log(0.9f), 1e-3f);
+}
+
+// ---- the L̂ metric itself, via a controlled fake-scale experiment ----
+// We can't easily fabricate DetectionOutputs per scale through the public
+// compute_scale_metric (it runs a real detector), so the equalization logic
+// is exercised through sorted_foreground_losses + a local reimplementation
+// cross-check here, and end-to-end through integration_test.cpp.
+
+TEST(ScaleMetricLogic, EqualizedSumPrefersLowerPerBoxLoss) {
+  // Scale A: two fg boxes with losses {0.1, 2.0}; scale B: one fg {0.3}.
+  // n_min = 1: L̂A = 0.1, L̂B = 0.3 -> A wins even though A's total is higher.
+  std::vector<float> a = {0.1f, 2.0f};
+  std::vector<float> b = {0.3f};
+  const int n_min = static_cast<int>(std::min(a.size(), b.size()));
+  float la = 0, lb = 0;
+  for (int i = 0; i < n_min; ++i) {
+    la += a[static_cast<std::size_t>(i)];
+    lb += b[static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(la, lb);
+}
+
+
+// --- summarize_scale_losses: the pure Eq. (2) decision core -----------------
+
+TEST(SummarizeScaleLosses, EqualizationLimitsSumToNmin) {
+  // Scale A has 3 foregrounds, scale B has 1: the equalized metric compares
+  // only the single best box at each (Fig. 3), so B's lower best loss wins
+  // even though its total is higher than A's best.
+  const std::vector<int> scales = {600, 300};
+  const std::vector<std::vector<float>> losses = {{0.2f, 0.5f, 0.9f}, {0.1f}};
+  const std::vector<int> n_det = {10, 4};
+  const ScaleMetric m =
+      summarize_scale_losses(scales, losses, n_det, OptimalScaleConfig{});
+  EXPECT_EQ(m.n_min, 1);
+  ASSERT_EQ(m.lhat.size(), 2u);
+  EXPECT_FLOAT_EQ(m.lhat[0], 0.2f);  // only the smallest of A's three
+  EXPECT_FLOAT_EQ(m.lhat[1], 0.1f);
+  EXPECT_EQ(m.optimal_scale, 300);
+}
+
+TEST(SummarizeScaleLosses, NaiveVariantFavorsFewerForegrounds) {
+  // Same inputs without equalization: scale A is penalized for having MORE
+  // (well-detected) foregrounds — the bias Sec. 3.1 warns about.
+  const std::vector<int> scales = {600, 300};
+  const std::vector<std::vector<float>> losses = {{0.2f, 0.5f, 0.9f},
+                                                  {1.2f}};
+  const std::vector<int> n_det = {10, 4};
+  OptimalScaleConfig naive;
+  naive.equalize_fg = false;
+  const ScaleMetric nm = summarize_scale_losses(scales, losses, n_det, naive);
+  EXPECT_FLOAT_EQ(nm.lhat[0], 1.6f);  // 0.2 + 0.5 + 0.9
+  EXPECT_EQ(nm.optimal_scale, 300);   // naive picks the 1-box scale
+
+  // The equalized metric correctly prefers 600 here (0.2 < 1.2).
+  const ScaleMetric em =
+      summarize_scale_losses(scales, losses, n_det, OptimalScaleConfig{});
+  EXPECT_EQ(em.optimal_scale, 600);
+}
+
+TEST(SummarizeScaleLosses, TieOnLhatPrefersSmallerScale) {
+  const std::vector<int> scales = {600, 240};
+  const std::vector<std::vector<float>> losses = {{0.3f}, {0.3f}};
+  const ScaleMetric m = summarize_scale_losses(scales, losses, {5, 5},
+                                               OptimalScaleConfig{});
+  EXPECT_EQ(m.optimal_scale, 240);
+}
+
+TEST(SummarizeScaleLosses, ZeroForegroundsFallsBackToMostForegrounds) {
+  // n_min = 0: the scale that still found SOME foregrounds wins.
+  const std::vector<int> scales = {600, 360, 128};
+  const std::vector<std::vector<float>> losses = {{0.4f, 0.6f}, {0.5f}, {}};
+  const ScaleMetric m = summarize_scale_losses(scales, losses, {9, 5, 2},
+                                               OptimalScaleConfig{});
+  EXPECT_EQ(m.n_min, 0);
+  EXPECT_EQ(m.optimal_scale, 600);
+}
+
+TEST(SummarizeScaleLosses, AllEmptyPrefersFewestDetectionsThenLargerScale) {
+  // Nothing matched anywhere: fewest false positives wins, larger scale
+  // breaks the remaining tie (keep looking at full resolution).
+  const std::vector<int> scales = {600, 360, 128};
+  const std::vector<std::vector<float>> empty3 = {{}, {}, {}};
+  const ScaleMetric a = summarize_scale_losses(scales, empty3, {7, 3, 5},
+                                               OptimalScaleConfig{});
+  EXPECT_EQ(a.optimal_scale, 360);
+  const ScaleMetric b = summarize_scale_losses(scales, empty3, {4, 4, 4},
+                                               OptimalScaleConfig{});
+  EXPECT_EQ(b.optimal_scale, 600);
+}
+
+TEST(SummarizeScaleLosses, MatchesComputeScaleMetricOnRealDetector) {
+  // The separable core and the detector-driven wrapper must agree.
+  Dataset ds = Dataset::synth_vid(1, 1, 64);
+  DetectorConfig dcfg;
+  dcfg.num_classes = ds.catalog().num_classes();
+  Rng rng(8);
+  Detector det(dcfg, &rng);
+  const Renderer renderer = ds.make_renderer();
+  const Scene& scene = *ds.val_frames()[0];
+  const ScaleSet sreg = ScaleSet::reg_default();
+  const OptimalScaleConfig cfg;
+
+  std::vector<std::vector<float>> losses;
+  std::vector<int> n_det;
+  for (int scale : sreg.scales) {
+    const Tensor image = renderer.render_at_scale(scene, scale, ds.scale_policy());
+    DetectionOutput out = det.detect(image);
+    losses.push_back(sorted_foreground_losses(
+        out, scene_ground_truth(scene, image.h(), image.w()), cfg.fg_iou,
+        cfg.reg_weight));
+    n_det.push_back(static_cast<int>(out.detections.size()));
+  }
+  const ScaleMetric direct =
+      summarize_scale_losses(sreg.scales, losses, n_det, cfg);
+  const ScaleMetric wrapped = compute_scale_metric(
+      &det, renderer, ds.scale_policy(), scene, sreg, cfg);
+  EXPECT_EQ(direct.optimal_scale, wrapped.optimal_scale);
+  EXPECT_EQ(direct.n_min, wrapped.n_min);
+  EXPECT_EQ(direct.n_fg, wrapped.n_fg);
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,92 @@
+#include "eval/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+std::vector<ParetoPoint> sample_points() {
+  return {
+      {"slow-accurate", 10.0, 0.75},
+      {"fast-accurate", 20.0, 0.76},   // dominates slow-accurate
+      {"fast-sloppy", 30.0, 0.60},
+      {"dominated", 15.0, 0.50},       // dominated by fast-accurate
+      {"fastest", 40.0, 0.40},
+  };
+}
+
+TEST(Pareto, DominatedDetection) {
+  const auto pts = sample_points();
+  EXPECT_TRUE(is_dominated(pts[0], pts));   // slow-accurate
+  EXPECT_FALSE(is_dominated(pts[1], pts));  // fast-accurate
+  EXPECT_FALSE(is_dominated(pts[2], pts));  // fast-sloppy
+  EXPECT_TRUE(is_dominated(pts[3], pts));   // dominated
+  EXPECT_FALSE(is_dominated(pts[4], pts));  // fastest
+}
+
+TEST(Pareto, FrontierSortedByFps) {
+  const auto frontier = pareto_frontier(sample_points());
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].label, "fast-accurate");
+  EXPECT_EQ(frontier[1].label, "fast-sloppy");
+  EXPECT_EQ(frontier[2].label, "fastest");
+  for (std::size_t i = 1; i < frontier.size(); ++i)
+    EXPECT_LE(frontier[i - 1].fps, frontier[i].fps);
+}
+
+TEST(Pareto, SinglePointIsItsOwnFrontier) {
+  std::vector<ParetoPoint> one = {{"only", 5.0, 0.5}};
+  EXPECT_FALSE(is_dominated(one[0], one));
+  EXPECT_EQ(pareto_frontier(one).size(), 1u);
+}
+
+TEST(Pareto, IdenticalPointsDoNotDominateEachOther) {
+  std::vector<ParetoPoint> twins = {{"a", 5.0, 0.5}, {"b", 5.0, 0.5}};
+  EXPECT_FALSE(is_dominated(twins[0], twins));
+  EXPECT_FALSE(is_dominated(twins[1], twins));
+  EXPECT_EQ(pareto_frontier(twins).size(), 2u);
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+  EXPECT_EQ(frontier_share({}, "x"), 0.0);
+}
+
+TEST(Pareto, FrontierShareCountsTaggedLabels) {
+  std::vector<ParetoPoint> pts = {
+      {"RFCN", 10.0, 0.70},
+      {"RFCN+AdaScale", 18.0, 0.72},
+      {"DFF+AdaScale", 30.0, 0.66},
+  };
+  const auto frontier = pareto_frontier(pts);
+  EXPECT_NEAR(frontier_share(frontier, "AdaScale"), 1.0, 1e-9);
+  pts.push_back({"DFF", 40.0, 0.65});
+  const auto f2 = pareto_frontier(pts);
+  EXPECT_NEAR(frontier_share(f2, "AdaScale"), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Pareto, CsvHasHeaderAndOneRowPerPoint) {
+  const auto pts = sample_points();
+  const std::string csv = pareto_csv(pts);
+  int lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + static_cast<int>(pts.size()));
+  EXPECT_EQ(csv.rfind("label,fps,map\n", 0), 0u);
+  EXPECT_NE(csv.find("fast-accurate,20.00,76.0"), std::string::npos);
+}
+
+TEST(Pareto, ScatterContainsEveryLegendEntry) {
+  const auto pts = sample_points();
+  const std::string plot = pareto_scatter(pts, 40, 10);
+  for (const ParetoPoint& p : pts)
+    EXPECT_NE(plot.find(p.label), std::string::npos);
+}
+
+TEST(Pareto, ScatterRejectsDegenerateDimensions) {
+  EXPECT_EQ(pareto_scatter(sample_points(), 4, 2), "");
+  EXPECT_EQ(pareto_scatter({}, 40, 10), "");
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,97 @@
+// Algorithm 1 behaviour tests using a tiny untrained detector+regressor
+// (functional properties only; quality is covered by integration/bench).
+#include "adascale/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace ada {
+namespace {
+
+struct PipelineFixture : public ::testing::Test {
+  PipelineFixture()
+      : dataset(Dataset::synth_vid(1, 1, 3)),
+        renderer(dataset.make_renderer()) {
+    DetectorConfig dcfg;
+    dcfg.num_classes = dataset.catalog().num_classes();
+    dcfg.c1 = 4; dcfg.c2 = 6; dcfg.c3 = 8;
+    Rng rng(5);
+    detector = std::make_unique<Detector>(dcfg, &rng);
+    RegressorConfig rcfg;
+    rcfg.in_channels = 8;
+    rcfg.stream_channels = 4;
+    regressor = std::make_unique<ScaleRegressor>(rcfg, &rng);
+  }
+
+  Dataset dataset;
+  Renderer renderer;
+  std::unique_ptr<Detector> detector;
+  std::unique_ptr<ScaleRegressor> regressor;
+};
+
+TEST_F(PipelineFixture, StartsAtInitScale) {
+  AdaScalePipeline p(detector.get(), regressor.get(), &renderer,
+                     dataset.scale_policy(), ScaleSet::reg_default(), 600);
+  EXPECT_EQ(p.current_scale(), 600);
+  const Scene& frame = dataset.val_snippets()[0].frames[0];
+  const AdaFrameOutput out = p.process(frame);
+  EXPECT_EQ(out.scale_used, 600);
+}
+
+TEST_F(PipelineFixture, ScaleStaysWithinSregBounds) {
+  AdaScalePipeline p(detector.get(), regressor.get(), &renderer,
+                     dataset.scale_policy(), ScaleSet::reg_default(), 600);
+  for (const Scene& frame : dataset.val_snippets()[0].frames) {
+    const AdaFrameOutput out = p.process(frame);
+    EXPECT_GE(out.next_scale, 128);
+    EXPECT_LE(out.next_scale, 600);
+    EXPECT_EQ(out.next_scale, p.current_scale());
+  }
+}
+
+TEST_F(PipelineFixture, ResetRestoresInitScale) {
+  AdaScalePipeline p(detector.get(), regressor.get(), &renderer,
+                     dataset.scale_policy(), ScaleSet::reg_default(), 600);
+  for (const Scene& frame : dataset.val_snippets()[0].frames) p.process(frame);
+  p.reset();
+  EXPECT_EQ(p.current_scale(), 600);
+}
+
+TEST_F(PipelineFixture, NextScaleFollowsDecodedRegression) {
+  AdaScalePipeline p(detector.get(), regressor.get(), &renderer,
+                     dataset.scale_policy(), ScaleSet::reg_default(), 600);
+  const Scene& frame = dataset.val_snippets()[0].frames[0];
+  const AdaFrameOutput out = p.process(frame);
+  EXPECT_EQ(out.next_scale,
+            decode_scale_target(out.regressed_t, out.scale_used,
+                                ScaleSet::reg_default()));
+}
+
+TEST_F(PipelineFixture, TimingsAreRecorded) {
+  AdaScalePipeline p(detector.get(), regressor.get(), &renderer,
+                     dataset.scale_policy(), ScaleSet::reg_default(), 600);
+  const AdaFrameOutput out = p.process(dataset.val_snippets()[0].frames[0]);
+  EXPECT_GT(out.detect_ms, 0.0);
+  EXPECT_GE(out.regressor_ms, 0.0);
+  EXPECT_NEAR(out.total_ms(), out.detect_ms + out.regressor_ms, 1e-9);
+}
+
+TEST_F(PipelineFixture, SmallerScaleProcessesFaster) {
+  // Process many frames at both extremes and compare mean detector time;
+  // scale 128 must be clearly cheaper than 600.
+  const Scene& frame = dataset.val_snippets()[0].frames[0];
+  const ScalePolicy& policy = dataset.scale_policy();
+  double ms600 = 0, ms128 = 0;
+  const int reps = 5;
+  for (int i = 0; i < reps; ++i) {
+    Tensor img = renderer.render_at_scale(frame, 600, policy);
+    ms600 += detector->detect(img).forward_ms;
+    img = renderer.render_at_scale(frame, 128, policy);
+    ms128 += detector->detect(img).forward_ms;
+  }
+  EXPECT_LT(ms128, ms600);
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,70 @@
+// ScalePolicy: the nominal-scale -> render-resolution mapping every
+// component shares.  If this drifts, Eq. (3)'s nominal-scale arithmetic and
+// the renderer's pixel world disagree silently — so pin its contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/renderer.h"
+
+namespace ada {
+namespace {
+
+class PolicyAtScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyAtScale, RatioAndAspectHold) {
+  const int nominal = GetParam();
+  const ScalePolicy policy;
+  const int h = policy.render_h(nominal);
+  const int w = policy.render_w(nominal);
+  // Quarter-resolution render of the nominal shortest side.
+  EXPECT_EQ(h, static_cast<int>(nominal * 0.25f + 0.5f));
+  // 4:3 aspect from the rendered height.
+  EXPECT_EQ(w, static_cast<int>(h * kAspect + 0.5f));
+  EXPECT_GT(w, h);
+}
+
+TEST_P(PolicyAtScale, MonotoneInNominalScale) {
+  const int nominal = GetParam();
+  const ScalePolicy policy;
+  EXPECT_LT(policy.render_h(nominal - 16), policy.render_h(nominal));
+  EXPECT_LE(policy.render_w(nominal - 16), policy.render_w(nominal));
+}
+
+INSTANTIATE_TEST_SUITE_P(NominalScales, PolicyAtScale,
+                         ::testing::Values(128, 240, 360, 480, 600),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(ScalePolicy, TinyScalesAreFlooredToUsableResolution) {
+  const ScalePolicy policy;
+  // The floor keeps the backbone's stride-8 grid non-degenerate even for
+  // absurdly small nominal scales.
+  EXPECT_GE(policy.render_h(1), 8);
+  EXPECT_GE(policy.render_w(1), 8);
+}
+
+TEST(ScalePolicy, CustomRatioScalesEverything) {
+  ScalePolicy half;
+  half.render_ratio = 0.5f;
+  const ScalePolicy quarter;
+  for (int nominal : {128, 240, 360, 480, 600})
+    EXPECT_NEAR(static_cast<double>(half.render_h(nominal)),
+                2.0 * quarter.render_h(nominal), 1.0);
+}
+
+TEST(ScalePolicy, AreaRatioTracksNominalSquare) {
+  // Runtime scales with area; the area ratio between nominal scales must
+  // match (s1/s2)^2 closely — this is what makes the measured speedups
+  // comparable to the paper's.
+  const ScalePolicy policy;
+  const double a600 = static_cast<double>(policy.render_h(600)) *
+                      policy.render_w(600);
+  const double a240 = static_cast<double>(policy.render_h(240)) *
+                      policy.render_w(240);
+  EXPECT_NEAR(a600 / a240, (600.0 * 600.0) / (240.0 * 240.0), 0.35);
+}
+
+}  // namespace
+}  // namespace ada

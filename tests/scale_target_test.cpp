@@ -1,0 +1,92 @@
+// Eq. (3) encode/decode tests, including parameterized round-trip sweeps.
+#include "adascale/scale_target.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+TEST(ScaleTarget, RangeIsMinusOneToOne) {
+  const ScaleSet s = ScaleSet::reg_default();  // {600,...,128}
+  // Extremes of the ratio m_opt/m.
+  EXPECT_NEAR(encode_scale_target(600, 128, s), -1.0f, 1e-5f);
+  EXPECT_NEAR(encode_scale_target(128, 600, s), 1.0f, 1e-5f);
+}
+
+TEST(ScaleTarget, SameScaleIsInteriorValue) {
+  const ScaleSet s = ScaleSet::reg_default();
+  // m_opt == m => ratio 1; t is in (-1, 1) (not zero: Eq. 3 is not symmetric).
+  const float t = encode_scale_target(600, 600, s);
+  EXPECT_GT(t, -1.0f);
+  EXPECT_LT(t, 1.0f);
+}
+
+TEST(ScaleTarget, LargerOptimalGivesLargerT) {
+  const ScaleSet s = ScaleSet::reg_default();
+  EXPECT_LT(encode_scale_target(480, 240, s), encode_scale_target(480, 480, s));
+  EXPECT_LT(encode_scale_target(480, 480, s), encode_scale_target(480, 600, s));
+}
+
+TEST(ScaleTarget, DecodeClipsToRange) {
+  const ScaleSet s = ScaleSet::reg_default();
+  EXPECT_EQ(decode_scale_target(1.0f, 600, s), 600);
+  EXPECT_EQ(decode_scale_target(-1.0f, 600, s), 128);
+  EXPECT_EQ(decode_scale_target(5.0f, 600, s), 600);   // overflow clipped
+  EXPECT_EQ(decode_scale_target(-5.0f, 128, s), 128);  // underflow clipped
+}
+
+// Round trip: encode(m, m_opt) then decode at scale m recovers m_opt for all
+// pairs in S_reg (the property Algorithm 1 relies on).
+struct RoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoundTrip, DecodeInvertsEncode) {
+  const ScaleSet s = ScaleSet::reg_default();
+  const int m = std::get<0>(GetParam());
+  const int m_opt = std::get<1>(GetParam());
+  const float t = encode_scale_target(m, m_opt, s);
+  EXPECT_EQ(decode_scale_target(t, m, s), m_opt)
+      << "m=" << m << " m_opt=" << m_opt << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, RoundTrip,
+    ::testing::Combine(::testing::Values(600, 480, 360, 240, 128),
+                       ::testing::Values(600, 480, 360, 240, 128)));
+
+TEST(ScaleTarget, DecodeRoundsToNearestInteger) {
+  const ScaleSet s = ScaleSet::reg_default();
+  // Mid-way t values produce integer scales in range.
+  for (float t = -1.0f; t <= 1.0f; t += 0.05f) {
+    const int m = decode_scale_target(t, 480, s);
+    EXPECT_GE(m, 128);
+    EXPECT_LE(m, 600);
+  }
+}
+
+TEST(ScaleTarget, MonotoneDecode) {
+  const ScaleSet s = ScaleSet::reg_default();
+  int prev = 0;
+  for (float t = -1.0f; t <= 1.0f; t += 0.01f) {
+    const int m = decode_scale_target(t, 360, s);
+    EXPECT_GE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(ScaleSet, MinMaxAndContains) {
+  const ScaleSet s = ScaleSet::train_default();
+  EXPECT_EQ(s.min(), 240);
+  EXPECT_EQ(s.max(), 600);
+  EXPECT_TRUE(s.contains(360));
+  EXPECT_FALSE(s.contains(128));
+  EXPECT_EQ(s.count(), 4);
+}
+
+TEST(ScaleSet, ToStringFormat) {
+  const ScaleSet s{{600, 360}};
+  EXPECT_EQ(s.to_string(), "{600,360}");
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,124 @@
+#include "video/seq_nms.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+EvalDetection det(float x1, float y1, float x2, float y2, int cls, float s) {
+  EvalDetection d;
+  d.box = Box{x1, y1, x2, y2};
+  d.class_id = cls;
+  d.score = s;
+  return d;
+}
+
+TEST(SeqNms, EmptyInputIsNoop) {
+  std::vector<std::vector<EvalDetection>> frames;
+  seq_nms(&frames, SeqNmsConfig{});
+  EXPECT_TRUE(frames.empty());
+  frames.resize(3);
+  seq_nms(&frames, SeqNmsConfig{});
+  EXPECT_EQ(frames.size(), 3u);
+}
+
+TEST(SeqNms, PreservesDetectionCount) {
+  std::vector<std::vector<EvalDetection>> frames(3);
+  frames[0].push_back(det(0, 0, 10, 10, 0, 0.5f));
+  frames[1].push_back(det(1, 1, 11, 11, 0, 0.9f));
+  frames[2].push_back(det(2, 2, 12, 12, 0, 0.4f));
+  frames[1].push_back(det(50, 50, 60, 60, 1, 0.7f));
+  seq_nms(&frames, SeqNmsConfig{});
+  EXPECT_EQ(frames[0].size() + frames[1].size() + frames[2].size(), 4u);
+}
+
+TEST(SeqNms, AverageRescoreBoostsWeakLinkedDetections) {
+  // A temporally consistent track with scores {0.3, 0.9, 0.3}: after avg
+  // rescoring every box on the path gets 0.5, lifting the weak ones.
+  std::vector<std::vector<EvalDetection>> frames(3);
+  frames[0].push_back(det(0, 0, 10, 10, 0, 0.3f));
+  frames[1].push_back(det(0.5f, 0.5f, 10.5f, 10.5f, 0, 0.9f));
+  frames[2].push_back(det(1, 1, 11, 11, 0, 0.3f));
+  seq_nms(&frames, SeqNmsConfig{});
+  EXPECT_NEAR(frames[0][0].score, 0.5f, 1e-5f);
+  EXPECT_NEAR(frames[1][0].score, 0.5f, 1e-5f);
+  EXPECT_NEAR(frames[2][0].score, 0.5f, 1e-5f);
+}
+
+TEST(SeqNms, MaxRescoreUsesPathMax) {
+  std::vector<std::vector<EvalDetection>> frames(2);
+  frames[0].push_back(det(0, 0, 10, 10, 0, 0.2f));
+  frames[1].push_back(det(0, 0, 10, 10, 0, 0.8f));
+  SeqNmsConfig cfg;
+  cfg.rescore_avg = false;
+  seq_nms(&frames, cfg);
+  EXPECT_NEAR(frames[0][0].score, 0.8f, 1e-5f);
+  EXPECT_NEAR(frames[1][0].score, 0.8f, 1e-5f);
+}
+
+TEST(SeqNms, UnlinkedBoxesKeepTheirScores) {
+  // Far-apart boxes across frames (no IoU link) must be untouched.
+  std::vector<std::vector<EvalDetection>> frames(2);
+  frames[0].push_back(det(0, 0, 10, 10, 0, 0.6f));
+  frames[1].push_back(det(100, 100, 110, 110, 0, 0.4f));
+  seq_nms(&frames, SeqNmsConfig{});
+  float s0 = -1, s1 = -1;
+  for (const auto& d : frames[0]) s0 = d.score;
+  for (const auto& d : frames[1]) s1 = d.score;
+  EXPECT_NEAR(s0, 0.6f, 1e-5f);
+  EXPECT_NEAR(s1, 0.4f, 1e-5f);
+}
+
+TEST(SeqNms, DifferentClassesAreNotLinked) {
+  std::vector<std::vector<EvalDetection>> frames(2);
+  frames[0].push_back(det(0, 0, 10, 10, 0, 0.2f));
+  frames[1].push_back(det(0, 0, 10, 10, 1, 0.8f));
+  seq_nms(&frames, SeqNmsConfig{});
+  for (const auto& d : frames[0]) EXPECT_NEAR(d.score, 0.2f, 1e-5f);
+  for (const auto& d : frames[1]) EXPECT_NEAR(d.score, 0.8f, 1e-5f);
+}
+
+TEST(SeqNms, PicksMaximumScorePath) {
+  // Two parallel tracks; the higher-sum one is rescored first.  Track A:
+  // scores 0.9/0.9; track B: 0.2/0.2.  After Seq-NMS, A boxes get 0.9, B
+  // boxes 0.2 (not mixed).
+  std::vector<std::vector<EvalDetection>> frames(2);
+  frames[0].push_back(det(0, 0, 10, 10, 0, 0.9f));
+  frames[0].push_back(det(50, 50, 60, 60, 0, 0.2f));
+  frames[1].push_back(det(0, 0, 10, 10, 0, 0.9f));
+  frames[1].push_back(det(50, 50, 60, 60, 0, 0.2f));
+  seq_nms(&frames, SeqNmsConfig{});
+  for (const auto& f : frames)
+    for (const auto& d : f) {
+      if (d.box.x1 < 20) EXPECT_NEAR(d.score, 0.9f, 1e-5f);
+      else EXPECT_NEAR(d.score, 0.2f, 1e-5f);
+    }
+}
+
+TEST(SeqNms, SameFrameOverlapsSuppressedFromLinkingButKept) {
+  // Two overlapping boxes in frame 0, one track continuing in frame 1.
+  std::vector<std::vector<EvalDetection>> frames(2);
+  frames[0].push_back(det(0, 0, 10, 10, 0, 0.9f));
+  frames[0].push_back(det(1, 1, 10, 10, 0, 0.5f));  // overlaps the first
+  frames[1].push_back(det(0, 0, 10, 10, 0, 0.7f));
+  seq_nms(&frames, SeqNmsConfig{});
+  // All three detections still exist.
+  EXPECT_EQ(frames[0].size(), 2u);
+  EXPECT_EQ(frames[1].size(), 1u);
+}
+
+TEST(SeqNms, TerminatesOnManyFrames) {
+  std::vector<std::vector<EvalDetection>> frames(30);
+  for (int f = 0; f < 30; ++f)
+    for (int k = 0; k < 8; ++k)
+      frames[static_cast<std::size_t>(f)].push_back(
+          det(static_cast<float>(10 * k), 0, static_cast<float>(10 * k + 9),
+              9, k % 3, 0.1f * static_cast<float>(k + 1)));
+  seq_nms(&frames, SeqNmsConfig{});
+  std::size_t total = 0;
+  for (const auto& f : frames) total += f.size();
+  EXPECT_EQ(total, 240u);
+}
+
+}  // namespace
+}  // namespace ada

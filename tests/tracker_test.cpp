@@ -1,0 +1,108 @@
+#include "video/tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace ada {
+namespace {
+
+EvalDetection det(float x, float y, float size, int cls, float score) {
+  EvalDetection d;
+  d.box = Box{x, y, x + size, y + size};
+  d.class_id = cls;
+  d.score = score;
+  return d;
+}
+
+TEST(OnlineTracker, FirstObservationKeepsScore) {
+  OnlineTracker tracker;
+  const auto out = tracker.update({det(0, 0, 10, 1, 0.8f)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out[0].score, 0.8f);
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+}
+
+TEST(OnlineTracker, StableDetectionGetsMatureBoost) {
+  TrackerConfig cfg;
+  cfg.mature_age = 3;
+  cfg.mature_boost = 0.1f;
+  OnlineTracker tracker(cfg);
+  float last = 0.0f;
+  for (int f = 0; f < 5; ++f) {
+    const auto out = tracker.update({det(0, 0, 10, 1, 0.6f)});
+    last = out[0].score;
+  }
+  // EMA converges to 0.6, then the mature boost lifts it above the raw score.
+  EXPECT_GT(last, 0.6f);
+  EXPECT_LE(last, cfg.max_score);
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_GE(tracker.tracks()[0].age, 5);
+}
+
+TEST(OnlineTracker, FlickeringFalsePositiveIsNotBoosted) {
+  // A one-frame spurious detection never matures: its score is not lifted,
+  // which is how track-consistency rescoring separates FPs from real
+  // objects (the D&T idea).
+  TrackerConfig cfg;
+  OnlineTracker tracker(cfg);
+  (void)tracker.update({det(0, 0, 10, 1, 0.6f)});
+  const auto out =
+      tracker.update({det(0, 0, 10, 1, 0.6f), det(50, 50, 8, 2, 0.9f)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FLOAT_EQ(out[1].score, 0.9f);  // new track, unchanged
+  const auto out2 = tracker.update({det(0, 0, 10, 1, 0.6f)});
+  // The FP's track ages out after max_missed frames.
+  for (int i = 0; i < cfg.max_missed + 1; ++i)
+    (void)tracker.update({det(0, 0, 10, 1, 0.6f)});
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].class_id, 1);
+  (void)out2;
+}
+
+TEST(OnlineTracker, ClassMismatchDoesNotAssociate) {
+  OnlineTracker tracker;
+  (void)tracker.update({det(0, 0, 10, 1, 0.7f)});
+  (void)tracker.update({det(0, 0, 10, 2, 0.7f)});
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(OnlineTracker, MovingObjectStaysOneTrack) {
+  TrackerConfig cfg;
+  OnlineTracker tracker(cfg);
+  for (int f = 0; f < 6; ++f)
+    (void)tracker.update({det(static_cast<float>(2 * f), 0, 12, 3, 0.5f)});
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].age, 6);
+}
+
+TEST(OnlineTracker, TwoDetectionsCannotClaimOneTrack) {
+  OnlineTracker tracker;
+  (void)tracker.update({det(0, 0, 10, 1, 0.7f)});
+  const auto out = tracker.update(
+      {det(0.5f, 0, 10, 1, 0.9f), det(1.0f, 0.5f, 10, 1, 0.4f)});
+  // The higher-score detection claims the track; the other spawns a new one.
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+  EXPECT_GT(out[0].score, out[1].score);
+}
+
+TEST(OnlineTracker, ResetClearsState) {
+  OnlineTracker tracker;
+  (void)tracker.update({det(0, 0, 10, 1, 0.7f)});
+  tracker.reset();
+  EXPECT_TRUE(tracker.tracks().empty());
+  const auto out = tracker.update({det(0, 0, 10, 1, 0.7f)});
+  EXPECT_FLOAT_EQ(out[0].score, 0.7f);
+}
+
+TEST(TrackRescore, AppliesAcrossSnippetInPlace) {
+  std::vector<std::vector<EvalDetection>> frames;
+  for (int f = 0; f < 5; ++f) frames.push_back({det(0, 0, 10, 1, 0.5f)});
+  track_rescore(&frames);
+  // Later frames carry boosted scores; detection counts are preserved.
+  ASSERT_EQ(frames.size(), 5u);
+  for (const auto& f : frames) ASSERT_EQ(f.size(), 1u);
+  EXPECT_GT(frames[4][0].score, 0.5f);
+  EXPECT_FLOAT_EQ(frames[0][0].score, 0.5f);
+}
+
+}  // namespace
+}  // namespace ada

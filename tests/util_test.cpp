@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/file_io.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ada {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndCountsRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"b", "22.5"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+  EXPECT_NO_THROW(t.to_csv());
+}
+
+TEST(TextTable, CsvHasCommas) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Fmt, FormatsPrecision) {
+  EXPECT_EQ(fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt(1.2345, 0), "1");
+  EXPECT_EQ(fmt_int(42), "42");
+}
+
+TEST(FileIo, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ada_io_test.bin").string();
+  std::vector<float> data = {1.0f, -2.5f, 3.25f, 0.0f};
+  ASSERT_TRUE(save_floats(path, data));
+  std::vector<float> back;
+  ASSERT_TRUE(load_floats(path, &back));
+  EXPECT_EQ(back, data);
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, LoadMissingFileFails) {
+  std::vector<float> back;
+  EXPECT_FALSE(load_floats("/nonexistent/definitely/missing.bin", &back));
+}
+
+TEST(FileIo, EmptyVectorRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ada_io_empty.bin").string();
+  ASSERT_TRUE(save_floats(path, {}));
+  std::vector<float> back = {9.0f};
+  ASSERT_TRUE(load_floats(path, &back));
+  EXPECT_TRUE(back.empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, Fnv1aIsStableAndDiscriminates) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(FileIo, MakeDirsCreatesNested) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ada_mk" / "nested").string();
+  EXPECT_TRUE(make_dirs(dir));
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(
+      std::filesystem::temp_directory_path() / "ada_mk");
+}
+
+TEST(Timer, MeasuresNonNegativeAndResets) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1;
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+  t.reset();
+  EXPECT_LT(t.elapsed_ms(), 100.0);
+}
+
+TEST(RunningStat, ComputesMoments) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-9);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,205 @@
+#include "data/video.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+
+namespace ada {
+namespace {
+
+TEST(VideoGen, FrameCountMatchesConfig) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  VideoConfig cfg;
+  cfg.frames_per_snippet = 9;
+  SnippetGenerator gen(&cat, cfg);
+  Rng rng(1);
+  const Snippet s = gen.generate(&rng);
+  EXPECT_EQ(s.num_frames(), 9);
+}
+
+TEST(VideoGen, Deterministic) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  SnippetGenerator gen(&cat, VideoConfig{});
+  Rng r1(42), r2(42);
+  const Snippet a = gen.generate(&r1);
+  const Snippet b = gen.generate(&r2);
+  ASSERT_EQ(a.num_frames(), b.num_frames());
+  for (int f = 0; f < a.num_frames(); ++f) {
+    ASSERT_EQ(a.frames[static_cast<std::size_t>(f)].objects.size(),
+              b.frames[static_cast<std::size_t>(f)].objects.size());
+    for (std::size_t o = 0; o < a.frames[static_cast<std::size_t>(f)].objects.size(); ++o) {
+      EXPECT_EQ(a.frames[static_cast<std::size_t>(f)].objects[o].cx,
+                b.frames[static_cast<std::size_t>(f)].objects[o].cx);
+    }
+  }
+}
+
+TEST(VideoGen, ObjectsMoveSmoothly) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  VideoConfig cfg;
+  cfg.max_speed = 0.02f;
+  SnippetGenerator gen(&cat, cfg);
+  Rng rng(7);
+  const Snippet s = gen.generate(&rng);
+  for (int f = 1; f < s.num_frames(); ++f) {
+    const auto& prev = s.frames[static_cast<std::size_t>(f - 1)].objects;
+    const auto& cur = s.frames[static_cast<std::size_t>(f)].objects;
+    ASSERT_EQ(prev.size(), cur.size());
+    for (std::size_t o = 0; o < cur.size(); ++o) {
+      EXPECT_LE(std::abs(cur[o].cx - prev[o].cx), cfg.max_speed + 1e-5f);
+      EXPECT_LE(std::abs(cur[o].cy - prev[o].cy), cfg.max_speed + 1e-5f);
+      // Size changes slowly (temporal consistency for AdaScale).
+      EXPECT_LE(std::abs(cur[o].size / prev[o].size - 1.0f), 0.08f);
+    }
+  }
+}
+
+TEST(VideoGen, LargeThemeProducesLargeObjects) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  SnippetGenerator gen(&cat, VideoConfig{});
+  Rng rng(11);
+  const Snippet s = gen.generate_with_theme(SnippetTheme::kLargeObject, &rng);
+  ASSERT_FALSE(s.frames.empty());
+  for (const ObjectInstance& o : s.frames[0].objects)
+    EXPECT_GE(o.size, 0.1f);
+}
+
+TEST(VideoGen, SmallThemeProducesSmallObjects) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  SnippetGenerator gen(&cat, VideoConfig{});
+  Rng rng(13);
+  const Snippet s = gen.generate_with_theme(SnippetTheme::kSmallObjects, &rng);
+  for (const ObjectInstance& o : s.frames[0].objects)
+    EXPECT_LE(o.size, 0.1f);
+}
+
+TEST(VideoGen, ClutterCountMatchesConfig) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  VideoConfig cfg;
+  cfg.clutter_count = 5;
+  SnippetGenerator gen(&cat, cfg);
+  Rng rng(17);
+  const Snippet s = gen.generate(&rng);
+  EXPECT_EQ(s.frames[0].clutter.size(), 5u);
+}
+
+TEST(VideoGen, ObjectsStayMostlyInFrame) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  SnippetGenerator gen(&cat, VideoConfig{});
+  Rng rng(19);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Snippet s = gen.generate(&rng);
+    for (const Scene& frame : s.frames)
+      for (const ObjectInstance& o : frame.objects) {
+        EXPECT_GT(o.cx, -0.2f);
+        EXPECT_LT(o.cx, kAspect + 0.2f);
+        EXPECT_GT(o.cy, -0.2f);
+        EXPECT_LT(o.cy, 1.2f);
+      }
+  }
+}
+
+TEST(VideoGen, ClassIdsValid) {
+  ClassCatalog cat = ClassCatalog::synth_ytbb();
+  SnippetGenerator gen(&cat, VideoConfig{});
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Snippet s = gen.generate(&rng);
+    for (const Scene& frame : s.frames) {
+      for (const ObjectInstance& o : frame.objects) {
+        EXPECT_GE(o.class_id, 0);
+        EXPECT_LT(o.class_id, cat.num_classes());
+      }
+    }
+  }
+}
+
+TEST(Dataset, SplitsHaveRequestedSizes) {
+  const Dataset d = Dataset::synth_vid(3, 2, 99);
+  EXPECT_EQ(d.train_snippets().size(), 3u);
+  EXPECT_EQ(d.val_snippets().size(), 2u);
+  EXPECT_EQ(d.name(), "SynthVID");
+  EXPECT_EQ(d.catalog().num_classes(), 30);
+}
+
+TEST(Dataset, YtbbHas23Classes) {
+  const Dataset d = Dataset::synth_ytbb(1, 1, 5);
+  EXPECT_EQ(d.catalog().num_classes(), 23);
+  EXPECT_EQ(d.catalog().at(0).name, "person");
+}
+
+TEST(Dataset, TrainFramesFlattened) {
+  const Dataset d = Dataset::synth_vid(2, 1, 77);
+  const auto frames = d.train_frames();
+  EXPECT_EQ(frames.size(),
+            2u * static_cast<std::size_t>(d.video_config().frames_per_snippet));
+}
+
+TEST(Dataset, FingerprintDistinguishesSeeds) {
+  const Dataset a = Dataset::synth_vid(1, 1, 1);
+  const Dataset b = Dataset::synth_vid(1, 1, 2);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Dataset, VidCatalogMatchesPaperOrder) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  EXPECT_EQ(cat.at(0).name, "airplane");
+  EXPECT_EQ(cat.at(14).name, "horse");
+  EXPECT_EQ(cat.at(20).name, "red_panda");
+  EXPECT_EQ(cat.at(29).name, "zebra");
+}
+
+TEST(Dataset, SizeRegimesAreStriped) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  // id % 3 == 0 -> large-biased, id % 3 == 2 -> small-biased.
+  EXPECT_GT(cat.at(0).size_lo, cat.at(2).size_lo);
+  EXPECT_GT(cat.at(3).size_hi, cat.at(5).size_hi);
+}
+
+
+TEST(VideoGen, RoundRobinCoversEveryClass) {
+  // With ~30 classes and few snippets, independent class draws leave classes
+  // untrained; the generator must rotate through every class stripe.
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  SnippetGenerator gen(&cat, VideoConfig{});
+  Rng rng(3);
+  std::vector<int> seen(static_cast<std::size_t>(cat.num_classes()), 0);
+  for (int i = 0; i < 40; ++i) {
+    const Snippet s = gen.generate(&rng);
+    for (const ObjectInstance& o : s.frames[0].objects)
+      ++seen[static_cast<std::size_t>(o.class_id)];
+  }
+  for (int c = 0; c < cat.num_classes(); ++c)
+    EXPECT_GT(seen[static_cast<std::size_t>(c)], 0) << "class " << c << " never generated";
+}
+
+TEST(VideoGen, ClutterIsTintedAndSmall) {
+  ClassCatalog cat = ClassCatalog::synth_vid();
+  VideoConfig cfg;
+  SnippetGenerator gen(&cat, cfg);
+  Rng rng(5);
+  const Snippet s = gen.generate(&rng);
+  ASSERT_EQ(static_cast<int>(s.frames[0].clutter.size()), cfg.clutter_count);
+  bool any_tint = false;
+  for (const ObjectInstance& c : s.frames[0].clutter) {
+    EXPECT_LE(c.size, 0.5f * cfg.clutter_size_hi + 1e-6f);
+    EXPECT_GE(c.size, 0.5f * cfg.clutter_size_lo - 1e-6f);
+    EXPECT_LE(std::abs(c.tint.r), cfg.clutter_tint + 1e-6f);
+    EXPECT_LE(std::abs(c.tint.g), cfg.clutter_tint + 1e-6f);
+    EXPECT_LE(std::abs(c.tint.b), cfg.clutter_tint + 1e-6f);
+    if (std::abs(c.tint.r) + std::abs(c.tint.g) + std::abs(c.tint.b) > 0.01f)
+      any_tint = true;
+  }
+  EXPECT_TRUE(any_tint);
+  // Labeled objects are never tinted (their colors are the class signal).
+  for (const ObjectInstance& o : s.frames[0].objects) {
+    EXPECT_EQ(o.tint.r, 0.0f);
+    EXPECT_EQ(o.tint.g, 0.0f);
+    EXPECT_EQ(o.tint.b, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace ada

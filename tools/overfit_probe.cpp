@@ -1,0 +1,50 @@
+// Single-frame overfit probe: the smallest possible closed loop.  If this
+// cannot reach near-perfect detections on its own training image, the
+// detector/optimizer has a bug independent of data scale.
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/dataset.h"
+#include "detection/trainer.h"
+
+using namespace ada;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 500;
+  const float lr = argc > 2 ? static_cast<float>(std::atof(argv[2])) : 0.01f;
+
+  Dataset ds = Dataset::synth_vid(1, 1, 555);
+  const Renderer renderer = ds.make_renderer();
+  const ScalePolicy& policy = ds.scale_policy();
+  const Scene& scene = *ds.train_frames()[0];
+
+  DetectorConfig dcfg;
+  dcfg.num_classes = ds.catalog().num_classes();
+  Rng rng(1);
+  Detector det(dcfg, &rng);
+
+  const Tensor img = renderer.render_at_scale(scene, 600, policy);
+  const auto gts = scene_ground_truth(scene, img.h(), img.w());
+  std::printf("img %dx%d, %zu gts\n", img.h(), img.w(), gts.size());
+  for (const auto& g : gts)
+    std::printf("  gt cls=%d box=(%.0f,%.0f,%.0f,%.0f) size=%.0fx%.0f\n",
+                g.class_id, g.x1, g.y1, g.x2, g.y2, g.width(), g.height());
+
+  Sgd::Options opt_cfg;
+  opt_cfg.lr = lr;
+  Sgd opt(det.parameters(), opt_cfg);
+  Rng sample_rng(2);
+  for (int i = 0; i < steps; ++i) {
+    const float loss = det.train_step(img, gts, &opt, &sample_rng);
+    if (i % (steps / 10) == 0) std::printf("step %4d loss %.4f\n", i, loss);
+  }
+
+  DetectionOutput out = det.detect(img);
+  std::printf("%zu detections\n", out.detections.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(out.detections.size(), 10); ++i) {
+    const Detection& d = out.detections[i];
+    std::printf("  det cls=%d score=%.3f box=(%.0f,%.0f,%.0f,%.0f)\n",
+                d.class_id, d.score, d.box.x1, d.box.y1, d.box.x2, d.box.y2);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Calibration utility: fixed-scale mAP sweep of the cached multi-scale
+// detector over the bench validation split (reads the model cache; run any
+// bench first).
+#include <cstdio>
+#include <map>
+#include "experiments/harness.h"
+using namespace ada;
+int main() {
+  Harness h = make_vid_harness(default_cache_dir());
+  Detector* det = h.detector(ScaleSet::train_default());
+  for (int s : {600, 480, 360, 240, 128}) {
+    MethodRun r = h.evaluate("fx", h.run_fixed(det, s));
+    std::printf("MS det @ %3d: mAP %.3f  ms %.1f\n", s, r.eval.map, r.mean_ms);
+  }
+
+  // AdaScale diagnostic: which scales does the pipeline actually visit?
+  ScaleRegressor* reg =
+      h.regressor(ScaleSet::train_default(), h.default_regressor_config());
+  MethodRun ada = h.evaluate(
+      "ada", h.run_adascale(det, reg, ScaleSet::reg_default()));
+  std::map<int, int> hist;
+  for (int s : ada.used_scales) ++hist[(s / 60) * 60];
+  std::printf("AdaScale: mAP %.3f ms %.1f; used-scale histogram (60px bins):\n",
+              ada.eval.map, ada.mean_ms);
+  for (const auto& [bin, count] : hist)
+    std::printf("  [%3d,%3d): %d\n", bin, bin + 60, count);
+  return 0;
+}

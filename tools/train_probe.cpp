@@ -1,0 +1,103 @@
+// Developer calibration probe: trains the detector with the given
+// hyperparameters and prints mAP at each scale plus diagnostics.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "adascale/optimal_scale.h"
+#include "experiments/harness.h"
+
+using namespace ada;
+
+int main(int argc, char** argv) {
+  const int train_snippets = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 10;
+  const float lr = argc > 3 ? static_cast<float>(std::atof(argv[3])) : 0.01f;
+  const bool single_scale = argc > 4 && std::atoi(argv[4]) == 1;
+
+  Dataset ds = Dataset::synth_vid(train_snippets, 6, 555);
+  Harness h(std::move(ds), "");
+
+  DetectorConfig dcfg;
+  dcfg.num_classes = h.dataset().catalog().num_classes();
+  TrainConfig tcfg;
+  tcfg.train_scales =
+      single_scale ? std::vector<int>{600} : ScaleSet::train_default().scales;
+  tcfg.epochs = epochs;
+  tcfg.base_lr = lr;
+
+  const Renderer renderer = h.dataset().make_renderer();
+  const ScalePolicy& policy = h.dataset().scale_policy();
+
+  // --- assignment diagnostics on a few frames at 600 ---
+  {
+    AnchorConfig acfg;
+    int total_fg = 0, total_gt = 0, frames = 0;
+    for (const Scene* scene : h.dataset().train_frames()) {
+      if (++frames > 20) break;
+      const Tensor img = renderer.render_at_scale(*scene, 600, policy);
+      const auto gts = scene_ground_truth(*scene, img.h(), img.w());
+      const int fh = img.h() / 8, fw = img.w() / 8;
+      const auto anchors = generate_anchors(acfg, fh, fw);
+      const auto targets = assign_anchors(anchors, gts, AssignConfig{});
+      for (const auto& t : targets)
+        if (t.label > 0) ++total_fg;
+      total_gt += static_cast<int>(gts.size());
+    }
+    std::printf("assign@600: %d gt, %d fg anchors over %d frames\n", total_gt,
+                total_fg, frames - 1);
+  }
+
+  Rng rng(tcfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  Detector det(dcfg, &rng);
+  const float loss = train_detector(&det, h.dataset(), tcfg);
+  std::printf("final loss %.4f\n", loss);
+
+  // --- detection diagnostics ---
+  {
+    const Scene* scene = h.dataset().val_frames()[0];
+    const Tensor img = renderer.render_at_scale(*scene, 600, policy);
+    const auto gts = scene_ground_truth(*scene, img.h(), img.w());
+    DetectionOutput out = det.detect(img);
+    std::printf("val frame 0 @600: %zu gts, %zu detections\n", gts.size(),
+                out.detections.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(out.detections.size(), 8); ++i) {
+      const Detection& d = out.detections[i];
+      std::printf("  det cls=%d score=%.3f box=(%.0f,%.0f,%.0f,%.0f)\n",
+                  d.class_id, d.score, d.box.x1, d.box.y1, d.box.x2, d.box.y2);
+    }
+    for (const auto& g : gts)
+      std::printf("  gt  cls=%d box=(%.0f,%.0f,%.0f,%.0f)\n", g.class_id, g.x1,
+                  g.y1, g.x2, g.y2);
+  }
+
+  for (int scale : {600, 480, 360, 240, 128}) {
+    MethodRun run = h.evaluate("fixed", h.run_fixed(&det, scale));
+    std::printf("scale %3d: mAP %.3f  ms %.1f\n", scale, run.eval.map,
+                run.mean_ms);
+  }
+
+  // mAP on the TRAINING frames (overfit check: should be high if eval is
+  // healthy and the loss went to ~0).
+  {
+    std::vector<std::string> names;
+    for (const auto& c : h.dataset().catalog().all()) names.push_back(c.name);
+    MapEvaluator ev(names);
+    const int ref_h = policy.render_h(600), ref_w = policy.render_w(600);
+    for (const Scene* scene : h.dataset().train_frames()) {
+      const Tensor img = renderer.render_at_scale(*scene, 600, policy);
+      DetectionOutput out = det.detect(img);
+      std::vector<EvalDetection> dets;
+      for (const Detection& d : out.detections) {
+        EvalDetection e;
+        e.box = rescale_box(d.box, out.image_h, out.image_w, ref_h, ref_w);
+        e.class_id = d.class_id;
+        e.score = d.score;
+        dets.push_back(e);
+      }
+      ev.add_frame(scene_ground_truth(*scene, ref_h, ref_w), dets);
+    }
+    std::printf("TRAIN mAP @600: %.3f\n", ev.compute().map);
+  }
+  return 0;
+}
