@@ -53,16 +53,9 @@ MultiShotFrameOutput MultiShotPipeline::process(const Scene& frame) {
     }
   }
 
-  // Merge shots with NMS in the primary frame, keep the detector's top-K.
-  std::vector<Box> boxes;
-  std::vector<float> scores;
-  boxes.reserve(merged.size());
-  scores.reserve(merged.size());
-  for (const Detection& d : merged) {
-    boxes.push_back(d.box);
-    scores.push_back(d.score);
-  }
-  std::vector<int> keep = nms(boxes, scores, cfg_.merge_nms);
+  // Merge shots with per-class NMS in the primary frame (matching the
+  // detector's own suppression protocol), keep the detector's top-K.
+  std::vector<int> keep = nms_detections(merged, cfg_.merge_nms);
   const int top_k = detector_->config().top_k;
   if (static_cast<int>(keep.size()) > top_k)
     keep.resize(static_cast<std::size_t>(top_k));

@@ -12,19 +12,24 @@ namespace ada {
 struct ScaleSet {
   std::vector<int> scales;
 
+  /// Smallest member (m_min in Eq. 3).  Requires a non-empty set.
   int min() const {
     assert(!scales.empty());
     return *std::min_element(scales.begin(), scales.end());
   }
+  /// Largest member (m_max in Eq. 3).  Requires a non-empty set.
   int max() const {
     assert(!scales.empty());
     return *std::max_element(scales.begin(), scales.end());
   }
+  /// Number of scales in the set.
   int count() const { return static_cast<int>(scales.size()); }
+  /// True when `s` is a member.
   bool contains(int s) const {
     return std::find(scales.begin(), scales.end(), s) != scales.end();
   }
 
+  /// "{600,480,...}" — used in cache fingerprints and labels.
   std::string to_string() const {
     std::string out = "{";
     for (std::size_t i = 0; i < scales.size(); ++i) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/thread_pool.h"
+
 namespace ada {
 
 namespace {
@@ -126,7 +128,10 @@ Tensor Renderer::render(const Scene& scene, int h, int w) const {
   for (const auto& c : scene.clutter) paint.push_back(&c);
   for (const auto& o : scene.objects) paint.push_back(&o);
 
-  for (int i = 0; i < h; ++i) {
+  // Rows are independent (each writes only its own pixels of the three
+  // channel planes), so they fan out across the runtime pool.
+  parallel_for(h, 8, [&](std::int64_t ib, std::int64_t ie) {
+  for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
     const float wy = (static_cast<float>(i) + 0.5f) * inv_scale;
     for (int j = 0; j < w; ++j) {
       const float wx = (static_cast<float>(j) + 0.5f) * inv_scale;
@@ -184,6 +189,7 @@ Tensor Renderer::render(const Scene& scene, int h, int w) const {
       img.at(0, 2, i, j) = std::clamp(px.b, 0.0f, 1.0f);
     }
   }
+  });
   return img;
 }
 

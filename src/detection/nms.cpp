@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "runtime/thread_pool.h"
+
 namespace ada {
 
 std::vector<int> nms(const std::vector<Box>& boxes,
@@ -28,6 +30,57 @@ std::vector<int> nms(const std::vector<Box>& boxes,
         suppressed[static_cast<std::size_t>(other)] = 1;
     }
   }
+  return keep;
+}
+
+std::vector<int> nms_per_class(const std::vector<Box>& boxes,
+                               const std::vector<float>& scores,
+                               const std::vector<int>& class_ids,
+                               float iou_threshold) {
+  assert(boxes.size() == scores.size() && boxes.size() == class_ids.size());
+  // Group indices by class, preserving original order within each group.
+  std::vector<int> classes;
+  std::vector<std::vector<int>> groups;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    const int c = class_ids[i];
+    std::size_t g = 0;
+    for (; g < classes.size(); ++g)
+      if (classes[g] == c) break;
+    if (g == classes.size()) {
+      classes.push_back(c);
+      groups.emplace_back();
+    }
+    groups[g].push_back(static_cast<int>(i));
+  }
+
+  // Classes suppress independently, so each group's NMS runs in parallel;
+  // results are merged in fixed group order for determinism.
+  std::vector<std::vector<int>> kept_per_group(groups.size());
+  parallel_for(static_cast<std::int64_t>(groups.size()), 1,
+               [&](std::int64_t gb_i, std::int64_t ge_i) {
+                 for (std::int64_t g = gb_i; g < ge_i; ++g) {
+                   const std::vector<int>& group =
+                       groups[static_cast<std::size_t>(g)];
+                   std::vector<Box> gb;
+                   std::vector<float> gs;
+                   gb.reserve(group.size());
+                   gs.reserve(group.size());
+                   for (int i : group) {
+                     gb.push_back(boxes[static_cast<std::size_t>(i)]);
+                     gs.push_back(scores[static_cast<std::size_t>(i)]);
+                   }
+                   for (int k : nms(gb, gs, iou_threshold))
+                     kept_per_group[static_cast<std::size_t>(g)].push_back(
+                         group[static_cast<std::size_t>(k)]);
+                 }
+               });
+  std::vector<int> keep;
+  for (const std::vector<int>& kept : kept_per_group)
+    keep.insert(keep.end(), kept.begin(), kept.end());
+  std::stable_sort(keep.begin(), keep.end(), [&](int a, int b) {
+    return scores[static_cast<std::size_t>(a)] >
+           scores[static_cast<std::size_t>(b)];
+  });
   return keep;
 }
 

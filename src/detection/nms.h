@@ -13,4 +13,36 @@ namespace ada {
 std::vector<int> nms(const std::vector<Box>& boxes,
                      const std::vector<float>& scores, float iou_threshold);
 
+/// Per-class NMS (the released R-FCN protocol): boxes only suppress other
+/// boxes of the same class, so overlapping objects of different classes can
+/// both survive.  Returns kept indices in descending score order.  Classes
+/// are processed independently — large batches run them in parallel on the
+/// runtime thread pool.
+std::vector<int> nms_per_class(const std::vector<Box>& boxes,
+                               const std::vector<float>& scores,
+                               const std::vector<int>& class_ids,
+                               float iou_threshold);
+
+/// Per-class NMS directly over a detection-like vector (anything with .box,
+/// .score, .class_id members — Detection, EvalDetection).  Returns kept
+/// indices into `dets` in descending score order.  Single suppression
+/// protocol for every merge path: detector output, multi-shot merge,
+/// multi-scale testing merge.
+template <typename D>
+std::vector<int> nms_detections(const std::vector<D>& dets,
+                                float iou_threshold) {
+  std::vector<Box> boxes;
+  std::vector<float> scores;
+  std::vector<int> classes;
+  boxes.reserve(dets.size());
+  scores.reserve(dets.size());
+  classes.reserve(dets.size());
+  for (const D& d : dets) {
+    boxes.push_back(d.box);
+    scores.push_back(d.score);
+    classes.push_back(d.class_id);
+  }
+  return nms_per_class(boxes, scores, classes, iou_threshold);
+}
+
 }  // namespace ada

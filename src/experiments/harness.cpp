@@ -138,15 +138,9 @@ std::vector<SnippetRun> Harness::run_multiscale(Detector* det,
           std::vector<EvalDetection> ref = to_reference(out);
           merged.insert(merged.end(), ref.begin(), ref.end());
         }
-        // Merge with NMS in the reference frame, keep top-K (multi-shot
-        // testing protocol, Sec. 2.1).
-        std::vector<Box> boxes;
-        std::vector<float> scores;
-        for (const EvalDetection& d : merged) {
-          boxes.push_back(d.box);
-          scores.push_back(d.score);
-        }
-        std::vector<int> keep = nms(boxes, scores, dcfg.nms_threshold);
+        // Merge with per-class NMS in the reference frame, keep top-K
+        // (multi-shot testing protocol, Sec. 2.1).
+        std::vector<int> keep = nms_detections(merged, dcfg.nms_threshold);
         if (static_cast<int>(keep.size()) > dcfg.top_k)
           keep.resize(static_cast<std::size_t>(dcfg.top_k));
         std::vector<EvalDetection> out_dets;

@@ -100,6 +100,9 @@ class Harness {
   /// Default regressor config wired to this harness's detector width.
   RegressorConfig default_regressor_config() const;
 
+  /// The shared (stateless, thread-safe) renderer for this dataset.
+  const Renderer& renderer() const { return renderer_; }
+
  private:
   /// Runs `process` over every val frame; shared runner plumbing.
   template <typename PerSnippetReset, typename PerFrame>

@@ -9,8 +9,9 @@
 namespace ada {
 
 // ---------------------------------------------------------------- Conv2d
-Conv2dLayer::Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad) {
-  spec_ = ConvSpec{in_c, out_c, kernel, stride, pad};
+Conv2dLayer::Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad,
+                         int dilation) {
+  spec_ = ConvSpec{in_c, out_c, kernel, stride, pad, dilation};
   w_.value = Tensor(out_c, in_c, kernel, kernel);
   w_.grad = Tensor(out_c, in_c, kernel, kernel);
   b_.value = Tensor(1, out_c, 1, 1);

@@ -15,7 +15,8 @@ namespace ada {
 /// 2-D convolution layer with bias.
 class Conv2dLayer : public Layer {
  public:
-  Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad);
+  Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad,
+              int dilation = 1);
 
   void forward(const Tensor& x, Tensor* y) override;
   void backward(const Tensor& dy, Tensor* dx) override;

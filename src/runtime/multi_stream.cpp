@@ -1,0 +1,120 @@
+#include "runtime/multi_stream.h"
+
+#include <cassert>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace ada {
+
+namespace {
+
+/// Copies parameter values (not gradients) between two models whose
+/// parameter lists line up structurally.
+void copy_params(std::vector<Param*> src, std::vector<Param*> dst) {
+  assert(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    assert(src[i]->value.size() == dst[i]->value.size());
+    for (std::size_t k = 0; k < src[i]->value.size(); ++k)
+      dst[i]->value[k] = src[i]->value[k];
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Detector> clone_detector(Detector* src) {
+  Rng rng(0);  // initialization is immediately overwritten
+  auto dst = std::make_unique<Detector>(src->config(), &rng);
+  copy_params(src->parameters(), dst->parameters());
+  return dst;
+}
+
+std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src) {
+  Rng rng(0);
+  auto dst = std::make_unique<ScaleRegressor>(src->config(), &rng);
+  copy_params(src->parameters(), dst->parameters());
+  return dst;
+}
+
+struct MultiStreamRunner::Stream {
+  std::unique_ptr<Detector> detector;
+  std::unique_ptr<ScaleRegressor> regressor;
+  std::unique_ptr<AdaScalePipeline> pipeline;
+};
+
+MultiStreamRunner::MultiStreamRunner(Detector* prototype_detector,
+                                     ScaleRegressor* prototype_regressor,
+                                     const Renderer* renderer,
+                                     const ScalePolicy& policy,
+                                     const ScaleSet& sreg, int num_streams,
+                                     int init_scale) {
+  assert(num_streams > 0);
+  streams_.reserve(static_cast<std::size_t>(num_streams));
+  for (int s = 0; s < num_streams; ++s) {
+    auto stream = std::make_unique<Stream>();
+    stream->detector = clone_detector(prototype_detector);
+    stream->regressor = clone_regressor(prototype_regressor);
+    stream->pipeline = std::make_unique<AdaScalePipeline>(
+        stream->detector.get(), stream->regressor.get(), renderer, policy,
+        sreg, init_scale);
+    streams_.push_back(std::move(stream));
+  }
+}
+
+MultiStreamRunner::~MultiStreamRunner() = default;
+
+int MultiStreamRunner::num_streams() const {
+  return static_cast<int>(streams_.size());
+}
+
+MultiStreamResult MultiStreamRunner::run_impl(
+    const std::vector<const Snippet*>& jobs, bool concurrent) {
+  MultiStreamResult result;
+  result.streams.resize(streams_.size());
+
+  auto stream_main = [&](int sid) {
+    Stream& stream = *streams_[static_cast<std::size_t>(sid)];
+    StreamOutput& out = result.streams[static_cast<std::size_t>(sid)];
+    out.stream_id = sid;
+    Timer busy;
+    for (std::size_t j = static_cast<std::size_t>(sid); j < jobs.size();
+         j += streams_.size()) {
+      stream.pipeline->reset();
+      for (const Scene& frame : jobs[j]->frames)
+        out.frames.push_back(stream.pipeline->process(frame));
+    }
+    out.busy_ms = busy.elapsed_ms();
+  };
+
+  Timer wall;
+  if (concurrent) {
+    std::vector<std::thread> threads;
+    threads.reserve(streams_.size());
+    for (int s = 0; s < num_streams(); ++s)
+      threads.emplace_back(stream_main, s);
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (int s = 0; s < num_streams(); ++s) stream_main(s);
+  }
+  result.wall_ms = wall.elapsed_ms();
+
+  for (const StreamOutput& s : result.streams)
+    result.total_frames += static_cast<long>(s.frames.size());
+  result.aggregate_fps = result.wall_ms > 0.0
+                             ? 1000.0 * static_cast<double>(result.total_frames)
+                                   / result.wall_ms
+                             : 0.0;
+  return result;
+}
+
+MultiStreamResult MultiStreamRunner::run(
+    const std::vector<const Snippet*>& jobs) {
+  return run_impl(jobs, /*concurrent=*/true);
+}
+
+MultiStreamResult MultiStreamRunner::run_serial(
+    const std::vector<const Snippet*>& jobs) {
+  return run_impl(jobs, /*concurrent=*/false);
+}
+
+}  // namespace ada

@@ -1,0 +1,84 @@
+// Concurrent multi-stream serving of AdaScale pipelines.
+//
+// Production video analytics serves many independent camera/user streams at
+// once.  Algorithm 1 is inherently sequential *within* a stream (frame t's
+// deep features pick frame t+1's scale), but streams share nothing — so the
+// scaling axis is across streams.  MultiStreamRunner owns one complete
+// pipeline (detector + regressor clones) per stream and drives them on
+// dedicated threads, with the shared runtime pool (runtime/thread_pool.h)
+// parallelizing the per-frame kernels underneath.
+//
+// Job assignment is static round-robin (stream s takes jobs s, s+N, ...), so
+// per-stream outputs are bit-identical to running the same jobs serially —
+// the multi_stream test asserts exactly that.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adascale/pipeline.h"
+#include "data/video.h"
+
+namespace ada {
+
+/// Everything one stream produced: per-frame outputs in job order plus the
+/// stream's busy wall-clock.
+struct StreamOutput {
+  int stream_id = 0;
+  std::vector<AdaFrameOutput> frames;  ///< all frames of all jobs, in order
+  double busy_ms = 0.0;                ///< time this stream spent processing
+};
+
+/// Aggregate result of a multi-stream run.
+struct MultiStreamResult {
+  std::vector<StreamOutput> streams;  ///< indexed by stream id
+  double wall_ms = 0.0;               ///< end-to-end wall-clock of the run
+  long total_frames = 0;
+  double aggregate_fps = 0.0;         ///< total_frames / wall_ms
+};
+
+/// Deep-copies a detector: same architecture/config, parameter values copied
+/// from `src`.  Each concurrent stream needs its own copy because Detector
+/// caches activations between forward and detect.
+std::unique_ptr<Detector> clone_detector(Detector* src);
+
+/// Deep-copies a scale regressor (same reason: per-predict scratch state).
+std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src);
+
+/// Drives N independent AdaScalePipeline instances concurrently.
+class MultiStreamRunner {
+ public:
+  /// Builds `num_streams` pipelines, each with its own detector/regressor
+  /// clone.  The prototypes are only read during construction.  `renderer`
+  /// is stateless and shared by all streams.
+  MultiStreamRunner(Detector* prototype_detector,
+                    ScaleRegressor* prototype_regressor,
+                    const Renderer* renderer, const ScalePolicy& policy,
+                    const ScaleSet& sreg, int num_streams,
+                    int init_scale = 600);
+  ~MultiStreamRunner();
+
+  MultiStreamRunner(const MultiStreamRunner&) = delete;
+  MultiStreamRunner& operator=(const MultiStreamRunner&) = delete;
+
+  int num_streams() const;
+
+  /// Processes every snippet: job j goes to stream j % num_streams, streams
+  /// run concurrently on dedicated threads.  Pipelines reset() at each
+  /// snippet boundary (Algorithm 1 restarts per video).
+  MultiStreamResult run(const std::vector<const Snippet*>& jobs);
+
+  /// Same jobs, same per-stream pipelines, but executed one stream after
+  /// another on the calling thread.  Baseline for the throughput comparison;
+  /// produces identical per-stream outputs to run().
+  MultiStreamResult run_serial(const std::vector<const Snippet*>& jobs);
+
+ private:
+  struct Stream;
+  MultiStreamResult run_impl(const std::vector<const Snippet*>& jobs,
+                             bool concurrent);
+
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+}  // namespace ada

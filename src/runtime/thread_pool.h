@@ -1,0 +1,71 @@
+// Minimal fixed-size thread pool + deterministic parallel_for.
+//
+// Design constraints, in order:
+//   1. Determinism: parallel_for partitions the index range into fixed chunks
+//      with disjoint writes, so results are bit-identical to the serial loop
+//      regardless of which thread runs which chunk.  Every kernel this repo
+//      parallelizes (conv tiles, renderer rows, elementwise ranges, per-class
+//      NMS groups) satisfies the disjoint-write contract.
+//   2. No deadlock under nesting: the calling thread always participates and
+//      can finish the whole range alone if every worker is busy; nested
+//      parallel_for calls from inside a chunk run serially inline.
+//   3. Zero overhead when it does not help: ranges at or below `grain`, or a
+//      pool with no workers (single-core machines, ADASCALE_THREADS=1), run
+//      the loop inline with no allocation or synchronization.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ada {
+
+/// Fixed-size worker pool.  Tasks are plain closures; submission is
+/// thread-safe.  Workers live for the pool's lifetime.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers.  0 means "no workers": every parallel_for
+  /// runs inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (not counting callers that participate).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for any idle worker.
+  void submit(std::function<void()> task);
+
+  /// Runs fn(begin, end) over [0, n) split into chunks of at most `grain`
+  /// indices.  The caller participates; idle workers help.  fn must only
+  /// write state owned by its own index range.  Returns when every chunk has
+  /// finished.  Nested calls (from inside fn) run serially inline.
+  void parallel_for(std::int64_t n, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool shared by all parallel kernels.  Sized on first use
+/// from ADASCALE_THREADS if set, else std::thread::hardware_concurrency().
+/// Never returns null.
+ThreadPool* global_pool();
+
+/// Convenience wrapper: global_pool()->parallel_for(...).
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace ada

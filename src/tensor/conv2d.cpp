@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "runtime/thread_pool.h"
+
 namespace ada {
 
 namespace {
@@ -18,13 +20,13 @@ void im2col(const Tensor& x, int n, const ConvSpec& s, int oh, int ow,
     for (int ki = 0; ki < k; ++ki)
       for (int kj = 0; kj < k; ++kj) {
         for (int i = 0; i < oh; ++i) {
-          int hi = i * s.stride - s.pad + ki;
+          int hi = i * s.stride - s.pad + ki * s.dilation;
           if (hi < 0 || hi >= x.h()) {
             col += ow;
             continue;
           }
           for (int j = 0; j < ow; ++j) {
-            int wj = j * s.stride - s.pad + kj;
+            int wj = j * s.stride - s.pad + kj * s.dilation;
             *col++ = (wj >= 0 && wj < x.w()) ? x.at(n, c, hi, wj) : 0.0f;
           }
         }
@@ -40,13 +42,13 @@ void col2im(const std::vector<float>& cols, int n, const ConvSpec& s, int oh,
     for (int ki = 0; ki < k; ++ki)
       for (int kj = 0; kj < k; ++kj) {
         for (int i = 0; i < oh; ++i) {
-          int hi = i * s.stride - s.pad + ki;
+          int hi = i * s.stride - s.pad + ki * s.dilation;
           if (hi < 0 || hi >= dx->h()) {
             col += ow;
             continue;
           }
           for (int j = 0; j < ow; ++j) {
-            int wj = j * s.stride - s.pad + kj;
+            int wj = j * s.stride - s.pad + kj * s.dilation;
             float v = *col++;
             if (wj >= 0 && wj < dx->w()) dx->at(n, c, hi, wj) += v;
           }
@@ -79,25 +81,32 @@ void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
   std::vector<float> cols;
   for (int n = 0; n < x.n(); ++n) {
     im2col(x, n, spec, oh, ow, &cols);
-    // y[oc, :] = W[oc, :] * cols + b[oc]
-    for (int t0 = 0; t0 < cells; t0 += kTile) {
-      const int t1 = std::min(cells, t0 + kTile);
-      for (int oc = 0; oc < spec.out_channels; ++oc) {
-        const float* wrow = w.data() + static_cast<std::size_t>(oc) * patch;
-        float* yrow =
-            y->data() +
-            (static_cast<std::size_t>(n) * spec.out_channels + oc) * cells;
-        const float bias = b.empty() ? 0.0f : b[static_cast<std::size_t>(oc)];
-        for (int cell = t0; cell < t1; ++cell) yrow[cell] = bias;
-        for (int p = 0; p < patch; ++p) {
-          const float wv = wrow[p];
-          const float* crow =
-              cols.data() + static_cast<std::size_t>(p) * cells;
-          for (int cell = t0; cell < t1; ++cell)
-            yrow[cell] += wv * crow[cell];
+    // y[oc, :] = W[oc, :] * cols + b[oc].  Tiles write disjoint cell ranges,
+    // so they parallelize across the runtime pool with bit-identical output;
+    // within a tile the (oc, p, cell) order matches the serial kernel.
+    const int num_tiles = (cells + kTile - 1) / kTile;
+    parallel_for(num_tiles, 1, [&](std::int64_t tb, std::int64_t te) {
+      for (std::int64_t t = tb; t < te; ++t) {
+        const int t0 = static_cast<int>(t) * kTile;
+        const int t1 = std::min(cells, t0 + kTile);
+        for (int oc = 0; oc < spec.out_channels; ++oc) {
+          const float* wrow = w.data() + static_cast<std::size_t>(oc) * patch;
+          float* yrow =
+              y->data() +
+              (static_cast<std::size_t>(n) * spec.out_channels + oc) * cells;
+          const float bias =
+              b.empty() ? 0.0f : b[static_cast<std::size_t>(oc)];
+          for (int cell = t0; cell < t1; ++cell) yrow[cell] = bias;
+          for (int p = 0; p < patch; ++p) {
+            const float wv = wrow[p];
+            const float* crow =
+                cols.data() + static_cast<std::size_t>(p) * cells;
+            for (int cell = t0; cell < t1; ++cell)
+              yrow[cell] += wv * crow[cell];
+          }
         }
       }
-    }
+    });
   }
 }
 
@@ -120,24 +129,30 @@ void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
       // the forward pass; per-tile float partial sums keep the inner loop
       // vectorizable (a double accumulator would serialize it) while the
       // tile size bounds the float summation error.
+      // Parallel over output channels: each channel owns its dwrow and
+      // walks the tiles in ascending order, so the per-(oc, p) summation
+      // order — and the result — matches the serial kernel exactly.
       constexpr int kTile = 512;
-      for (int t0 = 0; t0 < cells; t0 += kTile) {
-        const int t1 = std::min(cells, t0 + kTile);
-        for (int oc = 0; oc < spec.out_channels; ++oc) {
+      parallel_for(spec.out_channels, 4, [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t oc = ob; oc < oe; ++oc) {
           const float* grow =
               dy.data() +
-              (static_cast<std::size_t>(n) * spec.out_channels + oc) * cells;
+              (static_cast<std::size_t>(n) * spec.out_channels +
+               static_cast<std::size_t>(oc)) * cells;
           float* dwrow = dw->data() + static_cast<std::size_t>(oc) * patch;
-          for (int p = 0; p < patch; ++p) {
-            const float* crow =
-                cols.data() + static_cast<std::size_t>(p) * cells;
-            float acc = 0.0f;
-            for (int cell = t0; cell < t1; ++cell)
-              acc += grow[cell] * crow[cell];
-            dwrow[p] += acc;
+          for (int t0 = 0; t0 < cells; t0 += kTile) {
+            const int t1 = std::min(cells, t0 + kTile);
+            for (int p = 0; p < patch; ++p) {
+              const float* crow =
+                  cols.data() + static_cast<std::size_t>(p) * cells;
+              float acc = 0.0f;
+              for (int cell = t0; cell < t1; ++cell)
+                acc += grow[cell] * crow[cell];
+              dwrow[p] += acc;
+            }
           }
         }
-      }
+      });
     }
     if (db != nullptr) {
       for (int oc = 0; oc < spec.out_channels; ++oc) {
@@ -154,22 +169,31 @@ void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
       // Same cell tiling: the dcols tile stays hot across output channels.
       dcols.assign(static_cast<std::size_t>(patch) * cells, 0.0f);
       constexpr int kTile = 512;
-      for (int t0 = 0; t0 < cells; t0 += kTile) {
-        const int t1 = std::min(cells, t0 + kTile);
-        for (int oc = 0; oc < spec.out_channels; ++oc) {
-          const float* wrow = w.data() + static_cast<std::size_t>(oc) * patch;
-          const float* grow =
-              dy.data() +
-              (static_cast<std::size_t>(n) * spec.out_channels + oc) * cells;
-          for (int p = 0; p < patch; ++p) {
-            const float wv = wrow[p];
-            if (wv == 0.0f) continue;
-            float* drow = dcols.data() + static_cast<std::size_t>(p) * cells;
-            for (int cell = t0; cell < t1; ++cell)
-              drow[cell] += wv * grow[cell];
+      // Tiles own disjoint dcols cell ranges; the (oc, p) accumulation order
+      // within a tile matches the serial kernel.
+      const int num_tiles = (cells + kTile - 1) / kTile;
+      parallel_for(num_tiles, 1, [&](std::int64_t tb, std::int64_t te) {
+        for (std::int64_t t = tb; t < te; ++t) {
+          const int t0 = static_cast<int>(t) * kTile;
+          const int t1 = std::min(cells, t0 + kTile);
+          for (int oc = 0; oc < spec.out_channels; ++oc) {
+            const float* wrow =
+                w.data() + static_cast<std::size_t>(oc) * patch;
+            const float* grow =
+                dy.data() +
+                (static_cast<std::size_t>(n) * spec.out_channels + oc) *
+                    cells;
+            for (int p = 0; p < patch; ++p) {
+              const float wv = wrow[p];
+              if (wv == 0.0f) continue;
+              float* drow =
+                  dcols.data() + static_cast<std::size_t>(p) * cells;
+              for (int cell = t0; cell < t1; ++cell)
+                drow[cell] += wv * grow[cell];
+            }
           }
         }
-      }
+      });
       col2im(dcols, n, spec, oh, ow, dx);
     }
   }

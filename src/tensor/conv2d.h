@@ -17,10 +17,14 @@ struct ConvSpec {
   int kernel = 3;   ///< square kernel, k x k
   int stride = 1;
   int pad = 1;      ///< symmetric zero padding
+  int dilation = 1; ///< tap spacing; k=3, dilation=d spans 2d+1 input pixels
+
+  /// Effective kernel extent including dilation gaps.
+  int effective_kernel() const { return dilation * (kernel - 1) + 1; }
 
   /// Output spatial size for the given input size (floor semantics).
   int out_dim(int in_dim) const {
-    return (in_dim + 2 * pad - kernel) / stride + 1;
+    return (in_dim + 2 * pad - effective_kernel()) / stride + 1;
   }
 
   /// Number of weight elements: out_c * in_c * k * k.

@@ -4,20 +4,38 @@
 #include <cassert>
 #include <cmath>
 
+#include "runtime/thread_pool.h"
+
 namespace ada {
+
+namespace {
+
+// Below this many elements the parallel_for dispatch costs more than the
+// loop; the pool runs smaller tensors inline.
+constexpr std::int64_t kElementwiseGrain = 1 << 14;
+
+}  // namespace
 
 void axpy(float alpha, const Tensor& x, Tensor* y) {
   assert(x.same_shape(*y));
   const float* xs = x.data();
   float* ys = y->data();
-  for (std::size_t i = 0; i < x.size(); ++i) ys[i] += alpha * xs[i];
+  parallel_for(static_cast<std::int64_t>(x.size()), kElementwiseGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i)
+                   ys[i] += alpha * xs[i];
+               });
 }
 
 void relu_forward(const Tensor& x, Tensor* y) {
   if (!x.same_shape(*y)) *y = Tensor(x.n(), x.c(), x.h(), x.w());
   const float* xs = x.data();
   float* ys = y->data();
-  for (std::size_t i = 0; i < x.size(); ++i) ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
+  parallel_for(static_cast<std::int64_t>(x.size()), kElementwiseGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i)
+                   ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
+               });
 }
 
 void relu_backward(const Tensor& x, const Tensor& dy, Tensor* dx) {
@@ -25,13 +43,19 @@ void relu_backward(const Tensor& x, const Tensor& dy, Tensor* dx) {
   const float* xs = x.data();
   const float* ds = dy.data();
   float* out = dx->data();
-  for (std::size_t i = 0; i < x.size(); ++i)
-    if (xs[i] > 0.0f) out[i] += ds[i];
+  parallel_for(static_cast<std::int64_t>(x.size()), kElementwiseGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i)
+                   if (xs[i] > 0.0f) out[i] += ds[i];
+               });
 }
 
 void scale(Tensor* x, float alpha) {
   float* xs = x->data();
-  for (std::size_t i = 0; i < x->size(); ++i) xs[i] *= alpha;
+  parallel_for(static_cast<std::int64_t>(x->size()), kElementwiseGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) xs[i] *= alpha;
+               });
 }
 
 void global_avg_pool_forward(const Tensor& x, Tensor* y) {

@@ -14,9 +14,10 @@
 
 namespace ada {
 
+/// Tuning knobs for seq_nms(); defaults follow Han et al.
 struct SeqNmsConfig {
-  float link_iou = 0.5f;
-  float suppress_iou = 0.3f;
+  float link_iou = 0.5f;       ///< min IoU to link boxes across frames
+  float suppress_iou = 0.3f;   ///< same-frame suppression around path boxes
   bool rescore_avg = true;  ///< true: average; false: max
   int max_iterations = 10000;  ///< safety bound
 };

@@ -27,8 +27,8 @@ void conv_reference(const ConvSpec& s, const Tensor& x, const Tensor& w,
           for (int ic = 0; ic < s.in_channels; ++ic)
             for (int ki = 0; ki < s.kernel; ++ki)
               for (int kj = 0; kj < s.kernel; ++kj) {
-                const int hi = i * s.stride - s.pad + ki;
-                const int wj = j * s.stride - s.pad + kj;
+                const int hi = i * s.stride - s.pad + ki * s.dilation;
+                const int wj = j * s.stride - s.pad + kj * s.dilation;
                 if (hi < 0 || hi >= x.h() || wj < 0 || wj >= x.w()) continue;
                 acc += static_cast<double>(x.at(n, ic, hi, wj)) *
                        w.at(oc, ic, ki, kj);
@@ -172,6 +172,83 @@ TEST(Conv2d, BackwardAccumulates) {
   conv2d_backward(s, x, w, dy, nullptr, &dw2, nullptr);
   for (std::size_t i = 0; i < dw1.size(); ++i)
     EXPECT_NEAR(dw2[i], 2.0f * dw1[i], 1e-4f);
+}
+
+TEST(Conv2d, DilatedForwardMatchesReference) {
+  // dilation=2, pad=2 keeps the spatial size for k=3 (effective kernel 5).
+  Rng rng(23);
+  ConvSpec s{2, 3, 3, 1, 2, 2};
+  EXPECT_EQ(s.effective_kernel(), 5);
+  Tensor x = Tensor::chw(2, 7, 9);
+  fill_random(&x, &rng);
+  Tensor w(3, 2, 3, 3);
+  fill_random(&w, &rng);
+  Tensor b(1, 3, 1, 1);
+  fill_random(&b, &rng);
+
+  Tensor y, ref;
+  conv2d_forward(s, x, w, b, &y);
+  conv_reference(s, x, w, b, &ref);
+  ASSERT_TRUE(y.same_shape(ref));
+  EXPECT_EQ(y.h(), 7);
+  EXPECT_EQ(y.w(), 9);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-4f);
+}
+
+/// Numerical gradient check of the dilated backward path (the detector's
+/// conv4 runs with dilation 4; the plain checks above only cover dilation 1,
+/// where the dilated indexing degenerates to the old code).
+TEST(Conv2d, DilatedGradientsMatchNumerical) {
+  Rng rng(29);
+  ConvSpec s{2, 3, 3, 1, 2, 2};
+  Tensor x = Tensor::chw(2, 6, 5);
+  fill_random(&x, &rng, 0.5f);
+  Tensor w(3, 2, 3, 3);
+  fill_random(&w, &rng, 0.5f);
+  Tensor b(1, 3, 1, 1);
+  fill_random(&b, &rng, 0.5f);
+
+  Tensor y;
+  conv2d_forward(s, x, w, b, &y);
+  Tensor r(y.n(), y.c(), y.h(), y.w());
+  fill_random(&r, &rng, 1.0f);
+
+  Tensor dx(x.n(), x.c(), x.h(), x.w());
+  Tensor dw(w.n(), w.c(), w.h(), w.w());
+  Tensor db(1, 3, 1, 1);
+  conv2d_backward(s, x, w, r, &dx, &dw, &db);
+
+  auto loss = [&](const Tensor& xx, const Tensor& ww, const Tensor& bb) {
+    Tensor yy;
+    conv2d_forward(s, xx, ww, bb, &yy);
+    double acc = 0;
+    for (std::size_t i = 0; i < yy.size(); ++i)
+      acc += static_cast<double>(yy[i]) * r[i];
+    return acc;
+  };
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); i += 7) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double num = (loss(xp, w, b) - loss(xm, w, b)) / (2 * eps);
+    EXPECT_NEAR(dx[i], num, 5e-2) << "dx[" << i << "]";
+  }
+  for (std::size_t i = 0; i < w.size(); i += 5) {
+    Tensor wp = w, wm = w;
+    wp[i] += eps;
+    wm[i] -= eps;
+    const double num = (loss(x, wp, b) - loss(x, wm, b)) / (2 * eps);
+    EXPECT_NEAR(dw[i], num, 5e-2) << "dw[" << i << "]";
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    Tensor bp = b, bm = b;
+    bp[i] += eps;
+    bm[i] -= eps;
+    const double num = (loss(x, w, bp) - loss(x, w, bm)) / (2 * eps);
+    EXPECT_NEAR(db[i], num, 5e-2) << "db[" << i << "]";
+  }
 }
 
 }  // namespace

