@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "detection/detector.h"
 #include "detection/nms.h"
+#include "tensor/gemm.h"
 #include "tensor/image_ops.h"
 #include "video/optical_flow.h"
 #include "video/seq_nms.h"
@@ -50,6 +51,39 @@ void BM_DetectorForward(benchmark::State& state) {
       f.detector->forward_macs(img.h(), img.w()));
 }
 BENCHMARK(BM_DetectorForward)->Arg(600)->Arg(480)->Arg(360)->Arg(240)->Arg(128);
+
+// Backbone conv stack at scale 600 under each GEMM backend — the headline
+// comparison for the packed-kernel work (ISSUE 2 acceptance: packed ≥2x
+// reference single-core).  Measures Detector::forward only (convs + pools +
+// heads), no anchor decode / NMS.
+void backbone_forward_600(benchmark::State& state, GemmBackend backend) {
+  Fixture& f = fixture();
+  const GemmBackend saved = gemm_backend();
+  set_gemm_backend(backend);
+  const Renderer renderer = f.dataset.make_renderer();
+  const Tensor img = renderer.render_at_scale(
+      *f.dataset.val_frames()[0], 600, f.dataset.scale_policy());
+  for (auto _ : state) {
+    f.detector->forward(img);
+    benchmark::DoNotOptimize(f.detector->features());
+  }
+  const double macs =
+      static_cast<double>(f.detector->forward_macs(img.h(), img.w()));
+  state.counters["gflops"] = benchmark::Counter(
+      2.0 * macs * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+  set_gemm_backend(saved);
+}
+
+void BM_BackboneForward600_Packed(benchmark::State& state) {
+  backbone_forward_600(state, GemmBackend::kPacked);
+}
+BENCHMARK(BM_BackboneForward600_Packed);
+
+void BM_BackboneForward600_Reference(benchmark::State& state) {
+  backbone_forward_600(state, GemmBackend::kReference);
+}
+BENCHMARK(BM_BackboneForward600_Reference);
 
 void BM_RegressorPredict(benchmark::State& state) {
   Fixture& f = fixture();

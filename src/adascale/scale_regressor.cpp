@@ -9,7 +9,9 @@ namespace ada {
 
 std::string RegressorConfig::fingerprint() const {
   std::ostringstream os;
-  os << "reg:c=" << in_channels << ":k=";
+  // v2: GEMM-backed kernels (PR 2) — retrain rather than reuse caches
+  // trained under the pre-GEMM accumulation order.
+  os << "reg:v2:c=" << in_channels << ":k=";
   for (int k : kernels) os << k << ',';
   os << ":s=" << stream_channels;
   return os.str();
@@ -21,7 +23,11 @@ ScaleRegressor::ScaleRegressor(const RegressorConfig& cfg, Rng* rng)
   for (int k : cfg_.kernels) {
     Stream s;
     s.conv = std::make_unique<Conv2dLayer>(cfg_.in_channels,
-                                           cfg_.stream_channels, k, 1, k / 2);
+                                           cfg_.stream_channels, k, 1, k / 2,
+                                           /*dilation=*/1, /*fuse_relu=*/true);
+    // predict() is the hot path; train_step() re-enables caching around
+    // its forward.
+    s.conv->set_training(false);
     s.conv->init_he(rng);
     streams_.push_back(std::move(s));
   }
@@ -34,9 +40,8 @@ void ScaleRegressor::forward(const Tensor& features) {
   if (concat_.c() != total) concat_ = Tensor(1, total, 1, 1);
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     Stream& s = streams_[i];
-    s.conv->forward(features, &s.conv_out);
-    s.relu.forward(s.conv_out, &s.relu_out);
-    s.gap.forward(s.relu_out, &s.pooled);
+    s.conv->forward(features, &s.conv_out);  // ReLU fused into the conv
+    s.gap.forward(s.conv_out, &s.pooled);
     for (int c = 0; c < sc; ++c)
       concat_.at(0, static_cast<int>(i) * sc + c, 0, 0) = s.pooled.at(0, c, 0, 0);
   }
@@ -53,6 +58,10 @@ float ScaleRegressor::predict(const Tensor& features) {
 float ScaleRegressor::train_step(const Tensor& features, float target,
                                  Sgd* opt) {
   opt->zero_grad();
+  // Fused conv+ReLU streams only cache their backward mask in training
+  // mode; toggled back off after the backward below, which also releases
+  // the cached activations.
+  for (Stream& s : streams_) s.conv->set_training(true);
   forward(features);
 
   float dpred = 0.0f;
@@ -69,12 +78,11 @@ float ScaleRegressor::train_step(const Tensor& features, float target,
     Tensor dpool(1, sc, 1, 1);
     for (int c = 0; c < sc; ++c)
       dpool.at(0, c, 0, 0) = dconcat.at(0, static_cast<int>(i) * sc + c, 0, 0);
-    Tensor drelu(1, sc, s.relu_out.h(), s.relu_out.w());
-    s.gap.backward(dpool, &drelu);
     Tensor dconv(1, sc, s.conv_out.h(), s.conv_out.w());
-    s.relu.backward(drelu, &dconv);
-    s.conv->backward(dconv, nullptr);  // features frozen: no input grad
+    s.gap.backward(dpool, &dconv);
+    s.conv->backward(dconv, nullptr);  // masks by ReLU sign; features frozen
   }
+  for (Stream& s : streams_) s.conv->set_training(false);
   opt->step();
   return loss;
 }

@@ -54,12 +54,12 @@ class ScaleRegressor {
   double last_predict_ms() const { return last_predict_ms_; }
 
  private:
-  /// One conv→ReLU→GAP stream.
+  /// One conv→ReLU→GAP stream; the ReLU is fused into the conv's GEMM
+  /// write-out (bit-identical, one less pass per prediction).
   struct Stream {
-    std::unique_ptr<Conv2dLayer> conv;
-    ReluLayer relu;
+    std::unique_ptr<Conv2dLayer> conv;  ///< fuse_relu = true
     GlobalAvgPoolLayer gap;
-    Tensor conv_out, relu_out, pooled;
+    Tensor conv_out, pooled;
   };
 
   /// Forward through streams; fills pooled concat vector.

@@ -13,7 +13,7 @@ namespace ada {
 
 std::string DetectorConfig::fingerprint() const {
   std::ostringstream os;
-  os << "det:v4:k=" << num_classes << ":c=" << c1 << '/' << c2 << '/' << c3
+  os << "det:v5:k=" << num_classes << ":c=" << c1 << '/' << c2 << '/' << c3
      << ":stride=" << anchors.stride << ":sizes=";
   for (float s : anchors.sizes) os << s << ',';
   os << ":aspects=";
@@ -27,23 +27,32 @@ Detector::Detector(const DetectorConfig& cfg, Rng* rng)
       cls_head_(cfg.c3, cfg.anchors.per_cell() * (cfg.num_classes + 1), 1, 1,
                 0),
       reg_head_(cfg.c3, cfg.anchors.per_cell() * 4, 1, 1, 0) {
-  // Backbone: three conv/ReLU/pool stages to stride 8, plus one stride-8
-  // conv that widens the receptive field for large objects.
-  auto* conv1 = backbone_.emplace<Conv2dLayer>(3, cfg.c1, 3, 1, 1);
-  backbone_.emplace<ReluLayer>();
+  // Backbone: three conv/pool stages to stride 8, plus one stride-8 conv
+  // that widens the receptive field for large objects.  Every conv fuses
+  // bias+ReLU into the GEMM write-out (one pass over each activation tensor
+  // instead of three: conv write, relu read+write, relu input cache).
+  auto* conv1 =
+      backbone_.emplace<Conv2dLayer>(3, cfg.c1, 3, 1, 1, 1, /*fuse_relu=*/true);
   backbone_.emplace<MaxPool2Layer>();
-  auto* conv2 = backbone_.emplace<Conv2dLayer>(cfg.c1, cfg.c2, 3, 1, 1);
-  backbone_.emplace<ReluLayer>();
+  auto* conv2 = backbone_.emplace<Conv2dLayer>(cfg.c1, cfg.c2, 3, 1, 1, 1,
+                                               /*fuse_relu=*/true);
   backbone_.emplace<MaxPool2Layer>();
-  auto* conv3 = backbone_.emplace<Conv2dLayer>(cfg.c2, cfg.c3, 3, 1, 1);
-  backbone_.emplace<ReluLayer>();
+  auto* conv3 = backbone_.emplace<Conv2dLayer>(cfg.c2, cfg.c3, 3, 1, 1, 1,
+                                               /*fuse_relu=*/true);
   backbone_.emplace<MaxPool2Layer>();
   // Dilation 4 at stride 8 grows the receptive field from ~38 px to ~86 px;
   // without it the heads see a window far smaller than the ~100-140 px
   // objects at scale 600 and cannot localize them (mAP at 600 collapses).
   auto* conv4 = backbone_.emplace<Conv2dLayer>(cfg.c3, cfg.c3, 3, 1, 4,
-                                               /*dilation=*/4);
-  backbone_.emplace<ReluLayer>();
+                                               /*dilation=*/4,
+                                               /*fuse_relu=*/true);
+
+  // Layers cache backward state by default; this object owns its training
+  // entry points (loss_impl toggles the flag around the forward), so keep
+  // the hot inference path copy-free.
+  backbone_.set_training(false);
+  cls_head_.set_training(false);
+  reg_head_.set_training(false);
 
   conv1->init_he(rng);
   conv2->init_he(rng);
@@ -151,6 +160,14 @@ DetectionOutput Detector::detect_from_features(const Tensor& features,
 
 float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
                           Rng* rng, bool train) {
+  // Let the layers cache their backward state (input copies, fused ReLU
+  // masks) only when a backward pass is actually coming; plain
+  // detect()/forward() stays copy-free.  Toggled back off at the end of
+  // this function — after the backward — which also releases the cached
+  // activation tensors.
+  backbone_.set_training(train);
+  cls_head_.set_training(train);
+  reg_head_.set_training(train);
   forward(image);
   const Tensor& cls = heads_.cls;
   const Tensor& reg = heads_.reg;
@@ -271,6 +288,9 @@ float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
       dfeat_cls[k] += dfeat_reg[k];
     backbone_.backward(dfeat_cls, nullptr);
   }
+  backbone_.set_training(false);
+  cls_head_.set_training(false);
+  reg_head_.set_training(false);
   return static_cast<float>(total);
 }
 
@@ -295,22 +315,26 @@ std::vector<Param*> Detector::parameters() {
   return out;
 }
 
+std::vector<Detector::ConvStackEntry> Detector::conv_stack(int img_h,
+                                                           int img_w) const {
+  std::vector<ConvStackEntry> out;
+  int h = img_h, w = img_w;
+  out.push_back({"conv1", ConvSpec{3, cfg_.c1, 3, 1, 1}, h, w});
+  h /= 2; w /= 2;
+  out.push_back({"conv2", ConvSpec{cfg_.c1, cfg_.c2, 3, 1, 1}, h, w});
+  h /= 2; w /= 2;
+  out.push_back({"conv3", ConvSpec{cfg_.c2, cfg_.c3, 3, 1, 1}, h, w});
+  h /= 2; w /= 2;
+  out.push_back({"conv4", ConvSpec{cfg_.c3, cfg_.c3, 3, 1, 4, 4}, h, w});
+  out.push_back({"cls_head", cls_head_.spec(), h, w});
+  out.push_back({"reg_head", reg_head_.spec(), h, w});
+  return out;
+}
+
 long long Detector::forward_macs(int img_h, int img_w) const {
   long long total = 0;
-  int h = img_h, w = img_w;
-  ConvSpec s1{3, cfg_.c1, 3, 1, 1};
-  total += conv2d_macs(s1, h, w);
-  h /= 2; w /= 2;
-  ConvSpec s2{cfg_.c1, cfg_.c2, 3, 1, 1};
-  total += conv2d_macs(s2, h, w);
-  h /= 2; w /= 2;
-  ConvSpec s3{cfg_.c2, cfg_.c3, 3, 1, 1};
-  total += conv2d_macs(s3, h, w);
-  h /= 2; w /= 2;
-  ConvSpec s4{cfg_.c3, cfg_.c3, 3, 1, 4, 4};
-  total += conv2d_macs(s4, h, w);
-  total += conv2d_macs(cls_head_.spec(), h, w);
-  total += conv2d_macs(reg_head_.spec(), h, w);
+  for (const ConvStackEntry& e : conv_stack(img_h, img_w))
+    total += conv2d_macs(e.spec, e.in_h, e.in_w);
   return total;
 }
 

@@ -101,6 +101,20 @@ class Detector {
   /// All learnable parameters (for optimizers and serialization).
   std::vector<Param*> parameters();
 
+  /// One convolution of the forward stack with the input resolution it
+  /// runs at.
+  struct ConvStackEntry {
+    const char* name;
+    ConvSpec spec;
+    int in_h = 0, in_w = 0;
+  };
+
+  /// The convolutions forward() executes at the given image size, in
+  /// execution order — the single source of truth for forward_macs and for
+  /// perf tooling (tools/bench_report) so shape lists cannot drift from
+  /// the real architecture.
+  std::vector<ConvStackEntry> conv_stack(int img_h, int img_w) const;
+
   /// Multiply-accumulate count of one forward at the given image size;
   /// proportional to the ideal runtime at that scale.
   long long forward_macs(int img_h, int img_w) const;

@@ -38,6 +38,14 @@ class Layer {
   /// Appends this layer's learnable parameters (may be none).
   virtual void collect_params(std::vector<Param*>* out) { (void)out; }
 
+  /// Hints whether upcoming forward() calls feed a backward().  Layers
+  /// default to training mode (every forward caches backward state, the
+  /// legacy contract), and inference-owning objects (Detector,
+  /// ScaleRegressor) switch their layers to false so hot-path forwards
+  /// skip activation copies that exist purely for gradients.  Containers
+  /// propagate to children.  Default: ignore the hint.
+  virtual void set_training(bool training) { (void)training; }
+
   /// Short identifier for logging / serialization sanity checks.
   virtual std::string name() const = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "tensor/linear.h"
 #include "tensor/ops.h"
@@ -10,7 +12,8 @@ namespace ada {
 
 // ---------------------------------------------------------------- Conv2d
 Conv2dLayer::Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad,
-                         int dilation) {
+                         int dilation, bool fuse_relu)
+    : fuse_relu_(fuse_relu) {
   spec_ = ConvSpec{in_c, out_c, kernel, stride, pad, dilation};
   w_.value = Tensor(out_c, in_c, kernel, kernel);
   w_.grad = Tensor(out_c, in_c, kernel, kernel);
@@ -28,20 +31,61 @@ void Conv2dLayer::init_he(Rng* rng) {
 }
 
 void Conv2dLayer::forward(const Tensor& x, Tensor* y) {
-  cached_x_ = x;
-  conv2d_forward(spec_, x, w_.value, b_.value, y);
+  // Backward state (input copy; in fused mode also the output copy that
+  // sources the ReLU mask, valid since [y > 0] ≡ [pre-relu > 0]) is only
+  // kept in training mode — inference forwards make no activation copies.
+  backward_ready_ = training_;
+  if (training_) cached_x_ = x;
+  conv2d_forward(spec_, x, w_.value, b_.value, y, fuse_relu_);
+  if (fuse_relu_ && training_) cached_y_ = *y;
 }
 
 void Conv2dLayer::backward(const Tensor& dy, Tensor* dx) {
+  // A backward against state from a non-training (or missing) forward, or
+  // against a mismatched upstream gradient, would silently produce garbage
+  // gradients — fail loudly (asserts are compiled out in Release).
+  if (!backward_ready_) {
+    std::fprintf(stderr,
+                 "Conv2dLayer: backward requires set_training(true) before "
+                 "the matching forward\n");
+    std::abort();
+  }
+  if (fuse_relu_ && !dy.same_shape(cached_y_)) {
+    std::fprintf(stderr,
+                 "Conv2dLayer: fused backward got dy %s but cached output %s\n",
+                 dy.shape_str().c_str(), cached_y_.shape_str().c_str());
+    std::abort();
+  }
   if (dx != nullptr && !dx->same_shape(cached_x_)) {
     *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
   }
-  conv2d_backward(spec_, cached_x_, w_.value, dy, dx, &w_.grad, &b_.grad);
+  const Tensor* dconv = &dy;
+  if (fuse_relu_) {
+    if (!masked_dy_.same_shape(dy))
+      masked_dy_ = Tensor(dy.n(), dy.c(), dy.h(), dy.w());
+    for (std::size_t i = 0; i < dy.size(); ++i)
+      masked_dy_[i] = cached_y_[i] > 0.0f ? dy[i] : 0.0f;
+    dconv = &masked_dy_;
+  }
+  conv2d_backward(spec_, cached_x_, w_.value, *dconv, dx, &w_.grad, &b_.grad);
 }
 
 void Conv2dLayer::collect_params(std::vector<Param*>* out) {
   out->push_back(&w_);
   out->push_back(&b_);
+}
+
+void Conv2dLayer::set_training(bool training) {
+  training_ = training;
+  if (!training) {
+    // Free the backward-state tensors (callers toggle off only after the
+    // backward has consumed them); the guard below keeps a subsequent
+    // backward from running against the released state.
+    cached_x_ = Tensor();
+    cached_y_ = Tensor();
+    masked_dy_ = Tensor();
+    backward_ready_ = false;
+  }
 }
 
 // ------------------------------------------------------------------ ReLU
@@ -73,15 +117,16 @@ void MaxPool2Layer::backward(const Tensor& dy, Tensor* dx) {
 
 // ------------------------------------------------------------------- GAP
 void GlobalAvgPoolLayer::forward(const Tensor& x, Tensor* y) {
-  cached_x_ = x;
+  in_n_ = x.n(); in_c_ = x.c(); in_h_ = x.h(); in_w_ = x.w();
   global_avg_pool_forward(x, y);
 }
 
 void GlobalAvgPoolLayer::backward(const Tensor& dy, Tensor* dx) {
   if (dx == nullptr) return;
-  if (!dx->same_shape(cached_x_))
-    *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
-  global_avg_pool_backward(cached_x_, dy, dx);
+  if (dx->n() != in_n_ || dx->c() != in_c_ || dx->h() != in_h_ ||
+      dx->w() != in_w_)
+    *dx = Tensor(in_n_, in_c_, in_h_, in_w_);
+  global_avg_pool_backward(*dx, dy, dx);
 }
 
 // ---------------------------------------------------------------- Linear

@@ -1,5 +1,5 @@
-// Concrete layers: Conv2d (+ReLU fusion option), MaxPool2, ReLU, Linear,
-// GlobalAvgPool, and a Sequential container.
+// Concrete layers: Conv2d (with optional fused bias+ReLU epilogue), MaxPool2,
+// ReLU, Linear, GlobalAvgPool, and a Sequential container.
 #pragma once
 
 #include <memory>
@@ -12,29 +12,45 @@
 
 namespace ada {
 
-/// 2-D convolution layer with bias.
+/// 2-D convolution layer with bias.  With fuse_relu the ReLU activation is
+/// applied inside the GEMM write-out — bit-identical to a separate
+/// ReluLayer, but inference makes no extra pass over the activation at all,
+/// and training trades ReluLayer's input copy + ReLU pass for one output
+/// copy (the backward mask source, kept only under set_training(true)).
 class Conv2dLayer : public Layer {
  public:
   Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad,
-              int dilation = 1);
+              int dilation = 1, bool fuse_relu = false);
 
   void forward(const Tensor& x, Tensor* y) override;
   void backward(const Tensor& dy, Tensor* dx) override;
   void collect_params(std::vector<Param*>* out) override;
-  std::string name() const override { return "conv2d"; }
+  /// Leaving training mode also releases the cached activation tensors, so
+  /// a detector that trained at scale 600 does not pin tens of MB per layer
+  /// (per stream clone) while serving inference.
+  void set_training(bool training) override;
+  std::string name() const override {
+    return fuse_relu_ ? "conv2d+relu" : "conv2d";
+  }
 
   /// He-normal weight initialization, zero bias.
   void init_he(Rng* rng);
 
   const ConvSpec& spec() const { return spec_; }
+  bool fused_relu() const { return fuse_relu_; }
   Param& weight() { return w_; }
   Param& bias() { return b_; }
 
  private:
   ConvSpec spec_;
+  bool fuse_relu_ = false;
+  bool training_ = true;        ///< default on: forward→backward just works
+  bool backward_ready_ = false; ///< last forward ran in training mode
   Param w_;
   Param b_;
-  Tensor cached_x_;
+  Tensor cached_x_;  ///< training only: input, for dW / dX
+  Tensor cached_y_;  ///< fused training only: output, for the ReLU mask
+  Tensor masked_dy_; ///< fused training only: dy ⊙ [y > 0] workspace
 };
 
 /// ReLU activation.
@@ -60,7 +76,9 @@ class MaxPool2Layer : public Layer {
   int in_n_ = 0, in_c_ = 0, in_h_ = 0, in_w_ = 0;
 };
 
-/// Global average pooling to 1x1.
+/// Global average pooling to 1x1.  Backward needs only the input *shape*,
+/// so no activation is ever copied (this sits on the scale regressor's
+/// per-frame predict path).
 class GlobalAvgPoolLayer : public Layer {
  public:
   void forward(const Tensor& x, Tensor* y) override;
@@ -68,7 +86,7 @@ class GlobalAvgPoolLayer : public Layer {
   std::string name() const override { return "gap"; }
 
  private:
-  Tensor cached_x_;
+  int in_n_ = 0, in_c_ = 0, in_h_ = 0, in_w_ = 0;
 };
 
 /// Fully-connected layer.
@@ -109,6 +127,9 @@ class Sequential : public Layer {
   void forward(const Tensor& x, Tensor* y) override;
   void backward(const Tensor& dy, Tensor* dx) override;
   void collect_params(std::vector<Param*>* out) override;
+  void set_training(bool training) override {
+    for (auto& l : layers_) l->set_training(training);
+  }
   std::string name() const override { return "sequential"; }
 
   std::size_t size() const { return layers_.size(); }

@@ -1,0 +1,62 @@
+#include "runtime/scratch.h"
+
+#include <algorithm>
+#include <new>
+
+namespace ada {
+
+namespace {
+constexpr std::size_t kFloatsPerLine =
+    ScratchArena::kAlignment / sizeof(float);
+
+std::size_t round_up(std::size_t n) {
+  return (n + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+}
+}  // namespace
+
+ScratchArena::Block ScratchArena::make_block(std::size_t floats) {
+  return Block(static_cast<float*>(::operator new[](
+      floats * sizeof(float), std::align_val_t(kAlignment))));
+}
+
+float* ScratchArena::alloc(std::size_t count) {
+  const std::size_t need = round_up(std::max<std::size_t>(count, 1));
+  if (top_ + need <= cap_) {
+    float* p = buf_.get() + top_;
+    top_ += need;
+    high_water_ = std::max(high_water_, top_ + live_overflow_);
+    return p;
+  }
+  // Warm-up path: serve from a dedicated overflow block so pointers handed
+  // out earlier in this frame stay valid, and remember the total demand so
+  // the main buffer can grow once it drains.
+  overflow_.push_back(make_block(need));
+  overflow_sizes_.push_back(need);
+  live_overflow_ += need;
+  ++heap_allocs_;
+  high_water_ = std::max(high_water_, top_ + live_overflow_);
+  return overflow_.back().get();
+}
+
+void ScratchArena::release(std::size_t mark, std::size_t overflow_mark) {
+  top_ = mark;
+  while (overflow_.size() > overflow_mark) {
+    live_overflow_ -= overflow_sizes_.back();
+    overflow_.pop_back();
+    overflow_sizes_.pop_back();
+  }
+  // Once the arena is completely empty, grow the main buffer to the largest
+  // demand seen so the next frame stack runs allocation-free.
+  if (top_ == 0 && live_overflow_ == 0 && high_water_ > cap_) {
+    buf_ = make_block(high_water_);
+    cap_ = high_water_;
+    ++heap_allocs_;
+  }
+}
+
+ScratchArena& scratch_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace ada

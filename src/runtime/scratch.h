@@ -1,0 +1,104 @@
+// Thread-local scratch arena for kernel workspaces.
+//
+// The conv/GEMM hot path needs several large temporary buffers per call
+// (im2col column matrices, gradient columns, packed GEMM panels).  Before
+// this arena existed each call re-allocated and zero-filled them, so the
+// training loop and every MultiStreamRunner stream hammered the global
+// allocator from multiple threads at once.  The arena replaces that with a
+// per-thread bump allocator that keeps its high-water capacity across calls:
+// steady-state kernel execution performs no heap allocation at all.
+//
+// Contract:
+//   * One arena per thread (scratch_arena() returns the calling thread's
+//     instance), so concurrent streams can never alias each other's buffers.
+//   * Allocations are scoped by ScratchFrame (RAII mark/release).  Frames
+//     nest: a conv frame holds the column matrix while the GEMM underneath
+//     opens its own frame for packing panels.
+//   * Every allocation is 64-byte aligned so packed kernels and Tensor reads
+//     can use full-cacheline (and SIMD-aligned) accesses.
+//   * Growth only happens while a request does not fit; the arena then
+//     serves the request from an overflow block and enlarges the main buffer
+//     the next time it is completely empty.  After warm-up, reuse is 100%.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ada {
+
+/// Per-thread bump allocator with RAII frames.  Not thread-safe by design:
+/// each thread talks only to its own instance (see scratch_arena()).
+class ScratchArena {
+ public:
+  static constexpr std::size_t kAlignment = 64;  ///< bytes; one cache line
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns a 64-byte-aligned buffer of `count` floats.  Contents are
+  /// uninitialized.  Valid until the enclosing ScratchFrame is destroyed.
+  float* alloc(std::size_t count);
+
+  /// Floats currently reserved by live frames (main buffer only).
+  std::size_t in_use() const { return top_; }
+
+  /// Capacity of the main buffer, in floats.
+  std::size_t capacity() const { return cap_; }
+
+  /// Number of times the arena had to hit the real allocator.  Stable across
+  /// repeated identical workloads once warmed up — tests assert on this.
+  std::size_t heap_alloc_count() const { return heap_allocs_; }
+
+ private:
+  friend class ScratchFrame;
+
+  void release(std::size_t mark, std::size_t overflow_mark);
+
+  struct FreeDeleter {
+    void operator()(float* p) const { ::operator delete[](
+        p, std::align_val_t(kAlignment)); }
+  };
+  using Block = std::unique_ptr<float[], FreeDeleter>;
+
+  static Block make_block(std::size_t floats);
+
+  Block buf_;                    ///< main bump buffer
+  std::size_t cap_ = 0;          ///< main buffer capacity (floats)
+  std::size_t top_ = 0;          ///< bump pointer (floats)
+  std::size_t high_water_ = 0;   ///< max total demand seen in one frame stack
+  std::size_t live_overflow_ = 0;  ///< floats currently served from overflow
+  std::vector<Block> overflow_;  ///< warm-up only: requests that did not fit
+  std::vector<std::size_t> overflow_sizes_;
+  std::size_t heap_allocs_ = 0;
+};
+
+/// RAII scope for arena allocations: everything alloc()ed after construction
+/// is released on destruction.  Frames must be destroyed in LIFO order,
+/// which scoping guarantees.
+class ScratchFrame {
+ public:
+  explicit ScratchFrame(ScratchArena* arena)
+      : arena_(arena),
+        mark_(arena->top_),
+        overflow_mark_(arena->overflow_.size()) {}
+  ~ScratchFrame() { arena_->release(mark_, overflow_mark_); }
+
+  ScratchFrame(const ScratchFrame&) = delete;
+  ScratchFrame& operator=(const ScratchFrame&) = delete;
+
+  /// Allocates from the underlying arena (convenience).
+  float* alloc(std::size_t count) { return arena_->alloc(count); }
+
+ private:
+  ScratchArena* arena_;
+  std::size_t mark_;
+  std::size_t overflow_mark_;
+};
+
+/// The calling thread's arena.  Never returns null; the arena lives for the
+/// thread's lifetime, so buffer capacity is reused across kernel calls.
+ScratchArena& scratch_arena();
+
+}  // namespace ada

@@ -2,42 +2,68 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
+#include "runtime/scratch.h"
 #include "runtime/thread_pool.h"
+#include "tensor/gemm.h"
 
 namespace ada {
 
 namespace {
 
-/// im2col: unpacks input patches into a (in_c*k*k) x (oh*ow) column matrix.
+/// im2col: unpacks input patches into a (in_c*k*k) x (oh*ow) column matrix
+/// held in the caller's scratch buffer.  Only pad-clipped edge cells are
+/// zeroed — the interior is written exactly once (memcpy rows for stride 1),
+/// instead of zero-filling the whole buffer and overwriting it.
 void im2col(const Tensor& x, int n, const ConvSpec& s, int oh, int ow,
-            std::vector<float>* cols) {
+            float* cols) {
   const int k = s.kernel;
-  cols->assign(static_cast<std::size_t>(s.in_channels) * k * k * oh * ow,
-               0.0f);
-  float* col = cols->data();
+  float* col = cols;
   for (int c = 0; c < s.in_channels; ++c)
     for (int ki = 0; ki < k; ++ki)
       for (int kj = 0; kj < k; ++kj) {
-        for (int i = 0; i < oh; ++i) {
-          int hi = i * s.stride - s.pad + ki * s.dilation;
-          if (hi < 0 || hi >= x.h()) {
-            col += ow;
+        // Column index j reads input column j*stride + off.
+        const int off = kj * s.dilation - s.pad;
+        const int j_lo =
+            off >= 0 ? 0 : (-off + s.stride - 1) / s.stride;
+        const int j_hi =
+            x.w() - 1 - off >= 0
+                ? std::min(ow - 1, (x.w() - 1 - off) / s.stride)
+                : -1;
+        for (int i = 0; i < oh; ++i, col += ow) {
+          const int hi = i * s.stride - s.pad + ki * s.dilation;
+          if (hi < 0 || hi >= x.h() || j_lo > j_hi) {
+            std::memset(col, 0, static_cast<std::size_t>(ow) * sizeof(float));
             continue;
           }
-          for (int j = 0; j < ow; ++j) {
-            int wj = j * s.stride - s.pad + kj * s.dilation;
-            *col++ = (wj >= 0 && wj < x.w()) ? x.at(n, c, hi, wj) : 0.0f;
+          if (j_lo > 0)
+            std::memset(col, 0, static_cast<std::size_t>(j_lo) * sizeof(float));
+          if (j_hi < ow - 1)
+            std::memset(col + j_hi + 1, 0,
+                        static_cast<std::size_t>(ow - 1 - j_hi) * sizeof(float));
+          const float* src =
+              x.data() +
+              ((static_cast<std::size_t>(n) * x.c() + c) * x.h() + hi) *
+                  x.w() +
+              (j_lo * s.stride + off);
+          if (s.stride == 1) {
+            std::memcpy(col + j_lo, src,
+                        static_cast<std::size_t>(j_hi - j_lo + 1) *
+                            sizeof(float));
+          } else {
+            for (int j = j_lo; j <= j_hi; ++j)
+              col[j] = src[static_cast<std::ptrdiff_t>(j - j_lo) * s.stride];
           }
         }
       }
 }
 
 /// col2im: scatters a column-matrix gradient back into dx (accumulating).
-void col2im(const std::vector<float>& cols, int n, const ConvSpec& s, int oh,
-            int ow, Tensor* dx) {
+void col2im(const float* cols, int n, const ConvSpec& s, int oh, int ow,
+            Tensor* dx) {
   const int k = s.kernel;
-  const float* col = cols.data();
+  const float* col = cols;
   for (int c = 0; c < s.in_channels; ++c)
     for (int ki = 0; ki < k; ++ki)
       for (int kj = 0; kj < k; ++kj) {
@@ -59,7 +85,7 @@ void col2im(const std::vector<float>& cols, int n, const ConvSpec& s, int oh,
 }  // namespace
 
 void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
-                    const Tensor& b, Tensor* y) {
+                    const Tensor& b, Tensor* y, bool fuse_relu) {
   assert(x.c() == spec.in_channels);
   assert(w.n() == spec.out_channels && w.c() == spec.in_channels &&
          w.h() == spec.kernel && w.w() == spec.kernel);
@@ -70,43 +96,25 @@ void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
       y->w() != ow)
     *y = Tensor(x.n(), spec.out_channels, oh, ow);
 
-  const int kk = spec.kernel * spec.kernel;
-  const int patch = spec.in_channels * kk;
+  const int patch = spec.in_channels * spec.kernel * spec.kernel;
   const int cells = oh * ow;
-  // Cell-tiled GEMM: the cols tile (patch x kTile floats) stays in L2 while
-  // every output channel consumes it; untiled, each channel re-streams the
-  // whole column matrix from memory (measured ~3x slower on the training
-  // loop, which dominates this reproduction's single-core budget).
-  constexpr int kTile = 512;
-  std::vector<float> cols;
+
+  // y[oc, :] = W[oc, :] * cols (+ bias, + ReLU) — one GEMM per image, with
+  // the bias/ReLU epilogue fused into the tile write-out so the backbone
+  // never makes a separate pass over the activation tensor.
+  GemmEpilogue epi;
+  epi.row_bias = b.empty() ? nullptr : b.data();
+  epi.relu = fuse_relu;
+  const GemmMat wmat{w.data(), patch, 1};
+
+  ScratchFrame frame(&scratch_arena());
+  float* cols =
+      frame.alloc(static_cast<std::size_t>(patch) * cells);
   for (int n = 0; n < x.n(); ++n) {
-    im2col(x, n, spec, oh, ow, &cols);
-    // y[oc, :] = W[oc, :] * cols + b[oc].  Tiles write disjoint cell ranges,
-    // so they parallelize across the runtime pool with bit-identical output;
-    // within a tile the (oc, p, cell) order matches the serial kernel.
-    const int num_tiles = (cells + kTile - 1) / kTile;
-    parallel_for(num_tiles, 1, [&](std::int64_t tb, std::int64_t te) {
-      for (std::int64_t t = tb; t < te; ++t) {
-        const int t0 = static_cast<int>(t) * kTile;
-        const int t1 = std::min(cells, t0 + kTile);
-        for (int oc = 0; oc < spec.out_channels; ++oc) {
-          const float* wrow = w.data() + static_cast<std::size_t>(oc) * patch;
-          float* yrow =
-              y->data() +
-              (static_cast<std::size_t>(n) * spec.out_channels + oc) * cells;
-          const float bias =
-              b.empty() ? 0.0f : b[static_cast<std::size_t>(oc)];
-          for (int cell = t0; cell < t1; ++cell) yrow[cell] = bias;
-          for (int p = 0; p < patch; ++p) {
-            const float wv = wrow[p];
-            const float* crow =
-                cols.data() + static_cast<std::size_t>(p) * cells;
-            for (int cell = t0; cell < t1; ++cell)
-              yrow[cell] += wv * crow[cell];
-          }
-        }
-      }
-    });
+    im2col(x, n, spec, oh, ow, cols);
+    sgemm(spec.out_channels, cells, patch, wmat, GemmMat{cols, cells, 1},
+          y->data() + static_cast<std::size_t>(n) * spec.out_channels * cells,
+          cells, /*accumulate=*/false, epi);
   }
 }
 
@@ -115,85 +123,49 @@ void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
   const int oh = spec.out_dim(x.h());
   const int ow = spec.out_dim(x.w());
   assert(dy.c() == spec.out_channels && dy.h() == oh && dy.w() == ow);
-  const int kk = spec.kernel * spec.kernel;
-  const int patch = spec.in_channels * kk;
+  const int patch = spec.in_channels * spec.kernel * spec.kernel;
   const int cells = oh * ow;
 
-  std::vector<float> cols;
-  std::vector<float> dcols;
+  ScratchFrame frame(&scratch_arena());
+  float* cols =
+      dw != nullptr
+          ? frame.alloc(static_cast<std::size_t>(patch) * cells)
+          : nullptr;
+  float* dcols =
+      dx != nullptr
+          ? frame.alloc(static_cast<std::size_t>(patch) * cells)
+          : nullptr;
+
   for (int n = 0; n < x.n(); ++n) {
-    im2col(x, n, spec, oh, ow, &cols);
+    const float* dyn =
+        dy.data() + static_cast<std::size_t>(n) * spec.out_channels * cells;
 
     if (dw != nullptr) {
-      // dW[oc, p] += sum_cell dy[oc, cell] * cols[p, cell], cell-tiled like
-      // the forward pass; per-tile float partial sums keep the inner loop
-      // vectorizable (a double accumulator would serialize it) while the
-      // tile size bounds the float summation error.
-      // Parallel over output channels: each channel owns its dwrow and
-      // walks the tiles in ascending order, so the per-(oc, p) summation
-      // order — and the result — matches the serial kernel exactly.
-      constexpr int kTile = 512;
-      parallel_for(spec.out_channels, 4, [&](std::int64_t ob, std::int64_t oe) {
-        for (std::int64_t oc = ob; oc < oe; ++oc) {
-          const float* grow =
-              dy.data() +
-              (static_cast<std::size_t>(n) * spec.out_channels +
-               static_cast<std::size_t>(oc)) * cells;
-          float* dwrow = dw->data() + static_cast<std::size_t>(oc) * patch;
-          for (int t0 = 0; t0 < cells; t0 += kTile) {
-            const int t1 = std::min(cells, t0 + kTile);
-            for (int p = 0; p < patch; ++p) {
-              const float* crow =
-                  cols.data() + static_cast<std::size_t>(p) * cells;
-              float acc = 0.0f;
-              for (int cell = t0; cell < t1; ++cell)
-                acc += grow[cell] * crow[cell];
-              dwrow[p] += acc;
-            }
-          }
-        }
-      });
+      // dW[oc, p] += dy[oc, :] * cols[p, :]^T — GEMM with B read transposed
+      // (stride trick; packing materializes the panels).
+      im2col(x, n, spec, oh, ow, cols);
+      sgemm(spec.out_channels, patch, cells, GemmMat{dyn, cells, 1},
+            GemmMat{cols, 1, cells}, dw->data(), patch,
+            /*accumulate=*/true);
     }
     if (db != nullptr) {
-      for (int oc = 0; oc < spec.out_channels; ++oc) {
-        const float* grow =
-            dy.data() +
-            (static_cast<std::size_t>(n) * spec.out_channels + oc) * cells;
-        double acc = 0.0;
-        for (int cell = 0; cell < cells; ++cell) acc += grow[cell];
-        (*db)[static_cast<std::size_t>(oc)] += static_cast<float>(acc);
-      }
-    }
-    if (dx != nullptr) {
-      // dcols[p, cell] = sum_oc W[oc, p] * dy[oc, cell]; then col2im.
-      // Same cell tiling: the dcols tile stays hot across output channels.
-      dcols.assign(static_cast<std::size_t>(patch) * cells, 0.0f);
-      constexpr int kTile = 512;
-      // Tiles own disjoint dcols cell ranges; the (oc, p) accumulation order
-      // within a tile matches the serial kernel.
-      const int num_tiles = (cells + kTile - 1) / kTile;
-      parallel_for(num_tiles, 1, [&](std::int64_t tb, std::int64_t te) {
-        for (std::int64_t t = tb; t < te; ++t) {
-          const int t0 = static_cast<int>(t) * kTile;
-          const int t1 = std::min(cells, t0 + kTile);
-          for (int oc = 0; oc < spec.out_channels; ++oc) {
-            const float* wrow =
-                w.data() + static_cast<std::size_t>(oc) * patch;
-            const float* grow =
-                dy.data() +
-                (static_cast<std::size_t>(n) * spec.out_channels + oc) *
-                    cells;
-            for (int p = 0; p < patch; ++p) {
-              const float wv = wrow[p];
-              if (wv == 0.0f) continue;
-              float* drow =
-                  dcols.data() + static_cast<std::size_t>(p) * cells;
-              for (int cell = t0; cell < t1; ++cell)
-                drow[cell] += wv * grow[cell];
-            }
-          }
+      // Per-channel double accumulator, cells ascending — each channel owns
+      // its db entry, so the parallel split over channels is bit-identical
+      // to the serial loop.
+      parallel_for(spec.out_channels, 1,
+                   [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t oc = ob; oc < oe; ++oc) {
+          const float* grow = dyn + static_cast<std::size_t>(oc) * cells;
+          double acc = 0.0;
+          for (int cell = 0; cell < cells; ++cell) acc += grow[cell];
+          (*db)[static_cast<std::size_t>(oc)] += static_cast<float>(acc);
         }
       });
+    }
+    if (dx != nullptr) {
+      // dcols = W^T * dy (A read transposed via strides); then col2im.
+      sgemm(patch, cells, spec.out_channels, GemmMat{w.data(), 1, patch},
+            GemmMat{dyn, cells, 1}, dcols, cells, /*accumulate=*/false);
       col2im(dcols, n, spec, oh, ow, dx);
     }
   }

@@ -1,9 +1,12 @@
-// 2-D convolution via im2col + GEMM-style inner loops, with full backward
-// (input gradient, weight gradient, bias gradient).
+// 2-D convolution via im2col + the packed SGEMM backend (tensor/gemm.h),
+// with full backward (input gradient, weight gradient, bias gradient).
+// Column and packing workspaces live in the thread-local scratch arena
+// (runtime/scratch.h), so steady-state calls do not touch the allocator.
 //
 // This single kernel carries the backbone, the detection heads, and the
 // AdaScale regressor streams, so correctness is verified by numerical
-// gradient checks in tests/tensor_conv2d_test.cpp.
+// gradient checks in tests/conv2d_test.cpp and backend-equivalence tests in
+// tests/gemm_test.cpp.
 #pragma once
 
 #include "tensor/tensor.h"
@@ -35,9 +38,11 @@ struct ConvSpec {
 };
 
 /// y = conv(x, w) + b.  w is (out_c, in_c, k, k); b is (1, out_c, 1, 1) and
-/// may be empty (no bias).  y is resized as needed.
+/// may be empty (no bias).  y is resized as needed.  With fuse_relu the
+/// ReLU is applied inside the GEMM write-out (y = max(conv(x,w)+b, 0)),
+/// bit-identical to applying it afterwards but without the extra pass.
 void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
-                    const Tensor& b, Tensor* y);
+                    const Tensor& b, Tensor* y, bool fuse_relu = false);
 
 /// Backward pass: accumulates dL/dx into dx (if non-null), dL/dw into dw and
 /// dL/db into db (if non-null).  x must be the forward input, dy the gradient

@@ -1,0 +1,400 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runtime/scratch.h"
+#include "runtime/thread_pool.h"
+
+namespace ada {
+
+namespace {
+
+// ------------------------------------------------------------- backend flag
+
+GemmBackend read_backend_env() {
+  if (const char* env = std::getenv("ADASCALE_GEMM"); env != nullptr) {
+    if (std::strcmp(env, "reference") == 0) return GemmBackend::kReference;
+    if (std::strcmp(env, "packed") == 0) return GemmBackend::kPacked;
+    // A typo here must not silently re-test the default backend — that
+    // would make an oracle-verification run vacuous.
+    std::fprintf(stderr,
+                 "ADASCALE_GEMM=%s is not a backend (want \"packed\" or "
+                 "\"reference\"); using packed\n",
+                 env);
+  }
+  return GemmBackend::kPacked;
+}
+
+std::atomic<GemmBackend> g_backend{read_backend_env()};
+
+// -------------------------------------------------------------- micro-kernel
+//
+// Register blocking: MR x NR accumulator tile.  6x16 fills 12 YMM (AVX2) or
+// 6 ZMM (AVX-512) accumulators with room left for the A broadcast and B
+// load; the baseline build spills but is only the portability fallback.
+constexpr int kMR = 6;
+constexpr int kNR = 16;
+// Cache blocking: a K block of B panel (kKC x kNR floats) stays L1-resident
+// across the M sweep; an N stripe is the unit of parallel work.
+constexpr int kKC = 512;
+constexpr int kNC = 1024;
+
+struct MicroTile {
+  const float* pa;  ///< packed A panel: kc steps of MR floats, k-major
+  const float* pb;  ///< packed B panel: kc steps of NR floats, k-major
+  float* c;         ///< top-left of the C tile
+  int ldc;
+  int kc;
+  int mv, nv;       ///< valid rows/cols of this tile (edge tiles < MR/NR)
+  bool first;       ///< overwrite C (false: add the partial already there)
+  bool last;        ///< apply the epilogue on write-out
+  const float* row_bias;  ///< per-tile-row bias or null
+  const float* col_bias;  ///< per-tile-col bias or null
+  bool relu;
+};
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ADA_GEMM_VECTOR_EXT 1
+// Explicit SIMD via the GCC/Clang vector extensions: one micro-kernel body
+// instantiated at three vector widths (16/8/4 lanes), each wrapped in a
+// target-attributed function so the 16-lane version uses ZMM and the 8-lane
+// version YMM registers.  Panels are 64-byte aligned (scratch arena), and
+// each k step advances a whole number of vectors, so panel loads are
+// aligned; C rows have arbitrary alignment and go through an unaligned
+// (aligned(4)) vector type.
+//
+// Accumulation per C element is a strict ascending-k chain in its own lane
+// and mul/add stay separate ops (this file builds with -ffp-contract=off —
+// see CMakeLists.txt — because GCC otherwise fuses a*b+acc into FMA with
+// different rounding on ISAs that have it), so every width produces
+// bit-identical results — the dispatch never changes output.
+typedef float v16f __attribute__((vector_size(64), may_alias));
+typedef float v8f __attribute__((vector_size(32), may_alias));
+typedef float v4f __attribute__((vector_size(16), may_alias));
+
+template <typename V, int MR, int NR>
+inline __attribute__((always_inline)) void micro_body(const MicroTile& t) {
+  constexpr int kLanes = static_cast<int>(sizeof(V) / sizeof(float));
+  constexpr int NV = NR / kLanes;
+  static_assert(NR % kLanes == 0, "tile width must be a whole vector count");
+
+  V acc[MR][NV];
+  for (int m = 0; m < MR; ++m)
+    for (int v = 0; v < NV; ++v) acc[m][v] = V{} ;
+
+  const float* pa = t.pa;
+  const float* pb = t.pb;
+  for (int k = 0; k < t.kc; ++k, pa += MR, pb += NR) {
+    V b[NV];
+    for (int v = 0; v < NV; ++v)
+      b[v] = *reinterpret_cast<const V*>(pb + v * kLanes);
+    for (int m = 0; m < MR; ++m) {
+      const V a = V{} + pa[m];  // scalar broadcast
+      for (int v = 0; v < NV; ++v) acc[m][v] += a * b[v];
+    }
+  }
+
+  // Write-out: spill the register tile to an aligned row buffer, fold the
+  // C partial / epilogue, then copy the valid prefix.  This keeps the edge
+  // handling scalar and simple; the k loop above dominates.
+  for (int m = 0; m < t.mv; ++m) {
+    alignas(64) float row[NR];
+    for (int v = 0; v < NV; ++v)
+      *reinterpret_cast<V*>(row + v * kLanes) = acc[m][v];
+    float* crow = t.c + static_cast<std::ptrdiff_t>(m) * t.ldc;
+    if (!t.first)
+      for (int j = 0; j < t.nv; ++j) row[j] += crow[j];
+    if (t.last) {
+      if (t.row_bias != nullptr) {
+        const float rb = t.row_bias[m];
+        for (int j = 0; j < t.nv; ++j) row[j] += rb;
+      }
+      if (t.col_bias != nullptr)
+        for (int j = 0; j < t.nv; ++j) row[j] += t.col_bias[j];
+      if (t.relu)
+        for (int j = 0; j < t.nv; ++j) row[j] = std::max(row[j], 0.0f);
+    }
+    for (int j = 0; j < t.nv; ++j) crow[j] = row[j];
+  }
+}
+
+using MicroFn = void (*)(const MicroTile&);
+
+void micro_generic(const MicroTile& t) { micro_body<v4f, kMR, kNR>(t); }
+
+#if defined(__x86_64__)
+#define ADA_GEMM_X86_DISPATCH 1
+__attribute__((target("avx2"))) void micro_avx2(const MicroTile& t) {
+  micro_body<v8f, kMR, kNR>(t);
+}
+__attribute__((target("avx512f"))) void micro_avx512(const MicroTile& t) {
+  micro_body<v16f, kMR, kNR>(t);
+}
+#endif
+
+#else  // no vector extensions: plain scalar body, still correct
+using MicroFn = void (*)(const MicroTile&);
+
+void micro_generic(const MicroTile& t) {
+  float acc[kMR][kNR] = {};
+  const float* pa = t.pa;
+  const float* pb = t.pb;
+  for (int k = 0; k < t.kc; ++k, pa += kMR, pb += kNR)
+    for (int m = 0; m < kMR; ++m) {
+      const float a = pa[m];
+      for (int j = 0; j < kNR; ++j) acc[m][j] += a * pb[j];
+    }
+  for (int m = 0; m < t.mv; ++m) {
+    float* crow = t.c + static_cast<std::ptrdiff_t>(m) * t.ldc;
+    float* row = acc[m];
+    if (!t.first)
+      for (int j = 0; j < t.nv; ++j) row[j] += crow[j];
+    if (t.last) {
+      if (t.row_bias != nullptr)
+        for (int j = 0; j < t.nv; ++j) row[j] += t.row_bias[m];
+      if (t.col_bias != nullptr)
+        for (int j = 0; j < t.nv; ++j) row[j] += t.col_bias[j];
+      if (t.relu)
+        for (int j = 0; j < t.nv; ++j) row[j] = std::max(row[j], 0.0f);
+    }
+    for (int j = 0; j < t.nv; ++j) crow[j] = row[j];
+  }
+}
+#endif
+
+struct MicroDispatch {
+  MicroFn fn;
+  const char* isa;
+};
+
+MicroDispatch pick_micro() {
+#ifdef ADA_GEMM_X86_DISPATCH
+  if (__builtin_cpu_supports("avx512f")) return {micro_avx512, "avx512"};
+  if (__builtin_cpu_supports("avx2")) return {micro_avx2, "avx2"};
+#endif
+  return {micro_generic, "generic"};
+}
+
+const MicroDispatch& micro_dispatch() {
+  static const MicroDispatch d = pick_micro();
+  return d;
+}
+
+// ------------------------------------------------------------------ packing
+
+/// Packs rows [0, M) x cols [k0, k0+kc) of A into ceil(M/MR) panels of
+/// kc x MR floats, k-major, zero-padding rows past M.
+void pack_a(const GemmMat& A, int M, int k0, int kc, float* pa) {
+  for (int i0 = 0; i0 < M; i0 += kMR) {
+    const int mv = std::min(kMR, M - i0);
+    for (int k = 0; k < kc; ++k, pa += kMR) {
+      const float* src = A.p + (k0 + k) * A.cs + i0 * A.rs;
+      int m = 0;
+      for (; m < mv; ++m) pa[m] = src[static_cast<std::ptrdiff_t>(m) * A.rs];
+      for (; m < kMR; ++m) pa[m] = 0.0f;
+    }
+  }
+}
+
+/// Packs rows [k0, k0+kc) x cols [j0, j0+nc) of B into ceil(nc/NR) panels of
+/// kc x NR floats, k-major, zero-padding cols past nc.
+void pack_b(const GemmMat& B, int k0, int kc, int j0, int nc, float* pb) {
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nv = std::min(kNR, nc - jr);
+    for (int k = 0; k < kc; ++k, pb += kNR) {
+      const float* src = B.p + (k0 + k) * B.rs + (j0 + jr) * B.cs;
+      int j = 0;
+      for (; j < nv; ++j) pb[j] = src[static_cast<std::ptrdiff_t>(j) * B.cs];
+      for (; j < kNR; ++j) pb[j] = 0.0f;
+    }
+  }
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// ------------------------------------------------------------- packed sgemm
+
+/// Runs every micro-tile of one column stripe [j0, j0+nc) for one K block.
+void run_stripe_block(MicroFn micro, int M, int kc, const float* pa,
+                      const float* pb, float* C, int ldc, int j0, int nc,
+                      bool first, bool last, const GemmEpilogue& epi) {
+  const std::size_t a_panel = static_cast<std::size_t>(kMR) * kc;
+  const std::size_t b_panel = static_cast<std::size_t>(kNR) * kc;
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const float* panel_b = pb + static_cast<std::size_t>(jr / kNR) * b_panel;
+    for (int i0 = 0; i0 < M; i0 += kMR) {
+      MicroTile t;
+      t.pa = pa + static_cast<std::size_t>(i0 / kMR) * a_panel;
+      t.pb = panel_b;
+      t.c = C + static_cast<std::ptrdiff_t>(i0) * ldc + j0 + jr;
+      t.ldc = ldc;
+      t.kc = kc;
+      t.mv = std::min(kMR, M - i0);
+      t.nv = std::min(kNR, nc - jr);
+      t.first = first;
+      t.last = last;
+      t.row_bias = epi.row_bias != nullptr ? epi.row_bias + i0 : nullptr;
+      t.col_bias = epi.col_bias != nullptr ? epi.col_bias + j0 + jr : nullptr;
+      t.relu = epi.relu;
+      micro(t);
+    }
+  }
+}
+
+void sgemm_packed(int M, int N, int K, const GemmMat& A, const GemmMat& B,
+                  float* C, int ldc, bool accumulate,
+                  const GemmEpilogue& epi) {
+  const MicroFn micro = micro_dispatch().fn;
+  const int stripes = ceil_div(std::max(N, 1), kNC);
+  const std::size_t a_packed = static_cast<std::size_t>(ceil_div(M, kMR)) *
+                               kMR * static_cast<std::size_t>(std::min(K, kKC));
+
+  if (K <= kKC) {
+    // Single K block: pack A once up front (shared read-only by all stripe
+    // tasks), then each task packs and consumes its own B stripe from its
+    // thread-local arena.  Stripes own disjoint C columns.
+    ScratchFrame frame(&scratch_arena());
+    float* pa = frame.alloc(std::max<std::size_t>(a_packed, 1));
+    pack_a(A, M, 0, K, pa);
+    parallel_for(stripes, 1, [&](std::int64_t sb, std::int64_t se) {
+      for (std::int64_t s = sb; s < se; ++s) {
+        const int j0 = static_cast<int>(s) * kNC;
+        const int nc = std::min(kNC, N - j0);
+        ScratchFrame f(&scratch_arena());
+        float* pb = f.alloc(static_cast<std::size_t>(ceil_div(nc, kNR)) *
+                            kNR * static_cast<std::size_t>(std::max(K, 1)));
+        pack_b(B, 0, K, j0, nc, pb);
+        run_stripe_block(micro, M, K, pa, pb, C, ldc, j0, nc,
+                         /*first=*/!accumulate, /*last=*/true, epi);
+      }
+    });
+    return;
+  }
+
+  // Large K (the weight-gradient GEMM: M, N small, K = output cells).  Both
+  // operands of each K block are packed once up front (serial — packing is
+  // two orders of magnitude cheaper than the block's FLOPs), then the
+  // micro-kernels fan out over disjoint C row-panels x column stripes.
+  // Tasks partition *space*, never K, so every C element keeps the exact
+  // serial ascending-k chain: results are bit-identical to one thread.
+  // With dW's shapes (N = patch ≤ 432) the row-panel axis is what actually
+  // parallelizes — the same per-output-channel split the pre-GEMM kernel
+  // used.
+  ScratchFrame frame(&scratch_arena());
+  float* pa = frame.alloc(a_packed);
+  float* pb = frame.alloc(static_cast<std::size_t>(ceil_div(N, kNR)) * kNR *
+                          static_cast<std::size_t>(kKC));
+  const int mpanels = ceil_div(M, kMR);
+  for (int k0 = 0; k0 < K; k0 += kKC) {
+    const int kc = std::min(kKC, K - k0);
+    const std::size_t a_panel = static_cast<std::size_t>(kMR) * kc;
+    const std::size_t b_panel = static_cast<std::size_t>(kNR) * kc;
+    pack_a(A, M, k0, kc, pa);
+    pack_b(B, k0, kc, 0, N, pb);
+    const bool first = k0 == 0 && !accumulate;
+    const bool last = k0 + kc == K;
+    parallel_for(static_cast<std::int64_t>(mpanels) * stripes, 1,
+                 [&](std::int64_t tb, std::int64_t te) {
+      for (std::int64_t task = tb; task < te; ++task) {
+        const int ip = static_cast<int>(task % mpanels);
+        const int j0 = static_cast<int>(task / mpanels) * kNC;
+        const int j1 = std::min(N, j0 + kNC);
+        for (int jr = j0; jr < j1; jr += kNR) {
+          MicroTile t;
+          t.pa = pa + static_cast<std::size_t>(ip) * a_panel;
+          t.pb = pb + static_cast<std::size_t>(jr / kNR) * b_panel;
+          t.c = C + static_cast<std::ptrdiff_t>(ip) * kMR * ldc + jr;
+          t.ldc = ldc;
+          t.kc = kc;
+          t.mv = std::min(kMR, M - ip * kMR);
+          t.nv = std::min(kNR, j1 - jr);
+          t.first = first;
+          t.last = last;
+          t.row_bias =
+              epi.row_bias != nullptr ? epi.row_bias + ip * kMR : nullptr;
+          t.col_bias = epi.col_bias != nullptr ? epi.col_bias + jr : nullptr;
+          t.relu = epi.relu;
+          micro(t);
+        }
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------- reference sgemm
+
+/// The pre-GEMM scalar kernel, kept verbatim in spirit: each output row is
+/// initialized from the bias, then accumulated with an ascending-k
+/// multiply-add sweep.  Forward conv results are bit-identical to the
+/// original implementation.  Parallel split is over disjoint column tiles;
+/// per-element chains do not depend on the tiling.
+void sgemm_reference(int M, int N, int K, const GemmMat& A, const GemmMat& B,
+                     float* C, int ldc, bool accumulate,
+                     const GemmEpilogue& epi) {
+  constexpr int kTile = 512;
+  const int tiles = ceil_div(std::max(N, 1), kTile);
+  parallel_for(tiles, 1, [&](std::int64_t tb, std::int64_t te) {
+    for (std::int64_t t = tb; t < te; ++t) {
+      const int j0 = static_cast<int>(t) * kTile;
+      const int j1 = std::min(N, j0 + kTile);
+      for (int m = 0; m < M; ++m) {
+        float* crow = C + static_cast<std::ptrdiff_t>(m) * ldc;
+        if (!accumulate) {
+          const float rb = epi.row_bias != nullptr ? epi.row_bias[m] : 0.0f;
+          if (epi.col_bias != nullptr)
+            for (int j = j0; j < j1; ++j) crow[j] = rb + epi.col_bias[j];
+          else
+            for (int j = j0; j < j1; ++j) crow[j] = rb;
+        }
+        for (int k = 0; k < K; ++k) {
+          const float a = A.p[static_cast<std::ptrdiff_t>(m) * A.rs +
+                              static_cast<std::ptrdiff_t>(k) * A.cs];
+          const float* brow = B.p + static_cast<std::ptrdiff_t>(k) * B.rs;
+          if (B.cs == 1) {
+            for (int j = j0; j < j1; ++j) crow[j] += a * brow[j];
+          } else {
+            for (int j = j0; j < j1; ++j)
+              crow[j] += a * brow[static_cast<std::ptrdiff_t>(j) * B.cs];
+          }
+        }
+        if (accumulate) {
+          if (epi.row_bias != nullptr)
+            for (int j = j0; j < j1; ++j) crow[j] += epi.row_bias[m];
+          if (epi.col_bias != nullptr)
+            for (int j = j0; j < j1; ++j) crow[j] += epi.col_bias[j];
+        }
+        if (epi.relu)
+          for (int j = j0; j < j1; ++j) crow[j] = std::max(crow[j], 0.0f);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+GemmBackend gemm_backend() { return g_backend.load(std::memory_order_relaxed); }
+
+void set_gemm_backend(GemmBackend backend) {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+const char* gemm_backend_name() {
+  return gemm_backend() == GemmBackend::kPacked ? "packed" : "reference";
+}
+
+const char* gemm_kernel_isa() { return micro_dispatch().isa; }
+
+void sgemm(int M, int N, int K, const GemmMat& A, const GemmMat& B, float* C,
+           int ldc, bool accumulate, const GemmEpilogue& epi) {
+  if (M <= 0 || N <= 0) return;
+  if (gemm_backend() == GemmBackend::kPacked)
+    sgemm_packed(M, N, K, A, B, C, ldc, accumulate, epi);
+  else
+    sgemm_reference(M, N, K, A, B, C, ldc, accumulate, epi);
+}
+
+}  // namespace ada

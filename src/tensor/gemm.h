@@ -1,0 +1,74 @@
+// Single-precision GEMM backend for the conv / linear hot path.
+//
+// Two implementations sit behind one entry point:
+//
+//   * kPacked (default) — blocked, register-tiled SGEMM.  A is packed into
+//     MR-row panels and B into NR-column panels held in the thread-local
+//     scratch arena; a 6x16 micro-kernel keeps the full accumulator tile in
+//     registers so C is written once instead of once per K step.  The
+//     micro-kernel is plain fixed-trip C++ compiled three times (AVX-512,
+//     AVX2, baseline) and dispatched once at runtime from CPUID, so the same
+//     binary runs everywhere and auto-vectorizes to the widest ISA present.
+//   * kReference — the pre-GEMM scalar path (bias-init + ascending-k
+//     multiply-add), kept as a runtime-selectable fallback so any result can
+//     be reproduced on any machine and the packed kernel has an oracle.
+//
+// Determinism: both backends use a fixed per-element accumulation order —
+// k ascending within each K block, blocks folded into C in ascending order
+// (for K ≤ 512 that is one straight ascending chain; beyond, the block
+// partial sums re-associate, but the blocking is a compile-time constant,
+// never a function of threads or input) — and the parallel split is over
+// disjoint row/column regions of C, so results are bit-identical
+// run-to-run regardless of thread count.  The packed kernel avoids FP
+// contraction (-ffp-contract=off, see CMakeLists.txt), so its results are
+// also identical across the dispatched ISAs; the two *backends* agree only
+// to rounding (tolerance-tested).  Changing kKC/kNC changes packed results
+// (within tolerance) — bump the model-cache fingerprints if you do.
+//
+// The epilogue hook fuses the bias add and ReLU into the write-out, which
+// saves a full read-modify-write pass over every activation tensor in the
+// detector backbone.
+#pragma once
+
+#include <cstddef>
+
+namespace ada {
+
+/// Which sgemm implementation runs.  Initialized once from the
+/// ADASCALE_GEMM environment variable ("packed" | "reference").
+enum class GemmBackend { kReference, kPacked };
+
+/// The active backend (env-initialized, overridable for tests/benches).
+GemmBackend gemm_backend();
+void set_gemm_backend(GemmBackend backend);
+const char* gemm_backend_name();
+
+/// Name of the micro-kernel ISA the runtime dispatcher picked on this
+/// machine: "avx512" | "avx2" | "generic".
+const char* gemm_kernel_isa();
+
+/// Read-only strided matrix view.  Element (i, j) lives at p[i*rs + j*cs],
+/// which lets callers hand in transposed operands (e.g. W^T for the conv
+/// input gradient) without materializing them — packing absorbs the stride.
+struct GemmMat {
+  const float* p = nullptr;
+  std::ptrdiff_t rs = 0;  ///< row stride
+  std::ptrdiff_t cs = 1;  ///< column stride
+};
+
+/// Fused write-out: C(m,n) gets row_bias[m] and/or col_bias[n] added, then
+/// optionally ReLU-clamped, in the same pass that stores the tile.
+struct GemmEpilogue {
+  const float* row_bias = nullptr;  ///< conv bias (one per output channel)
+  const float* col_bias = nullptr;  ///< linear bias (one per output unit)
+  bool relu = false;
+};
+
+/// C(MxN, row-major, leading dim ldc) = A(MxK) * B(KxN) [+ C if accumulate]
+/// with the epilogue applied to the final values.  Parallelizes over column
+/// stripes via the runtime pool; see header comment for the determinism
+/// contract.
+void sgemm(int M, int N, int K, const GemmMat& A, const GemmMat& B, float* C,
+           int ldc, bool accumulate, const GemmEpilogue& epi = {});
+
+}  // namespace ada

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "tensor/gemm.h"
+
 namespace ada {
 
 void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
@@ -12,13 +14,12 @@ void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   assert(w.c() == in);
   if (y->n() != x.n() || y->c() != out || y->h() != 1 || y->w() != 1)
     *y = Tensor(x.n(), out, 1, 1);
-  for (int n = 0; n < x.n(); ++n)
-    for (int o = 0; o < out; ++o) {
-      double acc = b.empty() ? 0.0 : b[static_cast<std::size_t>(o)];
-      for (int i = 0; i < in; ++i)
-        acc += static_cast<double>(w.at(o, i, 0, 0)) * x.at(n, i, 0, 0);
-      y->at(n, o, 0, 0) = static_cast<float>(acc);
-    }
+  // y = x * W^T + b: W is (out, in) row-major, read transposed via strides;
+  // the bias varies along the output (column) axis of the product.
+  GemmEpilogue epi;
+  epi.col_bias = b.empty() ? nullptr : b.data();
+  sgemm(x.n(), out, in, GemmMat{x.data(), in, 1}, GemmMat{w.data(), 1, in},
+        y->data(), out, /*accumulate=*/false, epi);
 }
 
 void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,

@@ -13,10 +13,40 @@
 
 #include <cassert>
 #include <cstddef>
+#include <new>
 #include <string>
 #include <vector>
 
 namespace ada {
+
+/// Allocator that hands out 64-byte (cache-line / SIMD-register) aligned
+/// storage.  Tensor data lives behind it so the packed GEMM kernels and
+/// im2col row copies operate on aligned cache lines.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(kAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const { return false; }
+};
+
+/// Aligned float buffer used by Tensor (and anything sharing its storage).
+using AlignedFloatVec = std::vector<float, AlignedAllocator<float>>;
 
 /// 4-D float tensor (N, C, H, W). Rank-1/2 data uses singleton dims.
 class Tensor {
@@ -50,8 +80,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& storage() { return data_; }
-  const std::vector<float>& storage() const { return data_; }
+  AlignedFloatVec& storage() { return data_; }
+  const AlignedFloatVec& storage() const { return data_; }
 
   float& at(int n, int c, int h, int w) {
     return data_[offset(n, c, h, w)];
@@ -91,7 +121,7 @@ class Tensor {
   }
 
   int n_, c_, h_, w_;
-  std::vector<float> data_;
+  AlignedFloatVec data_;
 };
 
 }  // namespace ada

@@ -1,0 +1,121 @@
+// Scratch-arena contract: alignment, frame scoping, steady-state reuse (no
+// heap traffic once warm), and cross-thread isolation — concurrent conv
+// calls on different threads must not alias each other's workspaces.
+#include "runtime/scratch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "tensor/conv2d.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ada {
+namespace {
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(Scratch, AllocationsAre64ByteAligned) {
+  ScratchArena& arena = scratch_arena();
+  ScratchFrame frame(&arena);
+  for (std::size_t n : {1u, 3u, 17u, 1000u, 65536u})
+    EXPECT_TRUE(aligned64(frame.alloc(n))) << "n=" << n;
+}
+
+TEST(Scratch, FramesReleaseLifo) {
+  ScratchArena& arena = scratch_arena();
+  const std::size_t before = arena.in_use();
+  {
+    ScratchFrame outer(&arena);
+    float* a = outer.alloc(100);
+    a[0] = 1.0f;
+    {
+      ScratchFrame inner(&arena);
+      float* b = inner.alloc(100);
+      EXPECT_NE(a, b);
+      b[0] = 2.0f;
+    }
+    // Inner released; a new inner-frame allocation reuses the same storage.
+    {
+      ScratchFrame inner(&arena);
+      float* c = inner.alloc(50);
+      (void)c;
+    }
+    EXPECT_EQ(a[0], 1.0f) << "outer allocation must survive inner frames";
+  }
+  EXPECT_EQ(arena.in_use(), before);
+}
+
+TEST(Scratch, SteadyStateHasNoHeapTraffic) {
+  ScratchArena& arena = scratch_arena();
+  auto workload = [&] {
+    ScratchFrame frame(&arena);
+    float* a = frame.alloc(4096);
+    ScratchFrame inner(&arena);
+    float* b = inner.alloc(8192);
+    a[0] = b[0] = 0.0f;
+  };
+  workload();  // warm up (may grow)
+  workload();  // second pass settles capacity
+  const std::size_t warm = arena.heap_alloc_count();
+  for (int i = 0; i < 100; ++i) workload();
+  EXPECT_EQ(arena.heap_alloc_count(), warm)
+      << "warm arena must serve identical workloads without allocating";
+}
+
+TEST(Scratch, TensorStorageIs64ByteAligned) {
+  for (int len : {1, 7, 64, 1000}) {
+    Tensor t = Tensor::vec(len);
+    EXPECT_TRUE(aligned64(t.data())) << "len=" << len;
+  }
+}
+
+/// Concurrent conv2d_forward calls from several threads must produce the
+/// same bytes as the serial runs: any cross-thread workspace aliasing would
+/// corrupt the column matrices and show up here.
+TEST(Scratch, ConcurrentConvMatchesSerial) {
+  constexpr int kThreads = 4;
+  constexpr int kReps = 8;
+  ConvSpec s{3, 8, 3, 1, 1, 1};
+  std::vector<Tensor> inputs, weights, expected;
+  Rng rng(99);
+  for (int t = 0; t < kThreads; ++t) {
+    Tensor x = Tensor::chw(3, 33, 29);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.normal();
+    Tensor w(8, 3, 3, 3);
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.normal();
+    Tensor y;
+    conv2d_forward(s, x, w, Tensor(), &y, /*fuse_relu=*/true);
+    inputs.push_back(std::move(x));
+    weights.push_back(std::move(w));
+    expected.push_back(std::move(y));
+  }
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kReps; ++r) {
+        Tensor y;
+        conv2d_forward(s, inputs[static_cast<std::size_t>(t)],
+                       weights[static_cast<std::size_t>(t)], Tensor(), &y,
+                       /*fuse_relu=*/true);
+        const Tensor& e = expected[static_cast<std::size_t>(t)];
+        if (!y.same_shape(e) ||
+            std::memcmp(y.data(), e.data(), y.size() * sizeof(float)) != 0)
+          ++mismatches[static_cast<std::size_t>(t)];
+      }
+    });
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace ada

@@ -1,0 +1,155 @@
+// bench_report — machine-readable kernel/perf trajectory for the repo.
+//
+// Emits BENCH_kernels.json: per-conv-shape GFLOP/s and ns/call for both
+// GEMM backends, plus end-to-end detector forward latency / fps at each
+// nominal scale.  Future PRs diff this file to see whether the hot path
+// moved; docs/BENCHMARKS.md documents the schema.
+//
+// Usage: bench_report [output.json]   (default: BENCH_kernels.json)
+//
+// Deliberately not a google-benchmark binary so it builds and runs even
+// where libbenchmark is absent (it is the CI Release smoke test).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "detection/detector.h"
+#include "tensor/conv2d.h"
+#include "tensor/gemm.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ada;
+
+/// Median-of-reps wall time for fn(), in nanoseconds.
+template <typename Fn>
+double time_ns(Fn&& fn, int reps) {
+  fn();  // warm caches / scratch arena
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    samples.push_back(t.elapsed_ms() * 1e6);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct ConvCase {
+  std::string name;
+  ConvSpec spec;
+  int h, w;
+};
+
+void emit_conv_cases(JsonWriter* jw, const std::vector<ConvCase>& cases) {
+  jw->key("convs");
+  jw->begin_array();
+  for (const ConvCase& c : cases) {
+    Tensor x(1, c.spec.in_channels, c.h, c.w);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] = static_cast<float>(i % 13) * 0.1f - 0.5f;
+    Tensor w(c.spec.out_channels, c.spec.in_channels, c.spec.kernel,
+             c.spec.kernel);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = static_cast<float>(i % 7) * 0.05f - 0.1f;
+    Tensor b(1, c.spec.out_channels, 1, 1);
+    Tensor y;
+    const double flops = 2.0 * static_cast<double>(
+        conv2d_macs(c.spec, c.h, c.w));
+
+    jw->begin_object();
+    jw->key("name").value(c.name);
+    jw->key("in_shape").value("[" + std::to_string(c.spec.in_channels) + "," +
+                              std::to_string(c.h) + "," +
+                              std::to_string(c.w) + "]");
+    jw->key("kernel").value(c.spec.kernel);
+    jw->key("stride").value(c.spec.stride);
+    jw->key("dilation").value(c.spec.dilation);
+    jw->key("macs").value(static_cast<long long>(flops / 2.0));
+    for (GemmBackend be : {GemmBackend::kPacked, GemmBackend::kReference}) {
+      set_gemm_backend(be);
+      const double ns = time_ns(
+          [&] { conv2d_forward(c.spec, x, w, b, &y, /*fuse_relu=*/true); },
+          9);
+      const std::string tag = gemm_backend_name();
+      jw->key("ns_" + tag).value(ns);
+      jw->key("gflops_" + tag).value(flops / ns);
+    }
+    jw->end_object();
+  }
+  jw->end_array();
+}
+
+void emit_detector_scales(JsonWriter* jw, Detector* det,
+                          const Dataset& dataset) {
+  const Renderer renderer = dataset.make_renderer();
+  jw->key("detector_forward");
+  jw->begin_array();
+  for (int scale : {600, 480, 360, 240, 128}) {
+    const Tensor img = renderer.render_at_scale(
+        *dataset.val_frames()[0], scale, dataset.scale_policy());
+    jw->begin_object();
+    jw->key("scale").value(scale);
+    jw->key("image").value("[" + std::to_string(img.h()) + "," +
+                           std::to_string(img.w()) + "]");
+    jw->key("macs").value(det->forward_macs(img.h(), img.w()));
+    for (GemmBackend be : {GemmBackend::kPacked, GemmBackend::kReference}) {
+      set_gemm_backend(be);
+      const double ns = time_ns([&] { det->forward(img); }, 7);
+      const std::string tag = gemm_backend_name();
+      jw->key("forward_ms_" + tag).value(ns * 1e-6);
+      jw->key("fps_" + tag).value(1e9 / ns);
+    }
+    jw->end_object();
+  }
+  jw->end_array();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+
+  Dataset dataset = Dataset::synth_vid(1, 1, 77);
+  DetectorConfig dcfg;
+  dcfg.num_classes = dataset.catalog().num_classes();
+  Rng rng(1);
+  Detector detector(dcfg, &rng);
+
+  JsonWriter jw;
+  jw.begin_object();
+  jw.key("schema").value("adascale-bench-kernels-v1");
+  jw.key("gemm_kernel_isa").value(gemm_kernel_isa());
+  jw.key("default_backend").value(gemm_backend_name());
+
+  // The detector's real conv stack at the scale-600 rendering, straight
+  // from the architecture's single source of truth so the perf-trajectory
+  // file can never drift from what the model actually runs.
+  const Renderer renderer = dataset.make_renderer();
+  const Tensor img600 = renderer.render_at_scale(
+      *dataset.val_frames()[0], 600, dataset.scale_policy());
+  std::vector<ConvCase> cases;
+  for (const Detector::ConvStackEntry& e :
+       detector.conv_stack(img600.h(), img600.w()))
+    cases.push_back({std::string(e.name) + "@600", e.spec, e.in_h, e.in_w});
+  emit_conv_cases(&jw, cases);
+  emit_detector_scales(&jw, &detector, dataset);
+  set_gemm_backend(GemmBackend::kPacked);
+  jw.end_object();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << jw.str() << "\n";
+  std::printf("%s\n", jw.str().c_str());
+  std::fprintf(stderr, "bench_report: wrote %s\n", out_path.c_str());
+  return 0;
+}
