@@ -15,6 +15,24 @@ AdaFrameOutput AdaScalePipeline::process(const Scene& frame) {
   out.regressed_t = regressor_->predict(detector_->features());
   out.regressor_ms = regressor_->last_predict_ms();
   out.next_scale = decode_scale_target(out.regressed_t, target_scale_, sreg_);
+  if (snap_to_set_) out.next_scale = sreg_.nearest(out.next_scale);
+  target_scale_ = out.next_scale;
+  return out;
+}
+
+AdaFrameOutput AdaScalePipeline::process_via(const Scene& frame,
+                                             const DetectBackend& backend) {
+  AdaFrameOutput out;
+  out.scale_used = target_scale_;
+
+  Tensor image = renderer_->render_at_scale(frame, target_scale_, policy_);
+  DetectResult r = backend(std::move(image));
+  out.detections = std::move(r.detections);
+  out.detect_ms = r.detect_ms;
+  out.regressed_t = r.regressed_t;
+  out.regressor_ms = r.regressor_ms;
+  out.next_scale = decode_scale_target(out.regressed_t, target_scale_, sreg_);
+  if (snap_to_set_) out.next_scale = sreg_.nearest(out.next_scale);
   target_scale_ = out.next_scale;
   return out;
 }

@@ -10,6 +10,8 @@
 // temporal-consistency assumption the paper's results justify empirically.
 #pragma once
 
+#include <functional>
+
 #include "adascale/scale_regressor.h"
 #include "adascale/scale_set.h"
 #include "adascale/scale_target.h"
@@ -31,18 +33,30 @@ struct AdaFrameOutput {
 };
 
 /// Stateful Algorithm-1 runner.  Call reset() at each new video snippet.
+///
+/// With snap_to_set the decoded target scale is quantized to the nearest
+/// member of `sreg` (ties to the larger, accuracy-conservative scale).
+/// This is the serving-side shape-bucketing knob: concurrent streams can
+/// only share a batched backbone forward when their rendered frames have
+/// identical dimensions, and the raw Algorithm-1 decode produces arbitrary
+/// integer scales that almost never coincide.  Snapping trades a bounded
+/// scale perturbation (≤ half the gap between set members) for dense batch
+/// buckets; it applies identically in serial and batched execution, so the
+/// bit-equality contract between them is unaffected.
 class AdaScalePipeline {
  public:
   AdaScalePipeline(Detector* detector, ScaleRegressor* regressor,
                    const Renderer* renderer, const ScalePolicy& policy,
-                   const ScaleSet& sreg, int init_scale = 600)
+                   const ScaleSet& sreg, int init_scale = 600,
+                   bool snap_to_set = false)
       : detector_(detector),
         regressor_(regressor),
         renderer_(renderer),
         policy_(policy),
         sreg_(sreg),
         init_scale_(init_scale),
-        target_scale_(init_scale) {}
+        target_scale_(init_scale),
+        snap_to_set_(snap_to_set) {}
 
   /// Re-initializes the scale for a new snippet (Algorithm 1 starts every
   /// video at 600).
@@ -54,6 +68,27 @@ class AdaScalePipeline {
   /// the target scale from the regressed relative scale.
   AdaFrameOutput process(const Scene& frame);
 
+  /// What a detection backend returns for one rendered frame — detections
+  /// plus the regressed relative scale of that frame's deep features.
+  struct DetectResult {
+    DetectionOutput detections;
+    float regressed_t = 0.0f;
+    double detect_ms = 0.0;
+    double regressor_ms = 0.0;
+  };
+
+  /// Pluggable detection backend: receives the frame rendered at the
+  /// current target scale, returns detections + regressed t.  This is how
+  /// the runtime layer routes frames through a cross-stream BatchScheduler
+  /// without the pipeline depending on it; results must match what the
+  /// pipeline's own detector/regressor would produce for the scale
+  /// trajectory to stay bit-identical to process().
+  using DetectBackend = std::function<DetectResult(Tensor image)>;
+
+  /// process(), but detection runs through `backend` instead of the owned
+  /// detector/regressor.  Scale state updates identically.
+  AdaFrameOutput process_via(const Scene& frame, const DetectBackend& backend);
+
  private:
   Detector* detector_;
   ScaleRegressor* regressor_;
@@ -62,6 +97,7 @@ class AdaScalePipeline {
   ScaleSet sreg_;
   int init_scale_;
   int target_scale_;
+  bool snap_to_set_;
 };
 
 }  // namespace ada

@@ -1,5 +1,8 @@
 #include "adascale/scale_regressor.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "tensor/loss.h"
@@ -37,22 +40,47 @@ ScaleRegressor::ScaleRegressor(const RegressorConfig& cfg, Rng* rng)
 void ScaleRegressor::forward(const Tensor& features) {
   const int sc = cfg_.stream_channels;
   const int total = static_cast<int>(streams_.size()) * sc;
-  if (concat_.c() != total) concat_ = Tensor(1, total, 1, 1);
+  const int batch = features.n();
+  if (concat_.n() != batch || concat_.c() != total)
+    concat_ = Tensor(batch, total, 1, 1);
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     Stream& s = streams_[i];
     s.conv->forward(features, &s.conv_out);  // ReLU fused into the conv
     s.gap.forward(s.conv_out, &s.pooled);
-    for (int c = 0; c < sc; ++c)
-      concat_.at(0, static_cast<int>(i) * sc + c, 0, 0) = s.pooled.at(0, c, 0, 0);
+    for (int n = 0; n < batch; ++n)
+      for (int c = 0; c < sc; ++c)
+        concat_.at(n, static_cast<int>(i) * sc + c, 0, 0) =
+            s.pooled.at(n, c, 0, 0);
   }
   fc_.forward(concat_, &fc_out_);
 }
 
 float ScaleRegressor::predict(const Tensor& features) {
+  // Silent misuse on a batched feature map would run the whole batch and
+  // return only image 0's t — fail loudly (asserts vanish in Release).
+  if (features.n() != 1) {
+    std::fprintf(stderr,
+                 "ScaleRegressor::predict requires a single image, got %s — "
+                 "use predict_batch\n",
+                 features.shape_str().c_str());
+    std::abort();
+  }
   Timer timer;
   forward(features);
   last_predict_ms_ = timer.elapsed_ms();
   return fc_out_.at(0, 0, 0, 0);
+}
+
+std::vector<float> ScaleRegressor::predict_batch(const Tensor& features) {
+  Timer timer;
+  forward(features);
+  const int batch = features.n();
+  last_predict_ms_ =
+      timer.elapsed_ms() / static_cast<double>(std::max(batch, 1));
+  std::vector<float> out(static_cast<std::size_t>(batch));
+  for (int n = 0; n < batch; ++n)
+    out[static_cast<std::size_t>(n)] = fc_out_.at(n, 0, 0, 0);
+  return out;
 }
 
 float ScaleRegressor::train_step(const Tensor& features, float target,
@@ -92,6 +120,13 @@ std::vector<Param*> ScaleRegressor::parameters() {
   for (Stream& s : streams_) s.conv->collect_params(&out);
   fc_.collect_params(&out);
   return out;
+}
+
+std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src) {
+  Rng rng(0);  // initialization is immediately overwritten
+  auto dst = std::make_unique<ScaleRegressor>(src->config(), &rng);
+  copy_param_values(src->parameters(), dst->parameters());
+  return dst;
 }
 
 }  // namespace ada

@@ -38,8 +38,16 @@ class ScaleRegressor {
   ScaleRegressor(const ScaleRegressor&) = delete;
   ScaleRegressor& operator=(const ScaleRegressor&) = delete;
 
-  /// Predicts the normalized relative scale t̂ for a feature map.
+  /// Predicts the normalized relative scale t̂ for a single feature map
+  /// (features.n() must be 1).
   float predict(const Tensor& features);
+
+  /// Batched prediction over an (N,C,fh,fw) feature map (e.g. the detector's
+  /// features() after detect_batch): each conv stream and the FC head run
+  /// once for the whole batch.  Element i is bit-identical to
+  /// predict(features.image(i)); last_predict_ms() reports the batch
+  /// wall-clock amortized per image.
+  std::vector<float> predict_batch(const Tensor& features);
 
   /// One MSE training step on a single example (Eq. 4 term); returns the
   /// squared error.  Features are treated as constants (no grad flows back).
@@ -68,9 +76,13 @@ class ScaleRegressor {
   RegressorConfig cfg_;
   std::vector<Stream> streams_;
   LinearLayer fc_;
-  Tensor concat_;   ///< pooled streams, (1, streams*stream_channels, 1, 1)
-  Tensor fc_out_;   ///< (1,1,1,1)
+  Tensor concat_;   ///< pooled streams, (N, streams*stream_channels, 1, 1)
+  Tensor fc_out_;   ///< (N,1,1,1)
   double last_predict_ms_ = 0.0;
 };
+
+/// Deep-copies a scale regressor (same reason as clone_detector: per-predict
+/// scratch state makes instances single-user).
+std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src);
 
 }  // namespace ada

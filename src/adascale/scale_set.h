@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,23 @@ struct ScaleSet {
   /// True when `s` is a member.
   bool contains(int s) const {
     return std::find(scales.begin(), scales.end(), s) != scales.end();
+  }
+
+  /// Nearest member to `s`; ties resolve to the larger scale (accuracy-
+  /// conservative).  Serving uses this to quantize regressed target scales
+  /// onto the set so concurrent streams land in shared batch buckets.
+  int nearest(int s) const {
+    assert(!scales.empty());
+    int best = scales.front();
+    int best_d = std::abs(best - s);
+    for (int m : scales) {
+      const int d = std::abs(m - s);
+      if (d < best_d || (d == best_d && m > best)) {
+        best = m;
+        best_d = d;
+      }
+    }
+    return best;
   }
 
   /// "{600,480,...}" — used in cache fingerprints and labels.

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "detection/nms.h"
+#include "runtime/thread_pool.h"
 #include "tensor/loss.h"
 #include "util/timer.h"
 
@@ -75,13 +76,13 @@ const Tensor& Detector::forward(const Tensor& image) {
   return features_;
 }
 
-void Detector::anchor_logits(const Tensor& cls, int cell, int a,
+void Detector::anchor_logits(const Tensor& cls, int n, int cell, int a,
                              float* out) const {
   const int kp1 = cfg_.num_classes + 1;
   const int fw = cls.w();
   const int i = cell / fw;
   const int j = cell % fw;
-  for (int c = 0; c < kp1; ++c) out[c] = cls.at(0, a * kp1 + c, i, j);
+  for (int c = 0; c < kp1; ++c) out[c] = cls.at(n, a * kp1 + c, i, j);
 }
 
 DetectionOutput Detector::detect(const Tensor& image) {
@@ -92,20 +93,32 @@ DetectionOutput Detector::detect(const Tensor& image) {
   return out;
 }
 
-DetectionOutput Detector::detect_from_features(const Tensor& features,
-                                               int image_h, int image_w) {
+std::vector<DetectionOutput> Detector::detect_batch(const Tensor& images) {
   Timer timer;
-  // If called externally (DFF path), recompute heads on given features.
-  if (&features != &features_) {
-    cls_head_.forward(features, &heads_.cls);
-    reg_head_.forward(features, &heads_.reg);
-  }
+  forward(images);
+  const std::vector<Box> anchors =
+      generate_anchors(cfg_.anchors, heads_.cls.h(), heads_.cls.w());
+  std::vector<DetectionOutput> outs(static_cast<std::size_t>(images.n()));
+  // Per-image decode + NMS own disjoint output slots; NMS's own per-class
+  // parallel_for nests inline, so the split stays deterministic.
+  parallel_for(images.n(), 1, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t n = nb; n < ne; ++n)
+      outs[static_cast<std::size_t>(n)] =
+          decode_image(static_cast<int>(n), images.h(), images.w(), anchors);
+  });
+  const double amortized_ms =
+      timer.elapsed_ms() / static_cast<double>(std::max(images.n(), 1));
+  for (DetectionOutput& out : outs) out.forward_ms = amortized_ms;
+  return outs;
+}
+
+DetectionOutput Detector::decode_image(int n, int image_h, int image_w,
+                                       const std::vector<Box>& anchors) const {
   const Tensor& cls = heads_.cls;
   const Tensor& reg = heads_.reg;
   const int fh = cls.h(), fw = cls.w();
   const int per_cell = cfg_.anchors.per_cell();
   const int kp1 = cfg_.num_classes + 1;
-  const std::vector<Box> anchors = generate_anchors(cfg_.anchors, fh, fw);
 
   // Collect candidates above the score threshold.
   std::vector<Detection> cand;
@@ -113,7 +126,7 @@ DetectionOutput Detector::detect_from_features(const Tensor& features,
   std::vector<float> probs(static_cast<std::size_t>(kp1));
   for (int cell = 0; cell < fh * fw; ++cell) {
     for (int a = 0; a < per_cell; ++a) {
-      anchor_logits(cls, cell, a, logits.data());
+      anchor_logits(cls, n, cell, a, logits.data());
       softmax_span(logits.data(), kp1, probs.data());
       int best_c = 0;
       float best_p = 0.0f;
@@ -126,7 +139,7 @@ DetectionOutput Detector::detect_from_features(const Tensor& features,
 
       const int i = cell / fw, j = cell % fw;
       std::array<float, 4> delta;
-      for (int d = 0; d < 4; ++d) delta[static_cast<std::size_t>(d)] = reg.at(0, a * 4 + d, i, j);
+      for (int d = 0; d < 4; ++d) delta[static_cast<std::size_t>(d)] = reg.at(n, a * 4 + d, i, j);
       const Box& anchor = anchors[static_cast<std::size_t>(cell * per_cell + a)];
       Box box = clip_box(decode_box(delta, anchor), image_h, image_w);
       if (box.width() < 1.0f || box.height() < 1.0f) continue;
@@ -154,6 +167,20 @@ DetectionOutput Detector::detect_from_features(const Tensor& features,
   out.image_w = image_w;
   out.detections.reserve(keep.size());
   for (int idx : keep) out.detections.push_back(std::move(cand[static_cast<std::size_t>(idx)]));
+  return out;
+}
+
+DetectionOutput Detector::detect_from_features(const Tensor& features,
+                                               int image_h, int image_w) {
+  Timer timer;
+  // If called externally (DFF path), recompute heads on given features.
+  if (&features != &features_) {
+    cls_head_.forward(features, &heads_.cls);
+    reg_head_.forward(features, &heads_.reg);
+  }
+  const std::vector<Box> anchors =
+      generate_anchors(cfg_.anchors, heads_.cls.h(), heads_.cls.w());
+  DetectionOutput out = decode_image(0, image_h, image_w, anchors);
   out.forward_ms = timer.elapsed_ms();
   return out;
 }
@@ -205,7 +232,7 @@ float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
     for (std::size_t k = 0; k < bg.size(); ++k) {
       const int cell = bg[k] / per_cell;
       const int a = bg[k] % per_cell;
-      anchor_logits(cls, cell, a, lg.data());
+      anchor_logits(cls, 0, cell, a, lg.data());
       bg_loss[k] = softmax_cross_entropy_span(lg.data(), kp1, 0, nullptr);
     }
     std::vector<int> idx(bg.size());
@@ -251,7 +278,7 @@ float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
     const int a = flat_a % per_cell;
     const int i = cell / fw, j = cell % fw;
     const float cls_norm = is_fg ? fg_norm : bg_norm;
-    anchor_logits(cls, cell, a, logits.data());
+    anchor_logits(cls, 0, cell, a, logits.data());
     std::fill(dlogits.begin(), dlogits.end(), 0.0f);
     const AnchorTarget& t = targets[static_cast<std::size_t>(flat_a)];
     const float lcls = softmax_cross_entropy_span(
@@ -313,6 +340,13 @@ std::vector<Param*> Detector::parameters() {
   cls_head_.collect_params(&out);
   reg_head_.collect_params(&out);
   return out;
+}
+
+std::unique_ptr<Detector> clone_detector(Detector* src) {
+  Rng rng(0);  // initialization is immediately overwritten
+  auto dst = std::make_unique<Detector>(src->config(), &rng);
+  copy_param_values(src->parameters(), dst->parameters());
+  return dst;
 }
 
 std::vector<Detector::ConvStackEntry> Detector::conv_stack(int img_h,

@@ -78,6 +78,16 @@ class Detector {
   /// Full inference: forward, decode, NMS, top-K.
   DetectionOutput detect(const Tensor& image);
 
+  /// Batched inference over an (N,3,H,W) tensor of frames rendered at the
+  /// same scale.  The backbone and heads run ONCE for the whole batch — one
+  /// sgemm per conv layer with the images concatenated along the GEMM N axis
+  /// — and the per-image decode/NMS work fans out over parallel_for.
+  /// Element i is bit-identical to detect(images.image(i)); forward_ms on
+  /// each output is the batch wall-clock amortized per image.  After the
+  /// call features() holds the batched (N,C,fh,fw) deep-feature map (input
+  /// to ScaleRegressor::predict_batch).
+  std::vector<DetectionOutput> detect_batch(const Tensor& images);
+
   /// Inference reusing an externally produced feature map (the DFF path:
   /// features warped from a key frame instead of computed by the backbone).
   DetectionOutput detect_from_features(const Tensor& features, int image_h,
@@ -130,8 +140,15 @@ class Detector {
   float loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
                   Rng* rng, bool train);
 
-  /// Gathers one anchor's class logits from the head output.
-  void anchor_logits(const Tensor& cls, int cell, int a, float* out) const;
+  /// Gathers one anchor's class logits for image `n` of the head output.
+  void anchor_logits(const Tensor& cls, int n, int cell, int a,
+                     float* out) const;
+
+  /// Decodes image `n` of the current head outputs: candidates above the
+  /// score threshold, per-class NMS, top-K.  Shared by the single-image and
+  /// batched paths so they cannot drift.
+  DetectionOutput decode_image(int n, int image_h, int image_w,
+                               const std::vector<Box>& anchors) const;
 
   DetectorConfig cfg_;
   Sequential backbone_;
@@ -140,5 +157,11 @@ class Detector {
   Tensor features_;  ///< last backbone output
   HeadOutputs heads_;
 };
+
+/// Deep-copies a detector: same architecture/config, parameter values copied
+/// from `src`.  Every concurrent user (MultiStreamRunner stream,
+/// BatchScheduler context) needs its own copy because Detector caches
+/// activations between forward and detect.
+std::unique_ptr<Detector> clone_detector(Detector* src);
 
 }  // namespace ada

@@ -1,5 +1,6 @@
 #include "experiments/harness.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "detection/nms.h"
@@ -249,7 +250,14 @@ MethodRun Harness::evaluate(const std::string& label,
     SnippetRun& run = runs[s];
     if (seqnms != nullptr) {
       Timer t;
-      seq_nms(&run.frame_dets, *seqnms);
+      const SeqNmsReport report = seq_nms(&run.frame_dets, *seqnms);
+      if (report.truncated())
+        std::fprintf(stderr,
+                     "harness: seq_nms hit max_iterations=%d on %d class(es) "
+                     "(snippet %zu) — stranded boxes kept their original "
+                     "scores; raise SeqNmsConfig::max_iterations if this "
+                     "recurs\n",
+                     seqnms->max_iterations, report.truncated_classes, s);
       // Seq-NMS cost amortized over the snippet's frames.
       const double per_frame =
           t.elapsed_ms() / std::max<std::size_t>(run.frame_dets.size(), 1);

@@ -1,5 +1,8 @@
 #include "nn/layer.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace ada {
 
 std::vector<Param*> collect_all_params(const std::vector<Layer*>& layers) {
@@ -21,6 +24,16 @@ std::vector<float> flatten_params(const std::vector<Param*>& params) {
     flat.insert(flat.end(), p->value.storage().begin(),
                 p->value.storage().end());
   return flat;
+}
+
+void copy_param_values(const std::vector<Param*>& src,
+                       const std::vector<Param*>& dst) {
+  assert(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    assert(src[i]->value.size() == dst[i]->value.size());
+    std::copy(src[i]->value.storage().begin(), src[i]->value.storage().end(),
+              dst[i]->value.storage().begin());
+  }
 }
 
 bool unflatten_params(const std::vector<float>& flat,

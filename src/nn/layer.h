@@ -65,4 +65,9 @@ std::vector<float> flatten_params(const std::vector<Param*>& params);
 bool unflatten_params(const std::vector<float>& flat,
                       const std::vector<Param*>& params);
 
+/// Copies parameter values (not gradients) between two models whose
+/// parameter lists line up structurally (clone_detector/clone_regressor).
+void copy_param_values(const std::vector<Param*>& src,
+                       const std::vector<Param*>& dst);
+
 }  // namespace ada

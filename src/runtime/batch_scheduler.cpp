@@ -1,0 +1,177 @@
+#include "runtime/batch_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/timer.h"
+
+namespace ada {
+
+using Clock = std::chrono::steady_clock;
+
+struct BatchScheduler::Request {
+  const Tensor* image = nullptr;
+  BatchSubmitResult result;
+  bool done = false;
+};
+
+struct BatchScheduler::Bucket {
+  std::vector<Request*> pending;  ///< FIFO; front request's thread leads
+  Clock::time_point opened;       ///< when the oldest pending request arrived
+};
+
+struct BatchScheduler::Context {
+  std::unique_ptr<Detector> detector;
+  std::unique_ptr<ScaleRegressor> regressor;
+};
+
+BatchScheduler::BatchScheduler(Detector* prototype_detector,
+                               ScaleRegressor* prototype_regressor,
+                               const BatchSchedulerConfig& cfg)
+    : cfg_(cfg) {
+  assert(cfg_.max_batch >= 1 && cfg_.contexts >= 1);
+  stats_.batch_size_hist.assign(static_cast<std::size_t>(cfg_.max_batch) + 1,
+                                0);
+  for (int i = 0; i < cfg_.contexts; ++i) {
+    auto ctx = std::make_unique<Context>();
+    ctx->detector = clone_detector(prototype_detector);
+    ctx->regressor = clone_regressor(prototype_regressor);
+    free_contexts_.push_back(ctx.get());
+    contexts_.push_back(std::move(ctx));
+  }
+}
+
+BatchScheduler::~BatchScheduler() = default;
+
+void BatchScheduler::attach() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++attached_;
+}
+
+void BatchScheduler::detach() {
+  std::lock_guard<std::mutex> lk(mu_);
+  --attached_;
+  // Leaders waiting for "all streams blocked" must re-evaluate: a stream
+  // that exits can no longer arrive in anyone's bucket.
+  cv_.notify_all();
+}
+
+BatchScheduler::Context* BatchScheduler::acquire_context(
+    std::unique_lock<std::mutex>* lk) {
+  while (free_contexts_.empty()) cv_.wait(*lk);
+  Context* ctx = free_contexts_.back();
+  free_contexts_.pop_back();
+  return ctx;
+}
+
+void BatchScheduler::release_context(Context* ctx) {
+  free_contexts_.push_back(ctx);
+}
+
+void BatchScheduler::execute(Context* ctx,
+                             const std::vector<Request*>& batch) {
+  const int n = static_cast<int>(batch.size());
+  Timer timer;
+  std::vector<const Tensor*> images;
+  images.reserve(batch.size());
+  for (const Request* r : batch) images.push_back(r->image);
+  const Tensor stacked = Tensor::batch_of(images);
+  std::vector<DetectionOutput> outs = ctx->detector->detect_batch(stacked);
+  const double detect_ms =
+      timer.elapsed_ms() / static_cast<double>(std::max(n, 1));
+  const std::vector<float> ts =
+      ctx->regressor->predict_batch(ctx->detector->features());
+  const double regressor_ms = ctx->regressor->last_predict_ms();
+  for (int i = 0; i < n; ++i) {
+    Request* r = batch[static_cast<std::size_t>(i)];
+    r->result.detections = std::move(outs[static_cast<std::size_t>(i)]);
+    r->result.regressed_t = ts[static_cast<std::size_t>(i)];
+    r->result.detect_ms = detect_ms;
+    r->result.regressor_ms = regressor_ms;
+    r->result.batch_size = n;
+  }
+}
+
+BatchSubmitResult BatchScheduler::submit(const Tensor& image) {
+  std::unique_lock<std::mutex> lk(mu_);
+
+  // Single-stream fallback: with nobody to coalesce with (or batching
+  // disabled) run inline — same code path, batch of one, no waiting.
+  if (cfg_.max_batch <= 1 || attached_ <= 1) {
+    Request req;
+    req.image = &image;
+    Context* ctx = acquire_context(&lk);
+    lk.unlock();
+    execute(ctx, {&req});
+    lk.lock();
+    release_context(ctx);
+    ++stats_.frames;
+    ++stats_.single_fallbacks;
+    cv_.notify_all();
+    return std::move(req.result);
+  }
+
+  const std::pair<int, int> key{image.h(), image.w()};
+  Bucket& bucket = buckets_[key];  // std::map: reference stays valid
+  if (bucket.pending.empty()) bucket.opened = Clock::now();
+  Request req;
+  req.image = &image;
+  bucket.pending.push_back(&req);
+  ++waiting_;
+  cv_.notify_all();  // a bucket may just have become full
+
+  for (;;) {
+    if (req.done) {
+      ++stats_.frames;
+      return std::move(req.result);
+    }
+    if (!bucket.pending.empty() && bucket.pending.front() == &req) {
+      // This thread leads the bucket.  Close it when full, when every
+      // attached stream is already blocked in submit() (no further arrival
+      // is possible), or when the oldest request has waited max_wait_ms.
+      const bool full =
+          static_cast<int>(bucket.pending.size()) >= cfg_.max_batch;
+      const bool all_blocked = waiting_ >= attached_;
+      const auto deadline =
+          bucket.opened + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  cfg_.max_wait_ms));
+      if (full || all_blocked || Clock::now() >= deadline) {
+        const std::size_t take = std::min<std::size_t>(
+            bucket.pending.size(), static_cast<std::size_t>(cfg_.max_batch));
+        std::vector<Request*> batch(bucket.pending.begin(),
+                                    bucket.pending.begin() +
+                                        static_cast<std::ptrdiff_t>(take));
+        bucket.pending.erase(bucket.pending.begin(),
+                             bucket.pending.begin() +
+                                 static_cast<std::ptrdiff_t>(take));
+        // Anyone left behind becomes a fresh bucket generation with its own
+        // leader and wait window.
+        if (!bucket.pending.empty()) bucket.opened = Clock::now();
+        waiting_ -= static_cast<int>(take);
+        Context* ctx = acquire_context(&lk);
+        lk.unlock();
+        execute(ctx, batch);
+        lk.lock();
+        release_context(ctx);
+        ++stats_.batches;
+        ++stats_.batch_size_hist[take];
+        for (Request* r : batch) r->done = true;
+        cv_.notify_all();
+        // req.done is now true; the loop head returns it.
+      } else {
+        cv_.wait_until(lk, deadline);
+      }
+    } else {
+      // Follower (or leader-to-be after a promotion): wait for the leader.
+      cv_.wait(lk);
+    }
+  }
+}
+
+BatchSchedulerStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace ada

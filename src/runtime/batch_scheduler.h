@@ -1,0 +1,133 @@
+// Cross-stream batch scheduler for backbone inference.
+//
+// AdaScale is sequential *within* a stream (frame t's features pick frame
+// t+1's scale), so MultiStreamRunner scales across streams — but until this
+// scheduler existed every stream paid a full single-image backbone forward
+// even when many streams sat at the same target scale.  BatchScheduler
+// coalesces concurrent per-frame requests whose pipelines currently target
+// the same scale (bucketed by rendered image size) into ONE batched forward:
+// a single sgemm per conv layer over the whole batch, which is exactly the
+// larger M·N·K shape the packed GEMM backend (tensor/gemm.h) earns its
+// arithmetic intensity from.
+//
+// Correctness contract: Detector::detect_batch and
+// ScaleRegressor::predict_batch are bit-identical to their per-image
+// counterparts, so results never depend on which frames happened to share a
+// batch — batched serving output is memcmp-equal to per-stream serial
+// execution regardless of arrival timing (tests/batch_scheduler_test.cpp).
+//
+// Execution model: no dedicated scheduler thread.  Submitting streams block
+// in submit(); the stream whose request sits at the front of its bucket is
+// that bucket's *leader* and closes the batch when it fills (max_batch),
+// when every attached stream is blocked in submit() (no more arrivals can
+// possibly join), or when max_wait_ms expires — then executes the batched
+// forward itself on a context (detector+regressor clone) from a small pool,
+// and publishes per-request results.  With one attached stream or
+// max_batch <= 1 the scheduler degrades to an inline single-image call (no
+// waiting, no batching overhead).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "adascale/scale_regressor.h"
+#include "detection/detector.h"
+
+namespace ada {
+
+/// Batch formation knobs.
+struct BatchSchedulerConfig {
+  int max_batch = 8;  ///< close a bucket at this many frames
+  /// Straggler bound: flush an open bucket after this long even if neither
+  /// trigger fired.  In steady-state saturation batches close via the
+  /// all-streams-blocked trigger well before this; the default is sized at
+  /// roughly one frame's processing time so peer streams mid-render can
+  /// still make the batch.  Lower it for latency-sensitive serving (it
+  /// bounds the queueing delay a lone frame can suffer when other streams
+  /// sit idle at different scales).
+  double max_wait_ms = 25.0;
+  int contexts = 2;  ///< detector/regressor clone pairs; bounds how many
+                     ///< scale buckets can execute concurrently
+};
+
+/// What one stream gets back for one submitted frame.
+struct BatchSubmitResult {
+  DetectionOutput detections;
+  float regressed_t = 0.0f;  ///< scale regressor output on this frame
+  double detect_ms = 0.0;    ///< batch detect wall-clock amortized per frame
+  double regressor_ms = 0.0; ///< batch predict wall-clock amortized per frame
+  int batch_size = 1;        ///< how many frames shared the forward
+};
+
+/// Aggregate counters (read after a run; also folded into bench output).
+struct BatchSchedulerStats {
+  long frames = 0;           ///< total frames served
+  long batches = 0;          ///< batched forwards executed (incl. size-1)
+  long single_fallbacks = 0; ///< frames served by the single-stream fast path
+  std::vector<long> batch_size_hist;  ///< index b = batches of size b
+
+  double mean_batch() const {
+    return batches > 0 ? static_cast<double>(frames - single_fallbacks) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+};
+
+/// Coalesces same-scale frames from concurrent streams into batched
+/// detector+regressor forwards.  Thread-safe; submit() blocks the calling
+/// stream until its frame's results are ready.
+class BatchScheduler {
+ public:
+  /// Clones `cfg.contexts` detector/regressor pairs from the prototypes
+  /// (which are only read during construction).
+  BatchScheduler(Detector* prototype_detector,
+                 ScaleRegressor* prototype_regressor,
+                 const BatchSchedulerConfig& cfg);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// A producer stream announces itself.  The scheduler uses the attached
+  /// count to flush batches early once every live stream is blocked in
+  /// submit() — the steady-state trigger that keeps max_wait_ms a safety
+  /// valve rather than a per-frame tax.
+  void attach();
+  /// The stream has no more frames; wakes leaders so they stop waiting for
+  /// arrivals that can never come.
+  void detach();
+
+  /// Blocking: enqueues the rendered frame into its (h, w) bucket and
+  /// returns when the batch containing it has executed.  `image` must stay
+  /// alive for the duration of the call (it is read, never copied whole).
+  BatchSubmitResult submit(const Tensor& image);
+
+  BatchSchedulerStats stats() const;
+
+ private:
+  struct Request;
+  struct Bucket;
+  struct Context;
+
+  Context* acquire_context(std::unique_lock<std::mutex>* lk);
+  void release_context(Context* ctx);
+  /// Runs the batched forward for `batch` outside the lock and publishes
+  /// each request's result.
+  void execute(Context* ctx, const std::vector<Request*>& batch);
+
+  BatchSchedulerConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::pair<int, int>, Bucket> buckets_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::vector<Context*> free_contexts_;
+  int attached_ = 0;
+  int waiting_ = 0;  ///< requests currently enqueued and not yet extracted
+  BatchSchedulerStats stats_;
+};
+
+}  // namespace ada

@@ -7,35 +7,6 @@
 
 namespace ada {
 
-namespace {
-
-/// Copies parameter values (not gradients) between two models whose
-/// parameter lists line up structurally.
-void copy_params(std::vector<Param*> src, std::vector<Param*> dst) {
-  assert(src.size() == dst.size());
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    assert(src[i]->value.size() == dst[i]->value.size());
-    for (std::size_t k = 0; k < src[i]->value.size(); ++k)
-      dst[i]->value[k] = src[i]->value[k];
-  }
-}
-
-}  // namespace
-
-std::unique_ptr<Detector> clone_detector(Detector* src) {
-  Rng rng(0);  // initialization is immediately overwritten
-  auto dst = std::make_unique<Detector>(src->config(), &rng);
-  copy_params(src->parameters(), dst->parameters());
-  return dst;
-}
-
-std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src) {
-  Rng rng(0);
-  auto dst = std::make_unique<ScaleRegressor>(src->config(), &rng);
-  copy_params(src->parameters(), dst->parameters());
-  return dst;
-}
-
 struct MultiStreamRunner::Stream {
   std::unique_ptr<Detector> detector;
   std::unique_ptr<ScaleRegressor> regressor;
@@ -47,7 +18,7 @@ MultiStreamRunner::MultiStreamRunner(Detector* prototype_detector,
                                      const Renderer* renderer,
                                      const ScalePolicy& policy,
                                      const ScaleSet& sreg, int num_streams,
-                                     int init_scale) {
+                                     int init_scale, bool snap_scales) {
   assert(num_streams > 0);
   streams_.reserve(static_cast<std::size_t>(num_streams));
   for (int s = 0; s < num_streams; ++s) {
@@ -56,7 +27,7 @@ MultiStreamRunner::MultiStreamRunner(Detector* prototype_detector,
     stream->regressor = clone_regressor(prototype_regressor);
     stream->pipeline = std::make_unique<AdaScalePipeline>(
         stream->detector.get(), stream->regressor.get(), renderer, policy,
-        sreg, init_scale);
+        sreg, init_scale, snap_scales);
     streams_.push_back(std::move(stream));
   }
 }
@@ -68,22 +39,40 @@ int MultiStreamRunner::num_streams() const {
 }
 
 MultiStreamResult MultiStreamRunner::run_impl(
-    const std::vector<const Snippet*>& jobs, bool concurrent) {
+    const std::vector<const Snippet*>& jobs, bool concurrent,
+    BatchScheduler* scheduler) {
   MultiStreamResult result;
   result.streams.resize(streams_.size());
+  result.batched = scheduler != nullptr;
 
   auto stream_main = [&](int sid) {
     Stream& stream = *streams_[static_cast<std::size_t>(sid)];
     StreamOutput& out = result.streams[static_cast<std::size_t>(sid)];
     out.stream_id = sid;
+    AdaScalePipeline::DetectBackend backend;
+    if (scheduler != nullptr) {
+      backend = [scheduler](Tensor image) {
+        BatchSubmitResult r = scheduler->submit(image);
+        AdaScalePipeline::DetectResult d;
+        d.detections = std::move(r.detections);
+        d.regressed_t = r.regressed_t;
+        d.detect_ms = r.detect_ms;
+        d.regressor_ms = r.regressor_ms;
+        return d;
+      };
+      scheduler->attach();
+    }
     Timer busy;
     for (std::size_t j = static_cast<std::size_t>(sid); j < jobs.size();
          j += streams_.size()) {
       stream.pipeline->reset();
       for (const Scene& frame : jobs[j]->frames)
-        out.frames.push_back(stream.pipeline->process(frame));
+        out.frames.push_back(scheduler != nullptr
+                                 ? stream.pipeline->process_via(frame, backend)
+                                 : stream.pipeline->process(frame));
     }
     out.busy_ms = busy.elapsed_ms();
+    if (scheduler != nullptr) scheduler->detach();
   };
 
   Timer wall;
@@ -104,17 +93,28 @@ MultiStreamResult MultiStreamRunner::run_impl(
                              ? 1000.0 * static_cast<double>(result.total_frames)
                                    / result.wall_ms
                              : 0.0;
+  if (scheduler != nullptr) result.batch_stats = scheduler->stats();
   return result;
 }
 
 MultiStreamResult MultiStreamRunner::run(
     const std::vector<const Snippet*>& jobs) {
-  return run_impl(jobs, /*concurrent=*/true);
+  return run_impl(jobs, /*concurrent=*/true, /*scheduler=*/nullptr);
 }
 
 MultiStreamResult MultiStreamRunner::run_serial(
     const std::vector<const Snippet*>& jobs) {
-  return run_impl(jobs, /*concurrent=*/false);
+  return run_impl(jobs, /*concurrent=*/false, /*scheduler=*/nullptr);
+}
+
+MultiStreamResult MultiStreamRunner::run_batched(
+    const std::vector<const Snippet*>& jobs, const BatchSchedulerConfig& cfg) {
+  // The scheduler's contexts are cloned from stream 0's models, which carry
+  // the same parameter values as every other stream — any batch composition
+  // therefore produces the same bits as per-stream execution.
+  BatchScheduler scheduler(streams_[0]->detector.get(),
+                           streams_[0]->regressor.get(), cfg);
+  return run_impl(jobs, /*concurrent=*/true, &scheduler);
 }
 
 }  // namespace ada

@@ -18,6 +18,7 @@
 
 #include "adascale/pipeline.h"
 #include "data/video.h"
+#include "runtime/batch_scheduler.h"
 
 namespace ada {
 
@@ -35,27 +36,27 @@ struct MultiStreamResult {
   double wall_ms = 0.0;               ///< end-to-end wall-clock of the run
   long total_frames = 0;
   double aggregate_fps = 0.0;         ///< total_frames / wall_ms
+  bool batched = false;               ///< produced by run_batched()
+  BatchSchedulerStats batch_stats;    ///< meaningful when batched
 };
 
-/// Deep-copies a detector: same architecture/config, parameter values copied
-/// from `src`.  Each concurrent stream needs its own copy because Detector
-/// caches activations between forward and detect.
-std::unique_ptr<Detector> clone_detector(Detector* src);
-
-/// Deep-copies a scale regressor (same reason: per-predict scratch state).
-std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src);
-
 /// Drives N independent AdaScalePipeline instances concurrently.
+/// (clone_detector / clone_regressor live with their classes:
+/// detection/detector.h and adascale/scale_regressor.h.)
 class MultiStreamRunner {
  public:
   /// Builds `num_streams` pipelines, each with its own detector/regressor
   /// clone.  The prototypes are only read during construction.  `renderer`
-  /// is stateless and shared by all streams.
+  /// is stateless and shared by all streams.  With snap_scales each
+  /// pipeline quantizes its target scale to the nearest member of `sreg`
+  /// (see AdaScalePipeline) — in every execution mode, so run(),
+  /// run_serial() and run_batched() always process identical work; dense
+  /// scale buckets are what lets run_batched() actually form batches.
   MultiStreamRunner(Detector* prototype_detector,
                     ScaleRegressor* prototype_regressor,
                     const Renderer* renderer, const ScalePolicy& policy,
                     const ScaleSet& sreg, int num_streams,
-                    int init_scale = 600);
+                    int init_scale = 600, bool snap_scales = false);
   ~MultiStreamRunner();
 
   MultiStreamRunner(const MultiStreamRunner&) = delete;
@@ -73,10 +74,26 @@ class MultiStreamRunner {
   /// produces identical per-stream outputs to run().
   MultiStreamResult run_serial(const std::vector<const Snippet*>& jobs);
 
+  /// Same jobs and static round-robin assignment, but every stream routes
+  /// its per-frame detection through a shared BatchScheduler: frames from
+  /// different streams that currently target the same scale share ONE
+  /// backbone forward (one sgemm per layer for the whole batch).  Because
+  /// the batched kernels are bit-identical to the single-image ones,
+  /// per-stream outputs are memcmp-equal to run()/run_serial() no matter
+  /// how frames happened to batch; timing fields (detect_ms/regressor_ms)
+  /// are amortized per frame.  Scheduler counters land in
+  /// MultiStreamResult::batch_stats.
+  MultiStreamResult run_batched(const std::vector<const Snippet*>& jobs,
+                                const BatchSchedulerConfig& cfg = {});
+
  private:
   struct Stream;
+  /// Shared orchestration for all three modes: round-robin job assignment,
+  /// per-stream timing, aggregate accounting.  With a scheduler, frames
+  /// route through it via process_via (run_batched); otherwise each stream
+  /// detects on its own models (run / run_serial).
   MultiStreamResult run_impl(const std::vector<const Snippet*>& jobs,
-                             bool concurrent);
+                             bool concurrent, BatchScheduler* scheduler);
 
   std::vector<std::unique_ptr<Stream>> streams_;
 };

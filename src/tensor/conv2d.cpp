@@ -12,17 +12,21 @@ namespace ada {
 
 namespace {
 
-/// im2col: unpacks input patches into a (in_c*k*k) x (oh*ow) column matrix
-/// held in the caller's scratch buffer.  Only pad-clipped edge cells are
+/// im2col: unpacks image `n`'s input patches into a (in_c*k*k) x (oh*ow)
+/// block of a column matrix held in the caller's scratch buffer.  `cols`
+/// points at the image's first column and `ld` is the full row length of the
+/// matrix, so a batch lays its images side by side along the column axis
+/// (image n occupies columns [n*oh*ow, (n+1)*oh*ow) of every row) and the
+/// whole batch lowers onto a single GEMM.  Only pad-clipped edge cells are
 /// zeroed — the interior is written exactly once (memcpy rows for stride 1),
 /// instead of zero-filling the whole buffer and overwriting it.
 void im2col(const Tensor& x, int n, const ConvSpec& s, int oh, int ow,
-            float* cols) {
+            float* cols, std::ptrdiff_t ld) {
   const int k = s.kernel;
-  float* col = cols;
+  float* row = cols;
   for (int c = 0; c < s.in_channels; ++c)
     for (int ki = 0; ki < k; ++ki)
-      for (int kj = 0; kj < k; ++kj) {
+      for (int kj = 0; kj < k; ++kj, row += ld) {
         // Column index j reads input column j*stride + off.
         const int off = kj * s.dilation - s.pad;
         const int j_lo =
@@ -31,6 +35,7 @@ void im2col(const Tensor& x, int n, const ConvSpec& s, int oh, int ow,
             x.w() - 1 - off >= 0
                 ? std::min(ow - 1, (x.w() - 1 - off) / s.stride)
                 : -1;
+        float* col = row;
         for (int i = 0; i < oh; ++i, col += ow) {
           const int hi = i * s.stride - s.pad + ki * s.dilation;
           if (hi < 0 || hi >= x.h() || j_lo > j_hi) {
@@ -98,24 +103,56 @@ void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
 
   const int patch = spec.in_channels * spec.kernel * spec.kernel;
   const int cells = oh * ow;
+  const int batch = x.n();
 
-  // y[oc, :] = W[oc, :] * cols (+ bias, + ReLU) — one GEMM per image, with
-  // the bias/ReLU epilogue fused into the tile write-out so the backbone
-  // never makes a separate pass over the activation tensor.
+  // y[oc, :] = W[oc, :] * cols (+ bias, + ReLU), with the bias/ReLU epilogue
+  // fused into the tile write-out so the backbone never makes a separate
+  // pass over the activation tensor.
   GemmEpilogue epi;
   epi.row_bias = b.empty() ? nullptr : b.data();
   epi.relu = fuse_relu;
   const GemmMat wmat{w.data(), patch, 1};
 
   ScratchFrame frame(&scratch_arena());
-  float* cols =
-      frame.alloc(static_cast<std::size_t>(patch) * cells);
-  for (int n = 0; n < x.n(); ++n) {
-    im2col(x, n, spec, oh, ow, cols);
+  if (batch == 1) {
+    // Single image: GEMM writes straight into y (already NCHW-contiguous).
+    float* cols = frame.alloc(static_cast<std::size_t>(patch) * cells);
+    im2col(x, 0, spec, oh, ow, cols, cells);
     sgemm(spec.out_channels, cells, patch, wmat, GemmMat{cols, cells, 1},
-          y->data() + static_cast<std::size_t>(n) * spec.out_channels * cells,
-          cells, /*accumulate=*/false, epi);
+          y->data(), cells, /*accumulate=*/false, epi);
+    return;
   }
+
+  // Batch: the images' column blocks sit side by side along the GEMM N axis
+  // (one sgemm for the whole batch — larger M·N·K shapes are exactly where
+  // the packed backend earns its arithmetic intensity), then the oc-major
+  // product rows are scattered back to NCHW.  Each C element keeps the same
+  // ascending-k accumulation chain as the single-image GEMM, so batched
+  // outputs are bit-identical to per-image forwards.
+  const std::size_t total = static_cast<std::size_t>(batch) * cells;
+  float* cols = frame.alloc(static_cast<std::size_t>(patch) * total);
+  parallel_for(batch, 1, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t n = nb; n < ne; ++n)
+      im2col(x, static_cast<int>(n), spec, oh, ow,
+             cols + static_cast<std::size_t>(n) * cells,
+             static_cast<std::ptrdiff_t>(total));
+  });
+  float* ybuf = frame.alloc(static_cast<std::size_t>(spec.out_channels) * total);
+  sgemm(spec.out_channels, static_cast<int>(total), patch, wmat,
+        GemmMat{cols, static_cast<std::ptrdiff_t>(total), 1}, ybuf,
+        static_cast<int>(total), /*accumulate=*/false, epi);
+  // ybuf row oc holds [img0 cells | img1 cells | ...]; y wants image-major.
+  parallel_for(static_cast<std::int64_t>(batch) * spec.out_channels, 1,
+               [&](std::int64_t rb, std::int64_t re) {
+    for (std::int64_t r = rb; r < re; ++r) {
+      const std::int64_t n = r / spec.out_channels;
+      const std::int64_t oc = r % spec.out_channels;
+      std::memcpy(y->data() + static_cast<std::size_t>(r) * cells,
+                  ybuf + static_cast<std::size_t>(oc) * total +
+                      static_cast<std::size_t>(n) * cells,
+                  static_cast<std::size_t>(cells) * sizeof(float));
+    }
+  });
 }
 
 void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
@@ -143,7 +180,7 @@ void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
     if (dw != nullptr) {
       // dW[oc, p] += dy[oc, :] * cols[p, :]^T — GEMM with B read transposed
       // (stride trick; packing materializes the panels).
-      im2col(x, n, spec, oh, ow, cols);
+      im2col(x, n, spec, oh, ow, cols, cells);
       sgemm(spec.out_channels, patch, cells, GemmMat{dyn, cells, 1},
             GemmMat{cols, 1, cells}, dw->data(), patch,
             /*accumulate=*/true);

@@ -37,10 +37,13 @@ struct ConvSpec {
   }
 };
 
-/// y = conv(x, w) + b.  w is (out_c, in_c, k, k); b is (1, out_c, 1, 1) and
-/// may be empty (no bias).  y is resized as needed.  With fuse_relu the
-/// ReLU is applied inside the GEMM write-out (y = max(conv(x,w)+b, 0)),
-/// bit-identical to applying it afterwards but without the extra pass.
+/// y = conv(x, w) + b.  x is (N, in_c, H, W) — N > 1 lowers the whole batch
+/// onto a single sgemm call (the images' im2col column blocks concatenated
+/// along the GEMM N axis), bit-identical to running the images one at a
+/// time.  w is (out_c, in_c, k, k); b is (1, out_c, 1, 1) and may be empty
+/// (no bias).  y is resized as needed.  With fuse_relu the ReLU is applied
+/// inside the GEMM write-out (y = max(conv(x,w)+b, 0)), bit-identical to
+/// applying it afterwards but without the extra pass.
 void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
                     const Tensor& b, Tensor* y, bool fuse_relu = false);
 

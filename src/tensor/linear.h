@@ -6,7 +6,9 @@
 namespace ada {
 
 /// y = W x + b with x: (N, in, 1, 1), W: (out, in, 1, 1), b: (1, out, 1, 1)
-/// (b may be empty). y resized to (N, out, 1, 1).
+/// (b may be empty). y resized to (N, out, 1, 1).  A batch is one GEMM with
+/// M = N; each row's output is bit-identical to the N = 1 call (per-element
+/// accumulation order depends only on the K axis — see tensor/gemm.h).
 void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                     Tensor* y);
 

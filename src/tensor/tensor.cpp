@@ -1,9 +1,33 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace ada {
+
+Tensor Tensor::batch_of(const std::vector<const Tensor*>& images) {
+  assert(!images.empty());
+  const Tensor& first = *images.front();
+  assert(first.n() == 1);
+  Tensor out(static_cast<int>(images.size()), first.c(), first.h(), first.w());
+  const std::size_t stride = out.image_size();
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const Tensor& img = *images[i];
+    assert(img.n() == 1 && img.c() == first.c() && img.h() == first.h() &&
+           img.w() == first.w());
+    std::memcpy(out.data() + i * stride, img.data(), stride * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Tensor::image(int n) const {
+  assert(n >= 0 && n < n_);
+  Tensor out(1, c_, h_, w_);
+  std::memcpy(out.data(), data() + static_cast<std::size_t>(n) * image_size(),
+              image_size() * sizeof(float));
+  return out;
+}
 
 double Tensor::sum() const {
   double s = 0.0;

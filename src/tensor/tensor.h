@@ -66,6 +66,20 @@ class Tensor {
   /// Convenience: flat vector of length len stored as 1×len×1×1.
   static Tensor vec(int len) { return Tensor(1, len, 1, 1); }
 
+  /// Stacks same-shaped (1,C,H,W) images into one (N,C,H,W) batch tensor.
+  /// This is how the batch scheduler coalesces frames that target the same
+  /// scale into a single backbone forward.
+  static Tensor batch_of(const std::vector<const Tensor*>& images);
+
+  /// Copy of image `n` as a (1,C,H,W) tensor (batch → single-image).
+  Tensor image(int n) const;
+
+  /// Floats (not bytes) of one image: C*H*W.  Image n's data starts at
+  /// data() + n * image_size().
+  std::size_t image_size() const {
+    return static_cast<std::size_t>(c_) * h_ * w_;
+  }
+
   int n() const { return n_; }
   int c() const { return c_; }
   int h() const { return h_; }

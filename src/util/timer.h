@@ -1,6 +1,7 @@
 // Wall-clock timing utilities used by the runtime profiler and benches.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 
@@ -29,23 +30,32 @@ class Timer {
 };
 
 /// Accumulates per-event durations; used to report mean ms/frame.
+///
+/// Moments use Welford's online update: the textbook sum2/n − mean² form
+/// cancels catastrophically when the mean dwarfs the spread (timestamps,
+/// epoch-offset samples) and can go *negative*, which turned into NaN
+/// standard deviations downstream in bench reports.  Welford accumulates
+/// centered residuals, so M2 is non-negative up to rounding — and is
+/// clamped at 0 for the rounding.
 class RunningStat {
  public:
   void add(double x) {
     ++n_;
     sum_ += x;
-    sum2_ += x * x;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
     if (x < min_ || n_ == 1) min_ = x;
     if (x > max_ || n_ == 1) max_ = x;
   }
 
   std::int64_t count() const { return n_; }
   double sum() const { return sum_; }
-  double mean() const { return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0; }
+  double mean() const { return mean_; }
+  /// Population variance; never negative.
   double variance() const {
     if (n_ < 2) return 0.0;
-    double m = mean();
-    return sum2_ / static_cast<double>(n_) - m * m;
+    return std::max(0.0, m2_ / static_cast<double>(n_));
   }
   double min() const { return min_; }
   double max() const { return max_; }
@@ -53,7 +63,8 @@ class RunningStat {
  private:
   std::int64_t n_ = 0;
   double sum_ = 0.0;
-  double sum2_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -16,10 +16,11 @@ struct Node {
 
 }  // namespace
 
-void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
-             const SeqNmsConfig& cfg) {
+SeqNmsReport seq_nms(std::vector<std::vector<EvalDetection>>* frames,
+                     const SeqNmsConfig& cfg) {
+  SeqNmsReport report;
   const int num_frames = static_cast<int>(frames->size());
-  if (num_frames == 0) return;
+  if (num_frames == 0) return report;
 
   // Determine the class set present.
   int max_class = -1;
@@ -37,6 +38,7 @@ void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
     std::vector<std::vector<EvalDetection>> rescored(
         static_cast<std::size_t>(num_frames));
 
+    bool exhausted = true;  // loop ran out of iterations, not out of paths
     for (int iter = 0; iter < cfg.max_iterations; ++iter) {
       // DP over frames on alive nodes.
       float global_best = -1.0f;
@@ -67,7 +69,11 @@ void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
           }
         }
       }
-      if (best_frame < 0) break;  // pool empty
+      if (best_frame < 0) {  // pool empty: every box handled
+        exhausted = false;
+        break;
+      }
+      ++report.iterations;
 
       // Backtrack the best path.
       std::vector<std::pair<int, int>> path;  // (frame, idx)
@@ -108,10 +114,17 @@ void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
       }
     }
 
-    // Any leftovers (isolated boxes never on a path) pass through unchanged.
+    // Any leftovers (isolated boxes never on a path, or boxes stranded when
+    // the iteration bound fired) pass through unchanged — truncation never
+    // drops detections, it only leaves scores un-rescored.
+    bool leftovers = false;
     for (int f = 0; f < num_frames; ++f)
       for (const Node& n : pool[static_cast<std::size_t>(f)])
-        if (n.alive) rescored[static_cast<std::size_t>(f)].push_back(n.det);
+        if (n.alive) {
+          leftovers = true;
+          rescored[static_cast<std::size_t>(f)].push_back(n.det);
+        }
+    if (exhausted && leftovers) ++report.truncated_classes;
 
     // Replace this class's detections.
     for (int f = 0; f < num_frames; ++f) {
@@ -125,6 +138,7 @@ void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
                  rescored[static_cast<std::size_t>(f)].end());
     }
   }
+  return report;
 }
 
 }  // namespace ada

@@ -19,13 +19,26 @@ struct SeqNmsConfig {
   float link_iou = 0.5f;       ///< min IoU to link boxes across frames
   float suppress_iou = 0.3f;   ///< same-frame suppression around path boxes
   bool rescore_avg = true;  ///< true: average; false: max
-  int max_iterations = 10000;  ///< safety bound
+  int max_iterations = 10000;  ///< per-class safety bound on path extractions
+};
+
+/// What seq_nms() actually did — so callers can tell when the safety bound
+/// fired.  Truncation is NOT silent data loss (boxes that were never put on
+/// a path pass through with their original scores) but it does mean some
+/// boxes kept un-rescored scores; report it instead of swallowing it.
+struct SeqNmsReport {
+  int iterations = 0;          ///< total path extractions across classes
+  int truncated_classes = 0;   ///< classes whose bound fired with links left
+  bool truncated() const { return truncated_classes > 0; }
 };
 
 /// Applies Seq-NMS in place to one snippet's per-frame detections (all boxes
-/// in a common coordinate frame).  Wall-clock cost is the caller's to
-/// measure (the paper counts it against runtime in Fig. 7).
-void seq_nms(std::vector<std::vector<EvalDetection>>* frames,
-             const SeqNmsConfig& cfg);
+/// in a common coordinate frame).  Never drops a detection: every input box
+/// comes back either rescored (on a path), suppressed-but-kept (original
+/// score), or passed through untouched — including when max_iterations
+/// truncates the path search (see SeqNmsReport).  Wall-clock cost is the
+/// caller's to measure (the paper counts it against runtime in Fig. 7).
+SeqNmsReport seq_nms(std::vector<std::vector<EvalDetection>>* frames,
+                     const SeqNmsConfig& cfg);
 
 }  // namespace ada

@@ -114,10 +114,57 @@ TEST(SeqNms, TerminatesOnManyFrames) {
       frames[static_cast<std::size_t>(f)].push_back(
           det(static_cast<float>(10 * k), 0, static_cast<float>(10 * k + 9),
               9, k % 3, 0.1f * static_cast<float>(k + 1)));
-  seq_nms(&frames, SeqNmsConfig{});
+  const SeqNmsReport report = seq_nms(&frames, SeqNmsConfig{});
   std::size_t total = 0;
   for (const auto& f : frames) total += f.size();
   EXPECT_EQ(total, 240u);
+  // The default bound is generous; a normal workload never trips it.
+  EXPECT_FALSE(report.truncated());
+  EXPECT_GT(report.iterations, 0);
+}
+
+TEST(SeqNms, IterationExhaustionIsReportedAndDropsNothing) {
+  // Adversarial input: many long link chains of one class, far more paths
+  // than the iteration bound allows.  Before the report existed this
+  // truncated silently; now it must (a) say so and (b) still return every
+  // input box — stranded chains pass through with original scores.
+  const int num_frames = 40;
+  const int num_chains = 6;
+  std::vector<std::vector<EvalDetection>> frames(
+      static_cast<std::size_t>(num_frames));
+  for (int f = 0; f < num_frames; ++f)
+    for (int k = 0; k < num_chains; ++k) {
+      // Chains sit 100 px apart (never linked or suppressed across chains);
+      // within a chain, consecutive frames overlap heavily (IoU ≈ 0.9).
+      const float x = static_cast<float>(100 * k) + 0.5f * static_cast<float>(f);
+      frames[static_cast<std::size_t>(f)].push_back(
+          det(x, 0, x + 20, 20, 0, 0.5f + 0.01f * static_cast<float>(f)));
+    }
+
+  SeqNmsConfig cfg;
+  cfg.max_iterations = 2;  // < num_chains: bound must fire
+  const SeqNmsReport truncated = seq_nms(&frames, cfg);
+  EXPECT_TRUE(truncated.truncated());
+  EXPECT_EQ(truncated.truncated_classes, 1);
+  EXPECT_EQ(truncated.iterations, 2);
+  std::size_t total = 0;
+  for (const auto& f : frames) total += f.size();
+  EXPECT_EQ(total, static_cast<std::size_t>(num_frames * num_chains))
+      << "truncation must never drop detections";
+
+  // The same input with a sufficient bound completes without truncation and
+  // extracts one path per chain.
+  std::vector<std::vector<EvalDetection>> frames2(
+      static_cast<std::size_t>(num_frames));
+  for (int f = 0; f < num_frames; ++f)
+    for (int k = 0; k < num_chains; ++k) {
+      const float x = static_cast<float>(100 * k) + 0.5f * static_cast<float>(f);
+      frames2[static_cast<std::size_t>(f)].push_back(
+          det(x, 0, x + 20, 20, 0, 0.5f + 0.01f * static_cast<float>(f)));
+    }
+  const SeqNmsReport full = seq_nms(&frames2, SeqNmsConfig{});
+  EXPECT_FALSE(full.truncated());
+  EXPECT_EQ(full.iterations, num_chains);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
@@ -106,6 +107,26 @@ TEST(RunningStat, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, LargeOffsetSamplesKeepNonNegativeVariance) {
+  // Regression: the old sum2/n − mean² form cancels catastrophically when
+  // samples share a huge offset (e.g. epoch-milliseconds timestamps) and
+  // returned slightly *negative* variance → NaN stddev in bench reports.
+  // Welford accumulates centered residuals, so the tiny spread survives.
+  RunningStat s;
+  const double offset = 1e9;
+  for (double jitter : {0.0, 1.0, 2.0, 3.0}) s.add(offset + jitter);
+  EXPECT_GE(s.variance(), 0.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-6);  // same spread as the small case
+  EXPECT_DOUBLE_EQ(s.mean(), offset + 1.5);
+
+  // Identical huge samples: variance must be exactly 0, never negative.
+  RunningStat flat;
+  for (int i = 0; i < 1000; ++i) flat.add(4.503599627e15);  // 2^52-scale
+  EXPECT_GE(flat.variance(), 0.0);
+  EXPECT_EQ(flat.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(std::sqrt(flat.variance())));
 }
 
 }  // namespace
