@@ -85,6 +85,23 @@ void BM_BackboneForward600_Reference(benchmark::State& state) {
 }
 BENCHMARK(BM_BackboneForward600_Reference);
 
+// The INT8 quantized path on the same conv stack (ISSUE 4).  The gflops
+// counter counts the same nominal MAC work as the fp32 rows, so all three
+// backends are directly comparable.  Calibrates on the bench image itself
+// (weights are random here — this row measures kernel speed, not accuracy;
+// the accuracy cost lives in bench_report's `quantized` section).
+void BM_BackboneForward600_Int8(benchmark::State& state) {
+  Fixture& f = fixture();
+  if (!f.detector->quantized()) {
+    const Renderer renderer = f.dataset.make_renderer();
+    const Tensor img = renderer.render_at_scale(
+        *f.dataset.val_frames()[0], 600, f.dataset.scale_policy());
+    f.detector->quantize({img});
+  }
+  backbone_forward_600(state, GemmBackend::kInt8);
+}
+BENCHMARK(BM_BackboneForward600_Int8);
+
 void BM_RegressorPredict(benchmark::State& state) {
   Fixture& f = fixture();
   const Renderer renderer = f.dataset.make_renderer();

@@ -7,8 +7,10 @@
 //
 // Run from the build directory:  ./examples/quickstart
 #include <cstdio>
+#include <vector>
 
 #include "experiments/harness.h"
+#include "tensor/gemm.h"
 
 using namespace ada;
 
@@ -29,6 +31,21 @@ int main() {
   Detector* detector = h.detector(ScaleSet::train_default());
   ScaleRegressor* regressor = h.regressor(ScaleSet::train_default(),
                                           h.default_regressor_config());
+
+  // ADASCALE_GEMM=int8: calibrate + quantize before serving, so the whole
+  // run below (Algorithm 1 and both evals) exercises the INT8 path.
+  // Calibration frames cycle across the regressor scale set to cover
+  // everything Algorithm 1 will render.  Training above always runs
+  // fp32 — quantization is inference-only.
+  if (gemm_backend() == GemmBackend::kInt8) {
+    const std::vector<Tensor> calib = h.make_calibration_set(16);
+    detector->quantize(calib);
+    std::vector<Tensor> feats;
+    for (const Tensor& img : calib) feats.push_back(detector->forward(img));
+    regressor->quantize(feats);
+    std::printf("int8 backend: calibrated on %zu frames, serving quantized\n",
+                calib.size());
+  }
 
   // Algorithm 1 on one validation clip.
   const Renderer renderer = h.dataset().make_renderer();

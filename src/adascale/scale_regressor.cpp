@@ -34,6 +34,9 @@ ScaleRegressor::ScaleRegressor(const RegressorConfig& cfg, Rng* rng)
     s.conv->init_he(rng);
     streams_.push_back(std::move(s));
   }
+  // Same for the FC head: inference mode also lets a quantized fc_ take
+  // the INT8 path (training forwards always stay fp32).
+  fc_.set_training(false);
   fc_.init_he(rng);
 }
 
@@ -83,13 +86,48 @@ std::vector<float> ScaleRegressor::predict_batch(const Tensor& features) {
   return out;
 }
 
+void ScaleRegressor::quantize(
+    const std::vector<Tensor>& calibration_features) {
+  for (Stream& s : streams_) s.conv->set_calibration(true);
+  fc_.set_calibration(true);
+  for (const Tensor& f : calibration_features) forward(f);
+  for (Stream& s : streams_) s.conv->set_calibration(false);
+  fc_.set_calibration(false);
+  for (Stream& s : streams_) s.conv->quantize();
+  fc_.quantize();
+}
+
+void ScaleRegressor::quantize_like(ScaleRegressor* src) {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Conv2dLayer* from = src->streams_[i].conv.get();
+    if (from->is_quantized())
+      streams_[i].conv->quantize_with_range(from->act_lo(), from->act_hi());
+  }
+  if (src->fc_.is_quantized())
+    fc_.quantize_with_range(src->fc_.act_lo(), src->fc_.act_hi());
+}
+
+std::vector<QuantSummary> ScaleRegressor::quant_summaries() {
+  std::vector<QuantSummary> out;
+  for (std::size_t i = 0; i < streams_.size(); ++i)
+    if (streams_[i].conv->is_quantized())
+      out.push_back(summarize_quant(
+          *streams_[i].conv,
+          "stream_" + std::to_string(cfg_.kernels[i]) + "x" +
+              std::to_string(cfg_.kernels[i])));
+  if (fc_.is_quantized()) out.push_back(summarize_quant(fc_, "fc"));
+  return out;
+}
+
 float ScaleRegressor::train_step(const Tensor& features, float target,
                                  Sgd* opt) {
   opt->zero_grad();
   // Fused conv+ReLU streams only cache their backward mask in training
   // mode; toggled back off after the backward below, which also releases
-  // the cached activations.
+  // the cached activations.  The FC head toggles too so a quantized
+  // regressor trains against the fp32 forward, never the INT8 one.
   for (Stream& s : streams_) s.conv->set_training(true);
+  fc_.set_training(true);
   forward(features);
 
   float dpred = 0.0f;
@@ -111,6 +149,7 @@ float ScaleRegressor::train_step(const Tensor& features, float target,
     s.conv->backward(dconv, nullptr);  // masks by ReLU sign; features frozen
   }
   for (Stream& s : streams_) s.conv->set_training(false);
+  fc_.set_training(false);
   opt->step();
   return loss;
 }
@@ -126,6 +165,7 @@ std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src) {
   Rng rng(0);  // initialization is immediately overwritten
   auto dst = std::make_unique<ScaleRegressor>(src->config(), &rng);
   copy_param_values(src->parameters(), dst->parameters());
+  if (src->quantized()) dst->quantize_like(src);
   return dst;
 }
 

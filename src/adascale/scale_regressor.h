@@ -49,6 +49,22 @@ class ScaleRegressor {
   /// wall-clock amortized per image.
   std::vector<float> predict_batch(const Tensor& features);
 
+  /// Post-training quantization over calibration feature maps (the
+  /// detector's deep features for representative frames): observes each
+  /// stream conv's and the FC head's input range, then freezes INT8 state.
+  /// predict()/predict_batch() run INT8 whenever ADASCALE_GEMM=int8; see
+  /// Detector::quantize for the contract.
+  void quantize(const std::vector<Tensor>& calibration_features);
+
+  /// True once quantize() has frozen INT8 state.
+  bool quantized() const { return fc_.is_quantized(); }
+
+  /// Clone-side quantization transfer; see Detector::quantize_like.
+  void quantize_like(ScaleRegressor* src);
+
+  /// Per-layer calibration summaries (see Detector::quant_summaries).
+  std::vector<QuantSummary> quant_summaries();
+
   /// One MSE training step on a single example (Eq. 4 term); returns the
   /// squared error.  Features are treated as constants (no grad flows back).
   float train_step(const Tensor& features, float target, Sgd* opt);

@@ -321,6 +321,48 @@ float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
   return static_cast<float>(total);
 }
 
+void Detector::quantize(const std::vector<Tensor>& calibration_images) {
+  backbone_.set_calibration(true);
+  cls_head_.set_calibration(true);
+  reg_head_.set_calibration(true);
+  for (const Tensor& img : calibration_images) forward(img);
+  backbone_.set_calibration(false);
+  cls_head_.set_calibration(false);
+  reg_head_.set_calibration(false);
+  backbone_.quantize();
+  cls_head_.quantize();
+  reg_head_.quantize();
+}
+
+std::vector<QuantSummary> Detector::quant_summaries() {
+  std::vector<QuantSummary> out;
+  int ci = 0;
+  for (std::size_t i = 0; i < backbone_.size(); ++i)
+    if (auto* c = dynamic_cast<Conv2dLayer*>(backbone_.at(i));
+        c != nullptr && c->is_quantized())
+      out.push_back(summarize_quant(*c, "conv" + std::to_string(++ci)));
+  if (cls_head_.is_quantized())
+    out.push_back(summarize_quant(cls_head_, "cls_head"));
+  if (reg_head_.is_quantized())
+    out.push_back(summarize_quant(reg_head_, "reg_head"));
+  return out;
+}
+
+void Detector::quantize_like(Detector* src) {
+  for (std::size_t i = 0; i < backbone_.size(); ++i) {
+    auto* from = dynamic_cast<Conv2dLayer*>(src->backbone_.at(i));
+    auto* to = dynamic_cast<Conv2dLayer*>(backbone_.at(i));
+    if (from != nullptr && to != nullptr && from->is_quantized())
+      to->quantize_with_range(from->act_lo(), from->act_hi());
+  }
+  if (src->cls_head_.is_quantized())
+    cls_head_.quantize_with_range(src->cls_head_.act_lo(),
+                                  src->cls_head_.act_hi());
+  if (src->reg_head_.is_quantized())
+    reg_head_.quantize_with_range(src->reg_head_.act_lo(),
+                                  src->reg_head_.act_hi());
+}
+
 float Detector::train_step(const Tensor& image, const std::vector<GtBox>& gts,
                            Sgd* opt, Rng* rng) {
   opt->zero_grad();
@@ -346,6 +388,10 @@ std::unique_ptr<Detector> clone_detector(Detector* src) {
   Rng rng(0);  // initialization is immediately overwritten
   auto dst = std::make_unique<Detector>(src->config(), &rng);
   copy_param_values(src->parameters(), dst->parameters());
+  // Quantization state rides along: re-freezing from the copied fp32
+  // weights and the source's calibrated ranges reproduces bit-identical
+  // INT8 tables, so stream/context clones serve exactly like the source.
+  if (src->quantized()) dst->quantize_like(src);
   return dst;
 }
 

@@ -93,6 +93,29 @@ class Detector {
   DetectionOutput detect_from_features(const Tensor& features, int image_h,
                                        int image_w);
 
+  /// Post-training quantization: runs one fp32 forward per calibration
+  /// image with activation-range observation on, then freezes INT8 state
+  /// (per-output-channel s8 weights + per-tensor u8 activation qparams,
+  /// tensor/qgemm.h) into every backbone conv and both heads.  After this,
+  /// detect()/detect_batch() run fully INT8 whenever ADASCALE_GEMM=int8;
+  /// other backends and training keep using the fp32 weights (which stay
+  /// authoritative — re-quantize after further training).
+  void quantize(const std::vector<Tensor>& calibration_images);
+
+  /// True once quantize() has frozen INT8 state.
+  bool quantized() const { return cls_head_.is_quantized(); }
+
+  /// Per-layer calibration summaries of the quantized layers, in forward
+  /// order (empty before quantize()).  Reporting only — tools/calibrate.
+  std::vector<QuantSummary> quant_summaries();
+
+  /// Copies `src`'s quantization state (calibrated activation ranges) onto
+  /// this detector's structurally identical layers and re-freezes INT8
+  /// weights from this detector's (already copied) fp32 parameters.  Used
+  /// by clone_detector so MultiStreamRunner streams and BatchScheduler
+  /// contexts serve INT8 exactly like the original.
+  void quantize_like(Detector* src);
+
   /// One SGD step on a single image; returns the Eq. (1) loss value.
   /// `gts` must be in the image's pixel coordinates.
   float train_step(const Tensor& image, const std::vector<GtBox>& gts,

@@ -65,6 +65,18 @@ RegressorConfig Harness::default_regressor_config() const {
   return rcfg;
 }
 
+std::vector<Tensor> Harness::make_calibration_set(
+    int n, const ScaleSet& sreg) const {
+  const auto& frames = dataset_.val_frames();
+  std::vector<Tensor> calib;
+  for (int i = 0; i < n && i < static_cast<int>(frames.size()); ++i)
+    calib.push_back(renderer_.render_at_scale(
+        *frames[static_cast<std::size_t>(i)],
+        sreg.scales[static_cast<std::size_t>(i) % sreg.scales.size()],
+        dataset_.scale_policy()));
+  return calib;
+}
+
 std::vector<EvalDetection> Harness::to_reference(
     const DetectionOutput& out) const {
   std::vector<EvalDetection> dets;

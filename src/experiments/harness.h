@@ -100,6 +100,14 @@ class Harness {
   /// Default regressor config wired to this harness's detector width.
   RegressorConfig default_regressor_config() const;
 
+  /// The INT8 calibration recipe shared by quickstart, tools/calibrate,
+  /// and bench_report: up to `n` validation frames rendered cycling
+  /// across `sreg`, so the observed activation ranges cover every scale
+  /// serving will actually render (calibrating at 600 alone under-covers
+  /// small renders and costs ~1 mAP at fixed 600).
+  std::vector<Tensor> make_calibration_set(
+      int n, const ScaleSet& sreg = ScaleSet::reg_default()) const;
+
   /// The shared (stateless, thread-safe) renderer for this dataset.
   const Renderer& renderer() const { return renderer_; }
 

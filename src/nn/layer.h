@@ -46,6 +46,23 @@ class Layer {
   /// propagate to children.  Default: ignore the hint.
   virtual void set_training(bool training) { (void)training; }
 
+  /// Toggles calibration mode: while on, each forward() observes the
+  /// layer's *input* activation range (min/max), the statistic quantize()
+  /// freezes into per-tensor u8 qparams.  Calibration forwards always run
+  /// the fp32 path.  Containers propagate; layers without quantized
+  /// storage ignore the toggle.
+  virtual void set_calibration(bool on) { (void)on; }
+
+  /// Freezes INT8 inference state from the current weights and the
+  /// calibrated activation range: per-output-channel symmetric s8 weights
+  /// + per-tensor u8 activation qparams (tensor/qgemm.h).  Returns true if
+  /// the layer is now quantized; the default (layers with no quantizable
+  /// weights, or no calibration observed) returns false.  Quantized layers
+  /// run the INT8 path when the active GEMM backend is kInt8; training and
+  /// other backends keep using the fp32 weights, which stay authoritative
+  /// (re-call quantize() after any weight update).
+  virtual bool quantize() { return false; }
+
   /// Short identifier for logging / serialization sanity checks.
   virtual std::string name() const = 0;
 };

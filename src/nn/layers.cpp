@@ -1,14 +1,47 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "tensor/gemm.h"
+
 #include "tensor/linear.h"
 #include "tensor/ops.h"
 
 namespace ada {
+
+// ------------------------------------------------------- LayerQuantState
+
+bool LayerQuantState::use_int8(bool training) const {
+  return quantized() && !training && !calibrating &&
+         gemm_backend() == GemmBackend::kInt8;
+}
+
+bool LayerQuantState::freeze(const float* w, int rows, int cols) {
+  if (obs.seen()) {
+    // Percentile clip: saturate the rare outlier tail so the u8 step
+    // covers the dense activation bulk (tensor/qgemm.h).  The default
+    // fraction keeps the full range — on this detector the outliers are
+    // the informative activations.
+    hi = obs.percentile_hi(calibration_clip_fraction());
+    lo = std::max(obs.min(), -hi);
+    has_range = true;
+  }
+  if (!has_range) return false;
+  freeze_with_range(w, rows, cols, lo, hi);
+  return true;
+}
+
+void LayerQuantState::freeze_with_range(const float* w, int rows, int cols,
+                                        float range_lo, float range_hi) {
+  lo = range_lo;
+  hi = range_hi;
+  has_range = true;
+  qw = quantize_weights(w, rows, cols, choose_qparams(lo, hi));
+}
 
 // ---------------------------------------------------------------- Conv2d
 Conv2dLayer::Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad,
@@ -35,9 +68,30 @@ void Conv2dLayer::forward(const Tensor& x, Tensor* y) {
   // sources the ReLU mask, valid since [y > 0] ≡ [pre-relu > 0]) is only
   // kept in training mode — inference forwards make no activation copies.
   backward_ready_ = training_;
+  if (quant_.calibrating) quant_.observe(x);
   if (training_) cached_x_ = x;
+  // The INT8 path serves inference only: training (and calibration, which
+  // must observe fp32 activations) always runs the float kernels against
+  // the authoritative fp32 weights.
+  if (quant_.use_int8(training_)) {
+    conv2d_forward_int8(spec_, x, quant_.qw, b_.value, y, fuse_relu_);
+    return;
+  }
   conv2d_forward(spec_, x, w_.value, b_.value, y, fuse_relu_);
   if (fuse_relu_ && training_) cached_y_ = *y;
+}
+
+void Conv2dLayer::set_calibration(bool on) { quant_.calibrating = on; }
+
+bool Conv2dLayer::quantize() {
+  return quant_.freeze(w_.value.data(), spec_.out_channels,
+                       spec_.in_channels * spec_.kernel * spec_.kernel);
+}
+
+void Conv2dLayer::quantize_with_range(float lo, float hi) {
+  quant_.freeze_with_range(w_.value.data(), spec_.out_channels,
+                           spec_.in_channels * spec_.kernel * spec_.kernel,
+                           lo, hi);
 }
 
 void Conv2dLayer::backward(const Tensor& dy, Tensor* dx) {
@@ -145,8 +199,24 @@ void LinearLayer::init_he(Rng* rng) {
 }
 
 void LinearLayer::forward(const Tensor& x, Tensor* y) {
+  if (quant_.calibrating) quant_.observe(x);
   cached_x_ = x;
+  if (quant_.use_int8(training_)) {
+    linear_forward_int8(x, quant_.qw, b_.value, y);
+    return;
+  }
   linear_forward(x, w_.value, b_.value, y);
+}
+
+void LinearLayer::set_calibration(bool on) { quant_.calibrating = on; }
+
+bool LinearLayer::quantize() {
+  return quant_.freeze(w_.value.data(), w_.value.n(), w_.value.c());
+}
+
+void LinearLayer::quantize_with_range(float lo, float hi) {
+  quant_.freeze_with_range(w_.value.data(), w_.value.n(), w_.value.c(), lo,
+                           hi);
 }
 
 void LinearLayer::backward(const Tensor& dy, Tensor* dx) {

@@ -2,6 +2,7 @@
 // ReLU, Linear, GlobalAvgPool, and a Sequential container.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,69 @@
 #include "util/rng.h"
 
 namespace ada {
+
+/// Reporting view of one layer's frozen INT8 state (tools/calibrate): the
+/// calibrated input activation range, the derived per-tensor u8 qparams,
+/// and the per-output-channel weight-scale spread.
+struct QuantSummary {
+  std::string layer;
+  float act_lo = 0.0f, act_hi = 0.0f;
+  QuantParams act;
+  float wscale_min = 0.0f, wscale_max = 0.0f;
+  int rows = 0, cols = 0;  ///< quantized weight matrix shape
+};
+
+/// Builds a QuantSummary from any layer exposing the quantization
+/// accessors (Conv2dLayer, LinearLayer).
+template <typename L>
+QuantSummary summarize_quant(const L& l, std::string name) {
+  QuantSummary s;
+  s.layer = std::move(name);
+  s.act_lo = l.act_lo();
+  s.act_hi = l.act_hi();
+  const QuantizedWeights& q = l.quantized_weights();
+  s.act = q.act;
+  s.rows = q.rows;
+  s.cols = q.cols;
+  if (!q.scale.empty()) {
+    const auto [mn, mx] = std::minmax_element(q.scale.begin(), q.scale.end());
+    s.wscale_min = *mn;
+    s.wscale_max = *mx;
+  }
+  return s;
+}
+
+/// The per-layer quantization state machine shared by Conv2dLayer and
+/// LinearLayer: calibration observation (RangeObserver), the frozen
+/// activation range, and the INT8 weight tables.  Single-sources the
+/// "may the INT8 path run" gate so the two layer types cannot diverge
+/// on it.
+struct LayerQuantState {
+  bool calibrating = false;
+  bool has_range = false;
+  float lo = 0.0f, hi = 0.0f;  ///< frozen (clipped) input range
+  RangeObserver obs;           ///< calibration statistics
+  QuantizedWeights qw;         ///< INT8 tables; empty = not quantized
+
+  bool quantized() const { return !qw.q.empty(); }
+
+  /// True when forward() should take the INT8 kernel: frozen tables
+  /// exist, the backend asks for them, and the layer is neither
+  /// calibrating (must observe fp32) nor training (fp32 weights are
+  /// authoritative; gradients flow against the fp32 forward).
+  bool use_int8(bool training) const;
+
+  void observe(const Tensor& x) { obs.observe(x.data(), x.size()); }
+
+  /// Freezes INT8 tables from the observed statistics (percentile clip)
+  /// or, lacking new observations, re-freezes from the stored range.
+  /// Returns false when neither is available.
+  bool freeze(const float* w, int rows, int cols);
+
+  /// Freezes against an explicit range (clone transfer, tests).
+  void freeze_with_range(const float* w, int rows, int cols, float range_lo,
+                         float range_hi);
+};
 
 /// 2-D convolution layer with bias.  With fuse_relu the ReLU activation is
 /// applied inside the GEMM write-out — bit-identical to a separate
@@ -29,12 +93,26 @@ class Conv2dLayer : public Layer {
   /// a detector that trained at scale 600 does not pin tens of MB per layer
   /// (per stream clone) while serving inference.
   void set_training(bool training) override;
+  void set_calibration(bool on) override;
+  bool quantize() override;
   std::string name() const override {
     return fuse_relu_ ? "conv2d+relu" : "conv2d";
   }
 
   /// He-normal weight initialization, zero bias.
   void init_he(Rng* rng);
+
+  /// Quantizes against an explicitly supplied input range instead of a
+  /// calibration pass — how clones inherit a source layer's quantization
+  /// (clone_detector / clone_regressor) and how tests pin exact qparams.
+  void quantize_with_range(float lo, float hi);
+
+  bool is_quantized() const { return quant_.quantized(); }
+  bool has_act_range() const { return quant_.has_range; }
+  float act_lo() const { return quant_.lo; }
+  float act_hi() const { return quant_.hi; }
+  /// Frozen INT8 state (empty until quantize()).
+  const QuantizedWeights& quantized_weights() const { return quant_.qw; }
 
   const ConvSpec& spec() const { return spec_; }
   bool fused_relu() const { return fuse_relu_; }
@@ -46,6 +124,7 @@ class Conv2dLayer : public Layer {
   bool fuse_relu_ = false;
   bool training_ = true;        ///< default on: forward→backward just works
   bool backward_ready_ = false; ///< last forward ran in training mode
+  LayerQuantState quant_;
   Param w_;
   Param b_;
   Tensor cached_x_;  ///< training only: input, for dW / dX
@@ -97,14 +176,32 @@ class LinearLayer : public Layer {
   void forward(const Tensor& x, Tensor* y) override;
   void backward(const Tensor& dy, Tensor* dx) override;
   void collect_params(std::vector<Param*>* out) override;
+  /// Like Conv2dLayer, the training hint gates the INT8 path: a training
+  /// forward must run fp32 so backward() sees gradients of the weights it
+  /// actually updates.  (Unlike Conv2dLayer there is no backward state to
+  /// release — the input cache is kept either way.)
+  void set_training(bool training) override { training_ = training; }
+  void set_calibration(bool on) override;
+  bool quantize() override;
   std::string name() const override { return "linear"; }
 
   void init_he(Rng* rng);
+
+  /// See Conv2dLayer::quantize_with_range.
+  void quantize_with_range(float lo, float hi);
+
+  bool is_quantized() const { return quant_.quantized(); }
+  bool has_act_range() const { return quant_.has_range; }
+  float act_lo() const { return quant_.lo; }
+  float act_hi() const { return quant_.hi; }
+  const QuantizedWeights& quantized_weights() const { return quant_.qw; }
 
   Param& weight() { return w_; }
   Param& bias() { return b_; }
 
  private:
+  bool training_ = true;  ///< default on: forward→backward just works
+  LayerQuantState quant_;
   Param w_;
   Param b_;
   Tensor cached_x_;
@@ -129,6 +226,15 @@ class Sequential : public Layer {
   void collect_params(std::vector<Param*>* out) override;
   void set_training(bool training) override {
     for (auto& l : layers_) l->set_training(training);
+  }
+  void set_calibration(bool on) override {
+    for (auto& l : layers_) l->set_calibration(on);
+  }
+  /// Quantizes every child that can be; true if at least one was.
+  bool quantize() override {
+    bool any = false;
+    for (auto& l : layers_) any = l->quantize() || any;
+    return any;
   }
   std::string name() const override { return "sequential"; }
 

@@ -38,6 +38,12 @@ float* ScratchArena::alloc(std::size_t count) {
   return overflow_.back().get();
 }
 
+void* ScratchArena::alloc_bytes(std::size_t bytes) {
+  // The float arena already rounds every request up to whole cache lines,
+  // so a byte request just rides on it.
+  return static_cast<void*>(alloc((bytes + sizeof(float) - 1) / sizeof(float)));
+}
+
 void ScratchArena::release(std::size_t mark, std::size_t overflow_mark) {
   top_ = mark;
   while (overflow_.size() > overflow_mark) {

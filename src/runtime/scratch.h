@@ -41,6 +41,18 @@ class ScratchArena {
   /// uninitialized.  Valid until the enclosing ScratchFrame is destroyed.
   float* alloc(std::size_t count);
 
+  /// Returns a 64-byte-aligned buffer of `bytes` bytes, carved from the
+  /// same arena (rounded up to whole cache lines).  This is how the INT8
+  /// path sizes its non-float workspaces — u8 quantized activation panels
+  /// and s8 packed weight panels — without a second allocator.
+  void* alloc_bytes(std::size_t bytes);
+
+  /// Typed view over alloc_bytes for element types of size ≤ alignment.
+  template <typename T>
+  T* alloc_as(std::size_t count) {
+    return static_cast<T*>(alloc_bytes(count * sizeof(T)));
+  }
+
   /// Floats currently reserved by live frames (main buffer only).
   std::size_t in_use() const { return top_; }
 
@@ -90,6 +102,10 @@ class ScratchFrame {
 
   /// Allocates from the underlying arena (convenience).
   float* alloc(std::size_t count) { return arena_->alloc(count); }
+
+  /// Typed byte allocation from the underlying arena (convenience).
+  template <typename T>
+  T* alloc_as(std::size_t count) { return arena_->alloc_as<T>(count); }
 
  private:
   ScratchArena* arena_;

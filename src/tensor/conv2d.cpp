@@ -155,6 +155,66 @@ void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
   });
 }
 
+void conv2d_forward_int8(const ConvSpec& spec, const Tensor& x,
+                         const QuantizedWeights& qw, const Tensor& b,
+                         Tensor* y, bool fuse_relu) {
+  assert(x.c() == spec.in_channels);
+  assert(qw.rows == spec.out_channels &&
+         qw.cols == spec.in_channels * spec.kernel * spec.kernel);
+  const int oh = spec.out_dim(x.h());
+  const int ow = spec.out_dim(x.w());
+  assert(oh > 0 && ow > 0);
+  if (y->n() != x.n() || y->c() != spec.out_channels || y->h() != oh ||
+      y->w() != ow)
+    *y = Tensor(x.n(), spec.out_channels, oh, ow);
+
+  const int patch = spec.in_channels * spec.kernel * spec.kernel;
+  const int cells = oh * ow;
+  const int batch = x.n();
+  const float* bias = b.empty() ? nullptr : b.data();
+
+  // Same lowering as the fp32 path: im2col into float columns (padding
+  // zeros quantize exactly onto the zero point), then one qgemm whose
+  // packing quantizes the columns to u8 and whose epilogue dequantizes the
+  // int32 accumulators straight into y with bias + optional ReLU fused.
+  ScratchFrame frame(&scratch_arena());
+  if (batch == 1) {
+    float* cols = frame.alloc(static_cast<std::size_t>(patch) * cells);
+    im2col(x, 0, spec, oh, ow, cols, cells);
+    qgemm(spec.out_channels, cells, patch, qw, GemmMat{cols, cells, 1},
+          y->data(), cells, bias, fuse_relu);
+    return;
+  }
+
+  // Batch: images side by side along the GEMM N axis, then the oc-major
+  // product scattered back to NCHW — identical structure to the fp32
+  // batched path, so the batch scheduler composes with INT8 unchanged.
+  const std::size_t total = static_cast<std::size_t>(batch) * cells;
+  float* cols = frame.alloc(static_cast<std::size_t>(patch) * total);
+  parallel_for(batch, 1, [&](std::int64_t nb, std::int64_t ne) {
+    for (std::int64_t n = nb; n < ne; ++n)
+      im2col(x, static_cast<int>(n), spec, oh, ow,
+             cols + static_cast<std::size_t>(n) * cells,
+             static_cast<std::ptrdiff_t>(total));
+  });
+  float* ybuf =
+      frame.alloc(static_cast<std::size_t>(spec.out_channels) * total);
+  qgemm(spec.out_channels, static_cast<int>(total), patch, qw,
+        GemmMat{cols, static_cast<std::ptrdiff_t>(total), 1}, ybuf,
+        static_cast<int>(total), bias, fuse_relu);
+  parallel_for(static_cast<std::int64_t>(batch) * spec.out_channels, 1,
+               [&](std::int64_t rb, std::int64_t re) {
+    for (std::int64_t r = rb; r < re; ++r) {
+      const std::int64_t n = r / spec.out_channels;
+      const std::int64_t oc = r % spec.out_channels;
+      std::memcpy(y->data() + static_cast<std::size_t>(r) * cells,
+                  ybuf + static_cast<std::size_t>(oc) * total +
+                      static_cast<std::size_t>(n) * cells,
+                  static_cast<std::size_t>(cells) * sizeof(float));
+    }
+  });
+}
+
 void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
                      const Tensor& dy, Tensor* dx, Tensor* dw, Tensor* db) {
   const int oh = spec.out_dim(x.h());

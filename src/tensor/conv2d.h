@@ -9,6 +9,7 @@
 // tests/gemm_test.cpp.
 #pragma once
 
+#include "tensor/qgemm.h"
 #include "tensor/tensor.h"
 
 namespace ada {
@@ -46,6 +47,18 @@ struct ConvSpec {
 /// applying it afterwards but without the extra pass.
 void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
                     const Tensor& b, Tensor* y, bool fuse_relu = false);
+
+/// INT8 forward: y = dequant(conv(quant(x), wq)) + b, same geometry and
+/// batching contract as conv2d_forward (N > 1 lowers onto one qgemm; the
+/// fused-ReLU epilogue applies in the integer kernel's write-out).  `qw`
+/// holds the frozen per-output-channel weights plus the calibrated input
+/// activation qparams (qw.rows == out_c, qw.cols == in_c * k * k); bias
+/// stays fp32.  Because integer accumulation is exact, outputs are
+/// bit-identical run-to-run, across thread counts, and across batch
+/// compositions (tests/qgemm_test.cpp).
+void conv2d_forward_int8(const ConvSpec& spec, const Tensor& x,
+                         const QuantizedWeights& qw, const Tensor& b,
+                         Tensor* y, bool fuse_relu = false);
 
 /// Backward pass: accumulates dL/dx into dx (if non-null), dL/dw into dw and
 /// dL/db into db (if non-null).  x must be the forward input, dy the gradient

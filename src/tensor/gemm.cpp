@@ -19,11 +19,12 @@ GemmBackend read_backend_env() {
   if (const char* env = std::getenv("ADASCALE_GEMM"); env != nullptr) {
     if (std::strcmp(env, "reference") == 0) return GemmBackend::kReference;
     if (std::strcmp(env, "packed") == 0) return GemmBackend::kPacked;
+    if (std::strcmp(env, "int8") == 0) return GemmBackend::kInt8;
     // A typo here must not silently re-test the default backend — that
     // would make an oracle-verification run vacuous.
     std::fprintf(stderr,
-                 "ADASCALE_GEMM=%s is not a backend (want \"packed\" or "
-                 "\"reference\"); using packed\n",
+                 "ADASCALE_GEMM=%s is not a backend (want \"packed\", "
+                 "\"reference\", or \"int8\"); using packed\n",
                  env);
   }
   return GemmBackend::kPacked;
@@ -383,7 +384,12 @@ void set_gemm_backend(GemmBackend backend) {
 }
 
 const char* gemm_backend_name() {
-  return gemm_backend() == GemmBackend::kPacked ? "packed" : "reference";
+  switch (gemm_backend()) {
+    case GemmBackend::kReference: return "reference";
+    case GemmBackend::kInt8: return "int8";
+    case GemmBackend::kPacked: break;
+  }
+  return "packed";
 }
 
 const char* gemm_kernel_isa() { return micro_dispatch().isa; }
@@ -391,10 +397,13 @@ const char* gemm_kernel_isa() { return micro_dispatch().isa; }
 void sgemm(int M, int N, int K, const GemmMat& A, const GemmMat& B, float* C,
            int ldc, bool accumulate, const GemmEpilogue& epi) {
   if (M <= 0 || N <= 0) return;
-  if (gemm_backend() == GemmBackend::kPacked)
-    sgemm_packed(M, N, K, A, B, C, ldc, accumulate, epi);
-  else
+  // kInt8 routes fp32 products (training, unquantized layers, gradients)
+  // onto the packed kernel — the quantized path branches above this seam,
+  // in the layers that own QuantizedWeights.
+  if (gemm_backend() == GemmBackend::kReference)
     sgemm_reference(M, N, K, A, B, C, ldc, accumulate, epi);
+  else
+    sgemm_packed(M, N, K, A, B, C, ldc, accumulate, epi);
 }
 
 }  // namespace ada

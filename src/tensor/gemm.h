@@ -34,9 +34,14 @@
 
 namespace ada {
 
-/// Which sgemm implementation runs.  Initialized once from the
-/// ADASCALE_GEMM environment variable ("packed" | "reference").
-enum class GemmBackend { kReference, kPacked };
+/// Which GEMM implementation runs.  Initialized once from the
+/// ADASCALE_GEMM environment variable ("packed" | "reference" | "int8").
+///
+/// kInt8 selects the quantized inference path (tensor/qgemm.h) for layers
+/// that hold quantized weights (Conv2dLayer/LinearLayer after quantize());
+/// everything else — training, unquantized layers, gradient GEMMs — falls
+/// back to the packed fp32 kernel, so flipping the env var is always safe.
+enum class GemmBackend { kReference, kPacked, kInt8 };
 
 /// The active backend (env-initialized, overridable for tests/benches).
 GemmBackend gemm_backend();

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "runtime/scratch.h"
 #include "tensor/gemm.h"
 
 namespace ada {
@@ -20,6 +21,33 @@ void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   epi.col_bias = b.empty() ? nullptr : b.data();
   sgemm(x.n(), out, in, GemmMat{x.data(), in, 1}, GemmMat{w.data(), 1, in},
         y->data(), out, /*accumulate=*/false, epi);
+}
+
+void linear_forward_int8(const Tensor& x, const QuantizedWeights& qw,
+                         const Tensor& b, Tensor* y) {
+  assert(x.h() == 1 && x.w() == 1);
+  const int in = x.c();
+  const int out = qw.rows;
+  const int batch = x.n();
+  assert(qw.cols == in);
+  if (y->n() != batch || y->c() != out || y->h() != 1 || y->w() != 1)
+    *y = Tensor(batch, out, 1, 1);
+  // y^T = Wq * x^T: x is (batch, in) row-major, so element (k, j) of the
+  // K x N operand lives at x[j * in + k] — a stride view, no materialized
+  // transpose.  The bias rides the GEMM row (output-channel) axis.
+  const GemmMat xt{x.data(), 1, in};
+  const float* bias = b.empty() ? nullptr : b.data();
+  if (batch == 1) {
+    // (out, 1) and (1, out) coincide in memory: write straight into y.
+    qgemm(out, 1, in, qw, xt, y->data(), 1, bias, /*relu=*/false);
+    return;
+  }
+  ScratchFrame frame(&scratch_arena());
+  float* yt = frame.alloc(static_cast<std::size_t>(out) * batch);
+  qgemm(out, batch, in, qw, xt, yt, batch, bias, /*relu=*/false);
+  for (int n = 0; n < batch; ++n)
+    for (int o = 0; o < out; ++o)
+      y->at(n, o, 0, 0) = yt[static_cast<std::size_t>(o) * batch + n];
 }
 
 void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,

@@ -1,6 +1,7 @@
 // Fully-connected layer primitives (used by the scale regressor head).
 #pragma once
 
+#include "tensor/qgemm.h"
 #include "tensor/tensor.h"
 
 namespace ada {
@@ -11,6 +12,14 @@ namespace ada {
 /// accumulation order depends only on the K axis — see tensor/gemm.h).
 void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                     Tensor* y);
+
+/// INT8 forward: y = dequant(quant(x) * Wq^T) + b, same shape contract as
+/// linear_forward.  Computes the transposed product y^T(out, N) = Wq(out,
+/// in) x^T(in, N) so the per-output-channel scales stay on the GEMM row
+/// axis, then scatters back to (N, out).  Batched rows are bit-identical
+/// to the N = 1 call (integer accumulation is exact).
+void linear_forward_int8(const Tensor& x, const QuantizedWeights& qw,
+                         const Tensor& b, Tensor* y);
 
 /// Accumulates gradients: dx (if non-null), dw, db (if non-null).
 void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,

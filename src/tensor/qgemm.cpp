@@ -1,0 +1,494 @@
+#include "tensor/qgemm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runtime/scratch.h"
+#include "runtime/thread_pool.h"
+
+namespace ada {
+
+namespace {
+
+/// Round-to-nearest-even via the 2^23 magic-number trick: (v + 2^23) - 2^23
+/// rounds any |v| < 2^22 to the nearest integer-valued float under the
+/// default FP rounding mode — two plain adds, so it vectorizes on every
+/// ISA and is bit-identical between the scalar helpers and the SIMD
+/// packing loops (std::nearbyintf would be a scalar libcall inside the hot
+/// loop).  Quantized values live in [0, 255], far inside the valid range;
+/// out-of-range garbage still saturates correctly in the clamp that
+/// follows every use.
+constexpr float kRoundMagic = 12582912.0f;  // 1.5 * 2^23
+
+inline float round_ne(float v) { return (v + kRoundMagic) - kRoundMagic; }
+
+}  // namespace
+
+QuantParams choose_qparams(float lo, float hi) {
+  // Widen to include 0 so zero padding (im2col edges) quantizes exactly to
+  // the zero point, and guard against degenerate/inverted ranges.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  QuantParams p;
+  const float range = hi - lo;
+  if (!(range > 0.0f) || !std::isfinite(range)) {
+    p.scale = 1.0f;
+    p.zero_point = 0;
+    return p;
+  }
+  p.scale = range / 255.0f;
+  const float zp = round_ne(-lo / p.scale);
+  p.zero_point = static_cast<int>(std::min(255.0f, std::max(0.0f, zp)));
+  return p;
+}
+
+std::uint8_t quantize_u8(float x, const QuantParams& p) {
+  // Must mirror the qgemm packing loop operation for operation (multiply
+  // by reciprocal, magic round, add zero point, clamp) — fake-quantized
+  // fp32 references serve as bit-level oracles for the integer kernel.
+  const float inv = 1.0f / p.scale;
+  const float q = round_ne(x * inv) + static_cast<float>(p.zero_point);
+  return static_cast<std::uint8_t>(std::min(255.0f, std::max(0.0f, q)));
+}
+
+float dequantize_u8(std::uint8_t q, const QuantParams& p) {
+  return (static_cast<int>(q) - p.zero_point) * p.scale;
+}
+
+void RangeObserver::grow(float a) {
+  if (cap_ <= 0.0f) {
+    // First nonzero magnitude seeds the cap (zeros always land in bin 0,
+    // independent of cap).
+    cap_ = std::max(a, 1e-6f);
+    return;
+  }
+  while (cap_ < a && std::isfinite(cap_)) {
+    // Double the cap by merging adjacent bin pairs into the lower half.
+    for (int b = 0; b < kBins / 2; ++b)
+      hist_[static_cast<std::size_t>(b)] =
+          hist_[static_cast<std::size_t>(2 * b)] +
+          hist_[static_cast<std::size_t>(2 * b + 1)];
+    std::fill(hist_.begin() + kBins / 2, hist_.end(), 0);
+    cap_ *= 2.0f;
+  }
+}
+
+void RangeObserver::observe(const float* x, std::size_t n) {
+  if (n == 0) return;
+  if (hist_.empty()) hist_.assign(kBins, 0);
+  if (total_ == 0) {
+    min_ = x[0];
+    max_ = x[0];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    const float a = std::fabs(v);
+    if (a > cap_) grow(a);
+    const int bin =
+        cap_ > 0.0f
+            ? std::min(kBins - 1,
+                       static_cast<int>(
+                           a * (static_cast<float>(kBins) / cap_)))
+            : 0;
+    ++hist_[static_cast<std::size_t>(bin)];
+  }
+  total_ += static_cast<long long>(n);
+}
+
+float RangeObserver::percentile_hi(double fraction) const {
+  if (total_ == 0) return 0.0f;
+  const float amax = std::max(std::fabs(min_), std::fabs(max_));
+  if (fraction >= 1.0 || hist_.empty()) return amax;
+  const double target = fraction * static_cast<double>(total_);
+  double cum = 0.0;
+  for (int b = 0; b < kBins; ++b) {
+    cum += static_cast<double>(hist_[static_cast<std::size_t>(b)]);
+    if (cum >= target)
+      return std::min(amax,
+                      cap_ * (static_cast<float>(b + 1) / kBins));
+  }
+  return amax;
+}
+
+double calibration_clip_fraction() {
+  static const double fraction = [] {
+    constexpr double kDefault = 0.9995;
+    if (const char* env = std::getenv("ADASCALE_INT8_CLIP");
+        env != nullptr) {
+      const double v = std::atof(env);
+      if (v > 0.0 && v <= 1.0) return v;
+      std::fprintf(stderr,
+                   "ADASCALE_INT8_CLIP=%s is not in (0, 1]; using %.4f\n",
+                   env, kDefault);
+    }
+    return kDefault;
+  }();
+  return fraction;
+}
+
+QuantizedWeights quantize_weights(const float* w, int rows, int cols,
+                                  const QuantParams& act) {
+  QuantizedWeights out;
+  out.rows = rows;
+  out.cols = cols;
+  out.q.resize(static_cast<std::size_t>(rows) * cols);
+  out.scale.resize(static_cast<std::size_t>(rows));
+  out.row_sum.resize(static_cast<std::size_t>(rows));
+  out.act = act;
+  for (int r = 0; r < rows; ++r) {
+    const float* row = w + static_cast<std::size_t>(r) * cols;
+    float amax = 0.0f;
+    for (int c = 0; c < cols; ++c) amax = std::max(amax, std::fabs(row[c]));
+    // An all-zero output channel still needs a usable (positive) scale —
+    // its quantized row is all zero either way.
+    const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    out.scale[static_cast<std::size_t>(r)] = scale;
+    std::int32_t sum = 0;
+    std::int8_t* qrow = out.q.data() + static_cast<std::size_t>(r) * cols;
+    const float inv = 1.0f / scale;
+    for (int c = 0; c < cols; ++c) {
+      const float v = round_ne(row[c] * inv);
+      const std::int8_t qv = static_cast<std::int8_t>(
+          std::min(127.0f, std::max(-127.0f, v)));
+      qrow[c] = qv;
+      sum += qv;
+    }
+    out.row_sum[static_cast<std::size_t>(r)] = sum;
+  }
+  return out;
+}
+
+namespace {
+
+// Register blocking mirrors the fp32 packed kernel (tensor/gemm.cpp): a
+// kMR x kNR int32 accumulator tile, B panels of kNR u8 lanes per k step,
+// A panels widened to int32 (kMR lanes per k step) so the broadcast is a
+// plain 4-byte load.  Integer accumulation is exact, so unlike the fp32
+// kernel there is no K-blocking / accumulation-order subtlety: any
+// schedule produces identical bits.
+constexpr int kMR = 6;
+constexpr int kNR = 16;
+constexpr int kNC = 1024;  ///< column-stripe width, the unit of parallelism
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ADA_QGEMM_VECTOR_EXT 1
+// Explicit SIMD via vector extensions at a fixed 16-lane width (one ZMM,
+// two YMM, or four XMM — the compiler splits wider-than-native vectors
+// automatically, so a single body serves every dispatched ISA).  The
+// auto-vectorizer cannot handle the u8 -> s32 widening multiply-accumulate
+// pattern, so the conversions are explicit __builtin_convertvector.
+typedef std::int32_t v16s32 __attribute__((vector_size(64), may_alias));
+typedef std::uint8_t v16u8
+    __attribute__((vector_size(16), may_alias, aligned(1)));
+typedef float v16f __attribute__((vector_size(64), may_alias));
+typedef float v16f_u __attribute__((vector_size(64), may_alias, aligned(4)));
+typedef float v4f_u __attribute__((vector_size(16), may_alias, aligned(4)));
+#endif
+
+struct QMicroTile {
+  const std::int32_t* pa;  ///< packed A panel: kc steps of kMR s32 (from s8)
+  const std::uint8_t* pb;  ///< packed B panel: kc steps of kNR u8
+  float* c;                ///< top-left of the fp32 output tile
+  int ldc;
+  int kc;
+  int mv, nv;              ///< valid rows/cols (edge tiles < kMR/kNR)
+  const float* row_scale;  ///< act.scale * weight scale, per tile row
+  const std::int32_t* row_sum;  ///< weight row sums, per tile row
+  int azp;                 ///< activation zero point
+  const float* row_bias;   ///< fp32 bias per tile row, or null
+  bool relu;
+};
+
+#ifdef ADA_QGEMM_VECTOR_EXT
+
+inline __attribute__((always_inline)) void qmicro_body(const QMicroTile& t) {
+  v16s32 acc[kMR];
+  for (int m = 0; m < kMR; ++m) acc[m] = v16s32{};
+
+  const std::int32_t* pa = t.pa;
+  const std::uint8_t* pb = t.pb;
+  for (int k = 0; k < t.kc; ++k, pa += kMR, pb += kNR) {
+    const v16s32 b =
+        __builtin_convertvector(*reinterpret_cast<const v16u8*>(pb), v16s32);
+    for (int m = 0; m < kMR; ++m) acc[m] += (v16s32{} + pa[m]) * b;
+  }
+
+  // Dequant epilogue, vectorized per row: fp32 = (acc - azp * row_sum[m])
+  // * row_scale[m] + bias[m], then ReLU.  Full tiles store straight to C;
+  // edge tiles spill to an aligned row buffer and copy the valid prefix.
+  for (int m = 0; m < t.mv; ++m) {
+    const v16s32 corr = v16s32{} + t.azp * t.row_sum[m];
+    v16f v = __builtin_convertvector(acc[m] - corr, v16f);
+    v = v * (v16f{} + t.row_scale[m]);
+    if (t.row_bias != nullptr) v = v + (v16f{} + t.row_bias[m]);
+    if (t.relu) {
+      const v16f zero = v16f{};
+      v = v > zero ? v : zero;
+    }
+    float* crow = t.c + static_cast<std::ptrdiff_t>(m) * t.ldc;
+    if (t.nv == kNR) {
+      *reinterpret_cast<v16f_u*>(crow) = v;
+    } else {
+      alignas(64) float row[kNR];
+      *reinterpret_cast<v16f*>(row) = v;
+      for (int j = 0; j < t.nv; ++j) crow[j] = row[j];
+    }
+  }
+}
+
+#else  // no vector extensions: plain scalar body, still bit-identical
+
+inline void qmicro_body(const QMicroTile& t) {
+  std::int32_t acc[kMR][kNR] = {};
+  const std::int32_t* pa = t.pa;
+  const std::uint8_t* pb = t.pb;
+  for (int k = 0; k < t.kc; ++k, pa += kMR, pb += kNR)
+    for (int m = 0; m < kMR; ++m) {
+      const std::int32_t a = pa[m];
+      for (int j = 0; j < kNR; ++j)
+        acc[m][j] += a * static_cast<std::int32_t>(pb[j]);
+    }
+  for (int m = 0; m < t.mv; ++m) {
+    float* crow = t.c + static_cast<std::ptrdiff_t>(m) * t.ldc;
+    const std::int32_t corr = t.azp * t.row_sum[m];
+    const float scale = t.row_scale[m];
+    const float bias = t.row_bias != nullptr ? t.row_bias[m] : 0.0f;
+    for (int j = 0; j < t.nv; ++j) {
+      float v = static_cast<float>(acc[m][j] - corr) * scale + bias;
+      if (t.relu) v = std::max(v, 0.0f);
+      crow[j] = v;
+    }
+  }
+}
+
+#endif  // ADA_QGEMM_VECTOR_EXT
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+/// Packs rows [0, M) x cols [0, K) of the s8 weight matrix into
+/// ceil(M/kMR) panels of K x kMR int32, k-major (widened once here so the
+/// kernel's broadcast is a plain dword load), zero-padding rows past M.
+void pack_a_s8(const std::int8_t* A, int M, int K, std::int32_t* pa) {
+  for (int i0 = 0; i0 < M; i0 += kMR) {
+    const int mv = std::min(kMR, M - i0);
+    for (int k = 0; k < K; ++k, pa += kMR) {
+      int m = 0;
+      for (; m < mv; ++m)
+        pa[m] = A[static_cast<std::size_t>(i0 + m) * K + k];
+      for (; m < kMR; ++m) pa[m] = 0;
+    }
+  }
+}
+
+/// Packs rows [0, K) x cols [j0, j0+nc) of the fp32 B view into
+/// ceil(nc/kNR) panels of K x kNR u8, k-major, quantizing each element
+/// with `qp` on the way in (multiply by 1/scale, magic round, add zero
+/// point, clamp — the exact quantize_u8 recipe).  Cols past nc pad with
+/// the zero point, which dequantizes to 0 and is exactly cancelled by the
+/// epilogue's zero-point correction.
+inline __attribute__((always_inline)) void pack_b_quant_u8(
+    const GemmMat& B, int K, int j0, int nc, const QuantParams& qp,
+    std::uint8_t* pb) {
+  const float inv = 1.0f / qp.scale;
+  const float fzp = static_cast<float>(qp.zero_point);
+#ifdef ADA_QGEMM_VECTOR_EXT
+  if (B.cs == 1) {
+    const v16f vinv = v16f{} + inv;
+    const v16f vzp = v16f{} + fzp;
+    const v16f vzero = v16f{};
+    const v16f vmax = v16f{} + 255.0f;
+    const v16f vmagic = v16f{} + kRoundMagic;
+    for (int jr = 0; jr < nc; jr += kNR) {
+      const int nv = std::min(kNR, nc - jr);
+      if (nv == kNR) {
+        for (int k = 0; k < K; ++k, pb += kNR) {
+          const float* src =
+              B.p + static_cast<std::ptrdiff_t>(k) * B.rs + (j0 + jr);
+          v16f q = *reinterpret_cast<const v16f_u*>(src) * vinv;
+          q = (q + vmagic) - vmagic;  // round_ne, lane-wise
+          q = q + vzp;
+          q = q > vzero ? q : vzero;
+          q = q < vmax ? q : vmax;
+          const v16s32 qi = __builtin_convertvector(q, v16s32);
+          *reinterpret_cast<v16u8*>(pb) = __builtin_convertvector(qi, v16u8);
+        }
+        continue;
+      }
+      // Edge panel: scalar lanes, identical arithmetic.
+      for (int k = 0; k < K; ++k, pb += kNR) {
+        const float* src =
+            B.p + static_cast<std::ptrdiff_t>(k) * B.rs + (j0 + jr);
+        int j = 0;
+        for (; j < nv; ++j) {
+          const float q = round_ne(src[j] * inv) + fzp;
+          pb[j] = static_cast<std::uint8_t>(
+              std::min(255.0f, std::max(0.0f, q)));
+        }
+        for (; j < kNR; ++j)
+          pb[j] = static_cast<std::uint8_t>(qp.zero_point);
+      }
+    }
+    return;
+  }
+#endif
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nv = std::min(kNR, nc - jr);
+    for (int k = 0; k < K; ++k, pb += kNR) {
+      const float* src = B.p + static_cast<std::ptrdiff_t>(k) * B.rs +
+                         static_cast<std::ptrdiff_t>(j0 + jr) * B.cs;
+      int j = 0;
+      for (; j < nv; ++j) {
+        const float q =
+            round_ne(src[static_cast<std::ptrdiff_t>(j) * B.cs] * inv) + fzp;
+        pb[j] = static_cast<std::uint8_t>(
+            std::min(255.0f, std::max(0.0f, q)));
+      }
+      for (; j < kNR; ++j) pb[j] = static_cast<std::uint8_t>(qp.zero_point);
+    }
+  }
+}
+
+// One column stripe end to end: quantize-and-pack its B panels, then run
+// every micro-tile.  The whole body is compiled once per ISA and
+// dispatched from CPUID, so BOTH the packing (rounding + u8 saturation)
+// and the micro-kernel (widening multiply-accumulate) run at the widest
+// vector width present.  Integer math is exact and the fp32 lane
+// arithmetic is contraction-free (-ffp-contract=off, CMakeLists.txt), so
+// every ISA produces identical bytes.
+struct QStripeArgs {
+  const GemmMat* B;
+  int M, K;
+  int j0, nc;
+  const std::int32_t* pa;
+  std::uint8_t* pb;  ///< this stripe's panel buffer (thread-local)
+  float* C;
+  int ldc;
+  const float* row_scale;
+  const std::int32_t* row_sum;
+  int azp;
+  const float* row_bias;
+  bool relu;
+};
+
+using QStripeFn = void (*)(const QStripeArgs&, const QuantParams&);
+
+inline __attribute__((always_inline)) void qstripe_run(
+    const QStripeArgs& a, const QuantParams& qp) {
+  pack_b_quant_u8(*a.B, a.K, a.j0, a.nc, qp, a.pb);
+  const std::size_t a_panel = static_cast<std::size_t>(kMR) * a.K;
+  const std::size_t b_panel = static_cast<std::size_t>(kNR) * a.K;
+  for (int jr = 0; jr < a.nc; jr += kNR) {
+    const std::uint8_t* panel_b =
+        a.pb + static_cast<std::size_t>(jr / kNR) * b_panel;
+    for (int i0 = 0; i0 < a.M; i0 += kMR) {
+      QMicroTile t;
+      t.pa = a.pa + static_cast<std::size_t>(i0 / kMR) * a_panel;
+      t.pb = panel_b;
+      t.c = a.C + static_cast<std::ptrdiff_t>(i0) * a.ldc + a.j0 + jr;
+      t.ldc = a.ldc;
+      t.kc = a.K;
+      t.mv = std::min(kMR, a.M - i0);
+      t.nv = std::min(kNR, a.nc - jr);
+      t.row_scale = a.row_scale + i0;
+      t.row_sum = a.row_sum + i0;
+      t.azp = a.azp;
+      t.row_bias = a.row_bias != nullptr ? a.row_bias + i0 : nullptr;
+      t.relu = a.relu;
+      qmicro_body(t);
+    }
+  }
+}
+
+void qstripe_generic(const QStripeArgs& a, const QuantParams& qp) {
+  qstripe_run(a, qp);
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ADA_QGEMM_X86_DISPATCH 1
+__attribute__((target("avx2"))) void qstripe_avx2(const QStripeArgs& a,
+                                                  const QuantParams& qp) {
+  qstripe_run(a, qp);
+}
+__attribute__((target("avx512f,avx512bw"))) void qstripe_avx512(
+    const QStripeArgs& a, const QuantParams& qp) {
+  qstripe_run(a, qp);
+}
+#endif
+
+QStripeFn pick_qstripe() {
+#ifdef ADA_QGEMM_X86_DISPATCH
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw"))
+    return qstripe_avx512;
+  if (__builtin_cpu_supports("avx2")) return qstripe_avx2;
+#endif
+  return qstripe_generic;
+}
+
+QStripeFn qstripe_dispatch() {
+  static const QStripeFn fn = pick_qstripe();
+  return fn;
+}
+
+}  // namespace
+
+void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
+           float* C, int ldc, const float* bias, bool relu) {
+  if (M <= 0 || N <= 0) return;
+  assert(M == W.rows && K == W.cols);
+  // u8 x s8 products are ≤ 255 * 127; the ascending-K int32 chain is exact
+  // below this bound (header comment).  Every shape in this codebase is
+  // orders of magnitude smaller.
+  assert(static_cast<long long>(K) * 255 * 127 < 2147483647LL);
+
+  const QStripeFn stripe_fn = qstripe_dispatch();
+
+  // The epilogue scale folds the per-tensor activation scale into the
+  // per-channel weight scale once, outside the tile loops.
+  ScratchFrame frame(&scratch_arena());
+  float* row_scale = frame.alloc(static_cast<std::size_t>(M));
+  for (int m = 0; m < M; ++m)
+    row_scale[m] = W.act.scale * W.scale[static_cast<std::size_t>(m)];
+
+  // Pack A once up front (shared, read-only); stripes own disjoint C
+  // columns and quantize-and-pack their own B panels thread-locally.
+  const std::size_t a_packed =
+      static_cast<std::size_t>(ceil_div(M, kMR)) * kMR *
+      static_cast<std::size_t>(std::max(K, 1));
+  std::int32_t* pa = frame.alloc_as<std::int32_t>(a_packed);
+  pack_a_s8(W.q.data(), M, K, pa);
+
+  const int stripes = ceil_div(N, kNC);
+  parallel_for(stripes, 1, [&](std::int64_t sb, std::int64_t se) {
+    for (std::int64_t s = sb; s < se; ++s) {
+      const int j0 = static_cast<int>(s) * kNC;
+      const int nc = std::min(kNC, N - j0);
+      ScratchFrame f(&scratch_arena());
+      QStripeArgs a;
+      a.B = &B;
+      a.M = M;
+      a.K = K;
+      a.j0 = j0;
+      a.nc = nc;
+      a.pa = pa;
+      a.pb = f.alloc_as<std::uint8_t>(
+          static_cast<std::size_t>(ceil_div(nc, kNR)) * kNR *
+          static_cast<std::size_t>(std::max(K, 1)));
+      a.C = C;
+      a.ldc = ldc;
+      a.row_scale = row_scale;
+      a.row_sum = W.row_sum.data();
+      a.azp = W.act.zero_point;
+      a.row_bias = bias;
+      a.relu = relu;
+      stripe_fn(a, W.act);
+    }
+  });
+}
+
+}  // namespace ada

@@ -1,0 +1,129 @@
+// INT8 quantized GEMM backend for the inference hot path.
+//
+// Third backend behind the ADASCALE_GEMM switch (see tensor/gemm.h):
+// weights are stored once as signed 8-bit integers with a *per-output-
+// channel* symmetric scale (dequant = q * scale[row]); activations are
+// quantized on the fly to unsigned 8-bit with a *per-tensor* asymmetric
+// scale + zero point captured by an offline calibration pass (see
+// Conv2dLayer::quantize / tools/calibrate).  The kernel accumulates
+// u8 x s8 products into int32 and the epilogue dequantizes straight to
+// fp32 — folding the zero-point correction, the per-channel scale, the
+// fp32 bias, and the optional ReLU into the tile write-out, so the rest
+// of the network never sees an integer tensor.
+//
+// Determinism: integer accumulation is exact (no rounding), so the result
+// is independent of blocking, stripe scheduling, thread count, and the
+// dispatched SIMD width; the fp32 epilogue applies a fixed per-element
+// expression.  INT8 outputs are therefore bit-identical run-to-run, across
+// ADASCALE_THREADS values, and across machines — a stronger guarantee than
+// the fp32 packed kernel, which is bit-stable only per compile.
+//
+// Overflow: one u8 x s8 product is at most 255 * 127 = 32385, so a full
+// ascending-K chain fits int32 for K < 2^31 / 32385 ≈ 66k.  Every GEMM in
+// this codebase has K = in_c * k * k ≤ a few hundred; qgemm asserts the
+// bound rather than widening to int64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace ada {
+
+/// Asymmetric u8 quantization parameters for one activation tensor:
+/// real = (q - zero_point) * scale, q in [0, 255].
+struct QuantParams {
+  float scale = 1.0f;
+  int zero_point = 0;
+};
+
+/// Picks u8 qparams covering the observed activation range [lo, hi].
+/// The range is widened to include 0 (so zero padding maps exactly onto
+/// zero_point) and degenerate ranges fall back to scale 1 — the scale is
+/// never 0 or negative.
+QuantParams choose_qparams(float lo, float hi);
+
+/// Streaming activation statistics gathered during a calibration pass:
+/// exact min/max plus a fixed-bin histogram of |x| whose cap doubles
+/// (merging bin pairs) whenever a larger value arrives, so a percentile
+/// clip can be computed over millions of activations in O(kBins) memory.
+/// Clipping the top fraction of mass shrinks the quantization step for
+/// the dense bulk of activations at the cost of saturating rare outliers
+/// — the standard post-training-quantization trade (out-of-range values
+/// clamp, they never wrap).
+class RangeObserver {
+ public:
+  void observe(const float* x, std::size_t n);
+  bool seen() const { return total_ > 0; }
+  float min() const { return min_; }
+  float max() const { return max_; }
+
+  /// Smallest magnitude m such that at least `fraction` of the observed
+  /// |x| mass lies in [0, m] (bin-edge resolution).  fraction >= 1 returns
+  /// the exact maximum.
+  float percentile_hi(double fraction) const;
+
+ private:
+  static constexpr int kBins = 2048;
+  void grow(float a);
+
+  float min_ = 0.0f, max_ = 0.0f;
+  float cap_ = 0.0f;  ///< histogram upper edge; 0 until first observation
+  long long total_ = 0;
+  std::vector<long long> hist_;
+};
+
+/// Fraction of |activation| mass the calibration clip keeps (the rest
+/// saturates).  Default 0.9995; override with the ADASCALE_INT8_CLIP
+/// environment variable (read once; values outside (0, 1] fall back to
+/// the default, 1 disables clipping entirely).
+double calibration_clip_fraction();
+
+/// q = clamp(round(x / scale) + zero_point, 0, 255).  Values outside the
+/// calibrated range saturate — the quantize/dequantize round trip is
+/// bounded by scale/2 only inside [lo, hi] (tests/qgemm_test.cpp).
+std::uint8_t quantize_u8(float x, const QuantParams& p);
+
+/// Inverse map for tests and diagnostics: (q - zero_point) * scale.
+float dequantize_u8(std::uint8_t q, const QuantParams& p);
+
+/// Frozen INT8 weight matrix plus everything the epilogue needs: one
+/// symmetric scale per row (output channel), the per-row element sum
+/// (zero-point correction term), and the activation qparams captured at
+/// calibration time.
+struct QuantizedWeights {
+  int rows = 0;  ///< output channels (GEMM M)
+  int cols = 0;  ///< reduction length (GEMM K)
+  std::vector<std::int8_t> q;       ///< rows x cols, row-major
+  std::vector<float> scale;         ///< per row; dequant = q * scale[row]
+  std::vector<std::int32_t> row_sum;  ///< per row: sum_k q[row, k]
+  QuantParams act;                  ///< input-activation quantization
+
+  bool empty() const { return q.empty(); }
+};
+
+/// Quantizes a rows x cols fp32 weight matrix with per-row symmetric
+/// scales: scale[r] = absmax(row r) / 127, q = round(w / scale) clamped to
+/// [-127, 127].  An all-zero row gets scale 1 (never 0), q all zero.
+/// `act` is stored alongside for the epilogue.
+QuantizedWeights quantize_weights(const float* w, int rows, int cols,
+                                  const QuantParams& act);
+
+/// C(MxN fp32, leading dim ldc) = dequant( Wq(MxK s8) * quant(B)(KxN u8) ).
+///
+/// B is a strided fp32 view (same GemmMat convention as sgemm); its
+/// elements are quantized to u8 with W.act during panel packing, so callers
+/// hand in the same float im2col columns / input rows they would give
+/// sgemm.  The epilogue computes, per element:
+///
+///   C[m][j] = (acc[m][j] - act.zero_point * row_sum[m])
+///             * (act.scale * scale[m]) + bias[m]     (then ReLU if relu)
+///
+/// `bias` (per row, may be null) stays fp32.  Parallelizes over disjoint
+/// column stripes via the runtime pool; see header comment for the
+/// determinism contract.  M must equal W.rows and K must equal W.cols.
+void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
+           float* C, int ldc, const float* bias, bool relu);
+
+}  // namespace ada

@@ -1,10 +1,13 @@
 // bench_report — machine-readable kernel/perf trajectory for the repo.
 //
-// Emits BENCH_kernels.json: per-conv-shape GFLOP/s and ns/call for both
-// GEMM backends, end-to-end detector forward latency / fps at each nominal
-// scale, and multi-stream serving throughput — unbatched (one forward per
-// stream per frame) vs the cross-stream batch scheduler at several batch
-// sizes.  Future PRs diff this file to see whether the hot path moved;
+// Emits BENCH_kernels.json (schema v3): per-conv-shape GFLOP/s and ns/call
+// for all three GEMM backends (packed / reference / int8), end-to-end
+// detector forward latency / fps at each nominal scale, multi-stream
+// serving throughput — unbatched vs the cross-stream batch scheduler — and
+// the INT8 accuracy cost: fixed-600 mAP of the trained detector under fp32
+// vs the quantized path (the `quantized` section; uses the model cache, so
+// the first run trains for a few minutes and later runs load instantly).
+// Future PRs diff this file to see whether the hot path moved;
 // docs/BENCHMARKS.md documents the schema.
 //
 // Usage: bench_report [output.json]   (default: BENCH_kernels.json)
@@ -24,9 +27,11 @@
 
 #include "data/dataset.h"
 #include "detection/detector.h"
+#include "experiments/harness.h"
 #include "runtime/multi_stream.h"
 #include "tensor/conv2d.h"
 #include "tensor/gemm.h"
+#include "tensor/qgemm.h"
 #include "util/json.h"
 #include "util/timer.h"
 
@@ -88,6 +93,28 @@ void emit_conv_cases(JsonWriter* jw, const std::vector<ConvCase>& cases) {
       const std::string tag = gemm_backend_name();
       jw->key("ns_" + tag).value(ns);
       jw->key("gflops_" + tag).value(flops / ns);
+    }
+    // INT8 row (schema v3): the same conv through the quantized kernel,
+    // weights frozen per-channel, activations calibrated on this input.
+    // gflops_int8 counts the same nominal MAC work, so the three columns
+    // are directly comparable.
+    {
+      float lo = x[0], hi = x[0];
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        lo = std::min(lo, x[i]);
+        hi = std::max(hi, x[i]);
+      }
+      const QuantizedWeights qw = quantize_weights(
+          w.data(), c.spec.out_channels,
+          c.spec.in_channels * c.spec.kernel * c.spec.kernel,
+          choose_qparams(lo, hi));
+      const double ns = time_ns(
+          [&] {
+            conv2d_forward_int8(c.spec, x, qw, b, &y, /*fuse_relu=*/true);
+          },
+          9);
+      jw->key("ns_int8").value(ns);
+      jw->key("gflops_int8").value(flops / ns);
     }
     jw->end_object();
   }
@@ -179,6 +206,40 @@ void emit_multi_stream(JsonWriter* jw, Detector* det, const Dataset& dataset) {
   jw->end_object();
 }
 
+/// INT8 accuracy/latency cost on the *trained* detector (model cache; first
+/// run trains): fixed-600 eval under fp32 packed vs the quantized path,
+/// after calibrating on 8 validation frames — the mAP delta the ISSUE 4
+/// acceptance bar reads.  Quantization state is frozen on a clone so the
+/// measurement cannot perturb other sections.
+void emit_quantized(JsonWriter* jw) {
+  Harness h = make_vid_harness(default_cache_dir());
+  std::unique_ptr<Detector> det =
+      clone_detector(h.detector(ScaleSet::train_default()));
+  // The standard 16-frame multi-scale calibration recipe, shared with
+  // quickstart and tools/calibrate (Harness::make_calibration_set).
+  const std::vector<Tensor> calib = h.make_calibration_set(16);
+
+  set_gemm_backend(GemmBackend::kPacked);
+  det->quantize(calib);
+  const MethodRun fp32 = h.evaluate("fixed-600/fp32",
+                                    h.run_fixed(det.get(), 600));
+  set_gemm_backend(GemmBackend::kInt8);
+  const MethodRun int8 = h.evaluate("fixed-600/int8",
+                                    h.run_fixed(det.get(), 600));
+  set_gemm_backend(GemmBackend::kPacked);
+
+  jw->key("quantized");
+  jw->begin_object();
+  jw->key("calibration_frames").value(static_cast<int>(calib.size()));
+  jw->key("eval").value("fixed-600, quickstart harness val split");
+  jw->key("map_fp32").value(100.0 * fp32.eval.map);
+  jw->key("map_int8").value(100.0 * int8.eval.map);
+  jw->key("map_delta").value(100.0 * (int8.eval.map - fp32.eval.map));
+  jw->key("mean_ms_fp32").value(fp32.mean_ms);
+  jw->key("mean_ms_int8").value(int8.mean_ms);
+  jw->end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,7 +253,7 @@ int main(int argc, char** argv) {
 
   JsonWriter jw;
   jw.begin_object();
-  jw.key("schema").value("adascale-bench-kernels-v2");
+  jw.key("schema").value("adascale-bench-kernels-v3");
   jw.key("gemm_kernel_isa").value(gemm_kernel_isa());
   jw.key("default_backend").value(gemm_backend_name());
 
@@ -215,6 +276,9 @@ int main(int argc, char** argv) {
   // batching acceptance bar reads.
   Dataset stream_dataset = Dataset::synth_vid(1, 8, 99);
   emit_multi_stream(&jw, &detector, stream_dataset);
+
+  // INT8 accuracy cost on the trained detector (schema v3).
+  emit_quantized(&jw);
   jw.end_object();
 
   std::ofstream out(out_path);

@@ -1,0 +1,106 @@
+// calibrate — post-training INT8 calibration and accuracy report.
+//
+// Loads the cached multi-scale detector + scale regressor (training them on
+// first run, like every bench), builds the standard calibration set — N
+// validation frames cycled across the regressor scale set
+// (Harness::make_calibration_set) — freezes INT8 state into both models,
+// then prints:
+//
+//   * per-layer calibration summaries (activation range → u8 scale/zero
+//     point, per-channel weight-scale spread),
+//   * the quickstart eval under fp32 (packed) vs INT8: fixed-600 and
+//     AdaScale mAP + per-frame runtime, and the fixed-600 mAP delta —
+//     the number the ISSUE acceptance bar and BENCH_kernels.json carry.
+//
+// Usage: calibrate [num_frames]        (default 16)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "experiments/harness.h"
+#include "tensor/gemm.h"
+
+using namespace ada;
+
+int main(int argc, char** argv) {
+  const int num_frames = argc > 1 ? std::atoi(argv[1]) : 16;
+  if (num_frames < 1) {
+    // A zero-frame calibration would freeze nothing, every "int8" eval
+    // below would silently fall back to fp32, and the delta would be a
+    // vacuous 0.00 PASS.
+    std::fprintf(stderr, "calibrate: num_frames must be >= 1 (got \"%s\")\n",
+                 argv[1]);
+    return 1;
+  }
+
+  Harness h = make_vid_harness(default_cache_dir());
+  Detector* det = h.detector(ScaleSet::train_default());
+  ScaleRegressor* reg =
+      h.regressor(ScaleSet::train_default(), h.default_regressor_config());
+
+  // Calibration set: N validation frames cycled across the regressor
+  // scale set (Harness::make_calibration_set — the recipe quickstart and
+  // bench_report share).
+  const std::vector<Tensor> calib = h.make_calibration_set(num_frames);
+  std::printf("calibrating on %zu frames across the regressor scale set...\n",
+              calib.size());
+
+  set_gemm_backend(GemmBackend::kPacked);
+  det->quantize(calib);
+  if (!det->quantized()) {
+    std::fprintf(stderr, "calibrate: detector did not quantize (empty "
+                         "calibration set?)\n");
+    return 1;
+  }
+  // The regressor calibrates on INT8-produced deep features — what it
+  // will actually receive at int8 serving time (quickstart does the
+  // same).  An unquantized clone is kept aside to measure the
+  // mixed-precision option (int8 detector + fp32 regressor) below.
+  std::unique_ptr<ScaleRegressor> reg_fp32 = clone_regressor(reg);
+  set_gemm_backend(GemmBackend::kInt8);
+  std::vector<Tensor> feats;
+  for (const Tensor& img : calib) feats.push_back(det->forward(img));
+  set_gemm_backend(GemmBackend::kPacked);
+  reg->quantize(feats);
+
+  std::printf("\n%-12s %22s %12s %8s %26s\n", "layer", "act range",
+              "act scale", "zp", "w scale [min, max]");
+  auto print_summary = [](const QuantSummary& s) {
+    std::printf("%-12s [%9.4f, %9.4f] %12.6f %8d [%.6f, %.6f]  (%dx%d)\n",
+                s.layer.c_str(), s.act_lo, s.act_hi, s.act.scale,
+                s.act.zero_point, s.wscale_min, s.wscale_max, s.rows, s.cols);
+  };
+  for (const QuantSummary& s : det->quant_summaries()) print_summary(s);
+  for (const QuantSummary& s : reg->quant_summaries()) print_summary(s);
+
+  // fp32 vs INT8 on the quickstart eval.  Identical work per row pair —
+  // only the backend changes.
+  std::printf("\nevaluating fp32 (packed) vs int8...\n");
+  set_gemm_backend(GemmBackend::kPacked);
+  MethodRun fx32 = h.evaluate("fixed-600/fp32", h.run_fixed(det, 600));
+  MethodRun ada32 = h.evaluate(
+      "AdaScale/fp32", h.run_adascale(det, reg, ScaleSet::reg_default()));
+  set_gemm_backend(GemmBackend::kInt8);
+  MethodRun fx8 = h.evaluate("fixed-600/int8", h.run_fixed(det, 600));
+  MethodRun ada8 = h.evaluate(
+      "AdaScale/int8", h.run_adascale(det, reg, ScaleSet::reg_default()));
+  // Mixed precision: the scale decision is far more sensitive to
+  // quantization noise than the detections are (a flipped t̂ changes the
+  // *entire* next frame), so serving can keep the tiny regressor fp32 and
+  // still take the int8 detector.
+  MethodRun mixed = h.evaluate(
+      "AdaScale/int8+fp32reg",
+      h.run_adascale(det, reg_fp32.get(), ScaleSet::reg_default()));
+  set_gemm_backend(GemmBackend::kPacked);
+
+  std::printf("\n%-22s %8s %10s\n", "method", "mAP", "ms/frame");
+  for (const MethodRun* r : {&fx32, &fx8, &ada32, &ada8, &mixed})
+    std::printf("%-22s %8.2f %10.2f\n", r->label.c_str(),
+                100.0 * r->eval.map, r->mean_ms);
+  const double delta = 100.0 * (fx8.eval.map - fx32.eval.map);
+  std::printf("\nfixed-600 mAP delta (int8 - fp32): %+.2f\n", delta);
+  std::printf("acceptance: |delta| <= 1.0 -> %s\n",
+              delta >= -1.0 && delta <= 1.0 ? "PASS" : "FAIL");
+  return 0;
+}
