@@ -58,8 +58,8 @@ BENCHMARK(BM_DetectorForward)->Arg(600)->Arg(480)->Arg(360)->Arg(240)->Arg(128);
 // heads), no anchor decode / NMS.
 void backbone_forward_600(benchmark::State& state, GemmBackend backend) {
   Fixture& f = fixture();
-  const GemmBackend saved = gemm_backend();
-  set_gemm_backend(backend);
+  // Pinned per-model policy — no process-global backend mutation.
+  f.detector->set_execution_policy(ExecutionPolicy{backend});
   const Renderer renderer = f.dataset.make_renderer();
   const Tensor img = renderer.render_at_scale(
       *f.dataset.val_frames()[0], 600, f.dataset.scale_policy());
@@ -72,7 +72,7 @@ void backbone_forward_600(benchmark::State& state, GemmBackend backend) {
   state.counters["gflops"] = benchmark::Counter(
       2.0 * macs * static_cast<double>(state.iterations()) * 1e-9,
       benchmark::Counter::kIsRate);
-  set_gemm_backend(saved);
+  f.detector->set_execution_policy(ExecutionPolicy::env_default());
 }
 
 void BM_BackboneForward600_Packed(benchmark::State& state) {

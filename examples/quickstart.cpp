@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "experiments/harness.h"
-#include "tensor/gemm.h"
+#include "runtime/exec_policy.h"
 
 using namespace ada;
 
@@ -32,19 +32,25 @@ int main() {
   ScaleRegressor* regressor = h.regressor(ScaleSet::train_default(),
                                           h.default_regressor_config());
 
-  // ADASCALE_GEMM=int8: calibrate + quantize before serving, so the whole
-  // run below (Algorithm 1 and both evals) exercises the INT8 path.
+  // ADASCALE_GEMM=int8: calibrate + quantize before serving, so the run
+  // below (Algorithm 1 and both evals) exercises the INT8 path.
   // Calibration frames cycle across the regressor scale set to cover
-  // everything Algorithm 1 will render.  Training above always runs
-  // fp32 — quantization is inference-only.
-  if (gemm_backend() == GemmBackend::kInt8) {
-    const std::vector<Tensor> calib = h.make_calibration_set(16);
-    detector->quantize(calib);
-    std::vector<Tensor> feats;
-    for (const Tensor& img : calib) feats.push_back(detector->forward(img));
-    regressor->quantize(feats);
-    std::printf("int8 backend: calibrated on %zu frames, serving quantized\n",
-                calib.size());
+  // everything Algorithm 1 will render.  Training above always runs fp32 —
+  // quantization is inference-only.  Serving uses the *mixed-precision*
+  // recipe: only the detector is quantized; the scale regressor is pinned
+  // to an fp32 policy because its scale decision amplifies quantization
+  // noise (an all-int8 regressor costs ~2-4 mAP in AdaScale mode; the
+  // fp32 head recovers it — see tools/calibrate --mixed).  Per-model
+  // policies make this a one-line serving config with no global switch.
+  // The recipe also runs the quantization-aware alignment pass: the
+  // regressor's fp32 scale decisions on the calibration frames become
+  // distillation targets for a small fine-tune on int8-produced features,
+  // cancelling the systematic t̂ bias that otherwise costs 2-4 mAP in
+  // AdaScale mode.
+  if (ExecutionPolicy::env_default().resolve() == GemmBackend::kInt8) {
+    h.prepare_mixed_precision(detector, regressor);
+    std::printf("int8 backend: serving mixed precision (int8 detector + "
+                "aligned fp32 regressor)\n");
   }
 
   // Algorithm 1 on one validation clip.

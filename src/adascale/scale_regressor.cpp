@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "runtime/scratch.h"
 #include "tensor/loss.h"
 #include "util/timer.h"
 
@@ -40,22 +41,69 @@ ScaleRegressor::ScaleRegressor(const RegressorConfig& cfg, Rng* rng)
   fc_.init_he(rng);
 }
 
+void ScaleRegressor::set_execution_policy(const ExecutionPolicy& policy) {
+  policy_ = policy;
+  for (Stream& s : streams_) s.conv->set_policy(policy);
+  fc_.set_policy(policy);
+  invalidate_plans();
+}
+
+const ExecutionPlan& ScaleRegressor::plan_for(int n, int fh, int fw) {
+  const GemmBackend be = policy_.resolve();
+  const auto key = std::make_tuple(n, fh, fw, static_cast<int>(be));
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ExecutionPlan plan;
+    plan.input = PlanShape{n, cfg_.in_channels, fh, fw};
+    plan.policy = policy_.name();
+    // Steps in forward() execution order: each stream's conv then its
+    // pooling (both reading the shared feature map), then the FC head on
+    // the pooled concat.
+    for (const Stream& s : streams_) {
+      PlanShape shape = plan.input;
+      s.conv->plan_forward(&shape, &plan);
+      s.gap.plan_forward(&shape, &plan);
+    }
+    PlanShape concat_shape{
+        n, static_cast<int>(streams_.size()) * cfg_.stream_channels, 1, 1};
+    fc_.plan_forward(&concat_shape, &plan);
+    plan.finalize();
+    it = plans_.emplace(key, std::move(plan)).first;
+  }
+  return it->second;
+}
+
 void ScaleRegressor::forward(const Tensor& features) {
   const int sc = cfg_.stream_channels;
   const int total = static_cast<int>(streams_.size()) * sc;
   const int batch = features.n();
   if (concat_.n() != batch || concat_.c() != total)
     concat_ = Tensor(batch, total, 1, 1);
+  PlanCursor pc(nullptr);
+  const bool planned = use_plans_;
+  if (planned) {
+    const ExecutionPlan& plan = plan_for(batch, features.h(), features.w());
+    scratch_arena().reserve(plan.arena_floats);
+    pc = PlanCursor(&plan);
+  }
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     Stream& s = streams_[i];
-    s.conv->forward(features, &s.conv_out);  // ReLU fused into the conv
-    s.gap.forward(s.conv_out, &s.pooled);
+    if (planned) {
+      s.conv->forward_planned(features, &s.conv_out, &pc);
+      s.gap.forward_planned(s.conv_out, &s.pooled, &pc);
+    } else {
+      s.conv->forward(features, &s.conv_out);  // ReLU fused into the conv
+      s.gap.forward(s.conv_out, &s.pooled);
+    }
     for (int n = 0; n < batch; ++n)
       for (int c = 0; c < sc; ++c)
         concat_.at(n, static_cast<int>(i) * sc + c, 0, 0) =
             s.pooled.at(n, c, 0, 0);
   }
-  fc_.forward(concat_, &fc_out_);
+  if (planned)
+    fc_.forward_planned(concat_, &fc_out_, &pc);
+  else
+    fc_.forward(concat_, &fc_out_);
 }
 
 float ScaleRegressor::predict(const Tensor& features) {
@@ -90,11 +138,15 @@ void ScaleRegressor::quantize(
     const std::vector<Tensor>& calibration_features) {
   for (Stream& s : streams_) s.conv->set_calibration(true);
   fc_.set_calibration(true);
+  // Calibration must observe fp32 activations through the eager path.
+  use_plans_ = false;
   for (const Tensor& f : calibration_features) forward(f);
+  use_plans_ = true;
   for (Stream& s : streams_) s.conv->set_calibration(false);
   fc_.set_calibration(false);
   for (Stream& s : streams_) s.conv->quantize();
   fc_.quantize();
+  invalidate_plans();
 }
 
 void ScaleRegressor::quantize_like(ScaleRegressor* src) {
@@ -105,6 +157,7 @@ void ScaleRegressor::quantize_like(ScaleRegressor* src) {
   }
   if (src->fc_.is_quantized())
     fc_.quantize_with_range(src->fc_.act_lo(), src->fc_.act_hi());
+  invalidate_plans();
 }
 
 std::vector<QuantSummary> ScaleRegressor::quant_summaries() {
@@ -128,6 +181,10 @@ float ScaleRegressor::train_step(const Tensor& features, float target,
   // regressor trains against the fp32 forward, never the INT8 one.
   for (Stream& s : streams_) s.conv->set_training(true);
   fc_.set_training(true);
+  // Training forwards run eagerly (backward state, fp32 kernels); weights
+  // are about to change, so cached plans go too.
+  use_plans_ = false;
+  invalidate_plans();
   forward(features);
 
   float dpred = 0.0f;
@@ -150,8 +207,27 @@ float ScaleRegressor::train_step(const Tensor& features, float target,
   }
   for (Stream& s : streams_) s.conv->set_training(false);
   fc_.set_training(false);
+  use_plans_ = true;
   opt->step();
   return loss;
+}
+
+float ScaleRegressor::fine_tune(const std::vector<Tensor>& features,
+                                const std::vector<float>& targets,
+                                int epochs, float lr) {
+  assert(features.size() == targets.size());
+  Sgd::Options opt;
+  opt.lr = lr;
+  opt.weight_decay = 0.0f;  // alignment, not regularized re-training
+  Sgd sgd(parameters(), opt);
+  float mse = 0.0f;
+  for (int e = 0; e < epochs; ++e) {
+    mse = 0.0f;
+    for (std::size_t i = 0; i < features.size(); ++i)
+      mse += train_step(features[i], targets[i], &sgd);
+    mse /= static_cast<float>(std::max<std::size_t>(features.size(), 1));
+  }
+  return mse;
 }
 
 std::vector<Param*> ScaleRegressor::parameters() {
@@ -166,6 +242,7 @@ std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src) {
   auto dst = std::make_unique<ScaleRegressor>(src->config(), &rng);
   copy_param_values(src->parameters(), dst->parameters());
   if (src->quantized()) dst->quantize_like(src);
+  dst->set_execution_policy(src->execution_policy());
   return dst;
 }
 

@@ -11,12 +11,16 @@
 // frozen, exactly as in the paper.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "nn/layers.h"
 #include "nn/sgd.h"
+#include "runtime/exec_plan.h"
+#include "runtime/exec_policy.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -59,6 +63,23 @@ class ScaleRegressor {
   /// True once quantize() has frozen INT8 state.
   bool quantized() const { return fc_.is_quantized(); }
 
+  /// Sets this regressor's execution policy; see
+  /// Detector::set_execution_policy.  The canonical mixed-precision
+  /// serving config is an int8 detector policy plus an fp32 regressor
+  /// policy — the scale decision is far more sensitive to quantization
+  /// noise than the detections are.
+  void set_execution_policy(const ExecutionPolicy& policy);
+
+  /// The policy this regressor resolves kernels from.
+  const ExecutionPolicy& execution_policy() const { return policy_; }
+
+  /// The cached ahead-of-time plan for an (n, fh, fw) feature map under
+  /// the current resolved backend; see Detector::plan_for.
+  const ExecutionPlan& plan_for(int n, int fh, int fw);
+
+  /// Number of plans currently cached (test seam).
+  std::size_t cached_plan_count() const { return plans_.size(); }
+
   /// Clone-side quantization transfer; see Detector::quantize_like.
   void quantize_like(ScaleRegressor* src);
 
@@ -68,6 +89,17 @@ class ScaleRegressor {
   /// One MSE training step on a single example (Eq. 4 term); returns the
   /// squared error.  Features are treated as constants (no grad flows back).
   float train_step(const Tensor& features, float target, Sgd* opt);
+
+  /// Small MSE fine-tune over explicit (features, target) pairs — the
+  /// quantization-aware alignment pass of the mixed-precision recipe
+  /// (Harness::prepare_mixed_precision): distilling the regressor's own
+  /// fp32-feature scale decisions onto INT8-produced feature maps cancels
+  /// the systematic t̂ bias quantization noise induces, while the
+  /// regressor itself keeps serving fp32.  Returns the final-epoch mean
+  /// squared error.
+  float fine_tune(const std::vector<Tensor>& features,
+                  const std::vector<float>& targets, int epochs = 8,
+                  float lr = 1e-4f);
 
   std::vector<Param*> parameters();
 
@@ -89,9 +121,15 @@ class ScaleRegressor {
   /// Forward through streams; fills pooled concat vector.
   void forward(const Tensor& features);
 
+  void invalidate_plans() { plans_.clear(); }
+
   RegressorConfig cfg_;
   std::vector<Stream> streams_;
   LinearLayer fc_;
+  ExecutionPolicy policy_;  ///< unpinned by default (env-following)
+  bool use_plans_ = true;   ///< off during training/calibration forwards
+  /// Plans keyed by (n, fh, fw, resolved backend); see Detector.
+  std::map<std::tuple<int, int, int, int>, ExecutionPlan> plans_;
   Tensor concat_;   ///< pooled streams, (N, streams*stream_channels, 1, 1)
   Tensor fc_out_;   ///< (N,1,1,1)
   double last_predict_ms_ = 0.0;

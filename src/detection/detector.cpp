@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "detection/nms.h"
+#include "runtime/scratch.h"
 #include "runtime/thread_pool.h"
 #include "tensor/loss.h"
 #include "util/timer.h"
@@ -69,7 +70,48 @@ Detector::Detector(const DetectorConfig& cfg, Rng* rng)
     cb[static_cast<std::size_t>(a * kp1)] = 2.0f;
 }
 
+void Detector::set_execution_policy(const ExecutionPolicy& policy) {
+  policy_ = policy;
+  backbone_.set_policy(policy);
+  cls_head_.set_policy(policy);
+  reg_head_.set_policy(policy);
+  invalidate_plans();
+}
+
+const ExecutionPlan& Detector::plan_for(int n, int img_h, int img_w) {
+  const GemmBackend be = policy_.resolve();
+  const auto key = std::make_tuple(n, img_h, img_w, static_cast<int>(be));
+  auto it = plans_.find(key);
+  if (it == plans_.end()) {
+    ExecutionPlan plan;
+    plan.input = PlanShape{n, 3, img_h, img_w};
+    plan.policy = policy_.name();
+    PlanShape shape = plan.input;
+    backbone_.plan_forward(&shape, &plan);
+    // Both heads read the backbone output; plan them on copies of the
+    // feature shape in the order forward() runs them.
+    PlanShape cls_in = shape;
+    cls_head_.plan_forward(&cls_in, &plan);
+    PlanShape reg_in = shape;
+    reg_head_.plan_forward(&reg_in, &plan);
+    plan.finalize();
+    it = plans_.emplace(key, std::move(plan)).first;
+  }
+  return it->second;
+}
+
 const Tensor& Detector::forward(const Tensor& image) {
+  if (use_plans_) {
+    const ExecutionPlan& plan = plan_for(image.n(), image.h(), image.w());
+    // Pre-size this thread's arena to the plan's exact peak, so even the
+    // first forward at this scale grows nothing mid-kernel.
+    scratch_arena().reserve(plan.arena_floats);
+    PlanCursor pc(&plan);
+    backbone_.forward_planned(image, &features_, &pc);
+    cls_head_.forward_planned(features_, &heads_.cls, &pc);
+    reg_head_.forward_planned(features_, &heads_.reg, &pc);
+    return features_;
+  }
   backbone_.forward(image, &features_);
   cls_head_.forward(features_, &heads_.cls);
   reg_head_.forward(features_, &heads_.reg);
@@ -195,6 +237,11 @@ float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
   backbone_.set_training(train);
   cls_head_.set_training(train);
   reg_head_.set_training(train);
+  // Training forwards must run eagerly (backward state, fp32 kernels), and
+  // training-mode re-entry invalidates cached plans: the weights the plans'
+  // int8 tables were frozen from are about to change.
+  use_plans_ = false;
+  if (train) invalidate_plans();
   forward(image);
   const Tensor& cls = heads_.cls;
   const Tensor& reg = heads_.reg;
@@ -318,6 +365,7 @@ float Detector::loss_impl(const Tensor& image, const std::vector<GtBox>& gts,
   backbone_.set_training(false);
   cls_head_.set_training(false);
   reg_head_.set_training(false);
+  use_plans_ = true;
   return static_cast<float>(total);
 }
 
@@ -325,13 +373,20 @@ void Detector::quantize(const std::vector<Tensor>& calibration_images) {
   backbone_.set_calibration(true);
   cls_head_.set_calibration(true);
   reg_head_.set_calibration(true);
+  // Calibration forwards run eagerly: observation hooks live in the eager
+  // path, and calibration must see fp32 activations regardless of plan
+  // kernel choices.
+  use_plans_ = false;
   for (const Tensor& img : calibration_images) forward(img);
+  use_plans_ = true;
   backbone_.set_calibration(false);
   cls_head_.set_calibration(false);
   reg_head_.set_calibration(false);
   backbone_.quantize();
   cls_head_.quantize();
   reg_head_.quantize();
+  // Kernel choices under an int8 policy just changed.
+  invalidate_plans();
 }
 
 std::vector<QuantSummary> Detector::quant_summaries() {
@@ -361,6 +416,7 @@ void Detector::quantize_like(Detector* src) {
   if (src->reg_head_.is_quantized())
     reg_head_.quantize_with_range(src->reg_head_.act_lo(),
                                   src->reg_head_.act_hi());
+  invalidate_plans();
 }
 
 float Detector::train_step(const Tensor& image, const std::vector<GtBox>& gts,
@@ -392,6 +448,9 @@ std::unique_ptr<Detector> clone_detector(Detector* src) {
   // weights and the source's calibrated ranges reproduces bit-identical
   // INT8 tables, so stream/context clones serve exactly like the source.
   if (src->quantized()) dst->quantize_like(src);
+  // The execution policy rides along too — a mixed-precision serving
+  // config survives cloning into streams and scheduler contexts.
+  dst->set_execution_policy(src->execution_policy());
   return dst;
 }
 

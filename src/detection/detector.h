@@ -13,14 +13,18 @@
 #pragma once
 
 #include <array>
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "detection/anchors.h"
 #include "detection/assign.h"
 #include "nn/layers.h"
 #include "nn/sgd.h"
+#include "runtime/exec_plan.h"
+#include "runtime/exec_policy.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -105,6 +109,29 @@ class Detector {
   /// True once quantize() has frozen INT8 state.
   bool quantized() const { return cls_head_.is_quantized(); }
 
+  /// Sets this detector's execution policy (backend / precision —
+  /// runtime/exec_policy.h), propagating it to every layer and discarding
+  /// cached plans.  Policies are per-model state: an int8 detector and an
+  /// fp32 regressor compose into mixed-precision serving with no global
+  /// switch, and clone_detector copies the policy onto stream/context
+  /// clones.  Resolution order: explicit (pinned) policy > env default.
+  void set_execution_policy(const ExecutionPolicy& policy);
+
+  /// The policy this detector resolves kernels from.
+  const ExecutionPolicy& execution_policy() const { return policy_; }
+
+  /// The cached ahead-of-time plan for an (n, img_h, img_w) input under
+  /// the current resolved backend — built lazily on first use (the
+  /// inference path calls this per forward; steady state is one map
+  /// lookup).  Public as the inspection/tuning seam: tools/plan_dump
+  /// prints these.  Invalidated by quantize(), training re-entry, and
+  /// policy changes.
+  const ExecutionPlan& plan_for(int n, int img_h, int img_w);
+
+  /// Number of plans currently cached (tests assert build-once/reuse and
+  /// invalidation through this).
+  std::size_t cached_plan_count() const { return plans_.size(); }
+
   /// Per-layer calibration summaries of the quantized layers, in forward
   /// order (empty before quantize()).  Reporting only — tools/calibrate.
   std::vector<QuantSummary> quant_summaries();
@@ -173,10 +200,18 @@ class Detector {
   DetectionOutput decode_image(int n, int image_h, int image_w,
                                const std::vector<Box>& anchors) const;
 
+  void invalidate_plans() { plans_.clear(); }
+
   DetectorConfig cfg_;
   Sequential backbone_;
   Conv2dLayer cls_head_;
   Conv2dLayer reg_head_;
+  ExecutionPolicy policy_;  ///< unpinned by default (env-following)
+  bool use_plans_ = true;   ///< off during training/calibration forwards
+  /// Plans keyed by (n, h, w, resolved backend) — the backend key is what
+  /// lets an *unpinned* policy keep following env-default flips without
+  /// serving stale kernel choices.
+  std::map<std::tuple<int, int, int, int>, ExecutionPlan> plans_;
   Tensor features_;  ///< last backbone output
   HeadOutputs heads_;
 };

@@ -77,6 +77,44 @@ std::vector<Tensor> Harness::make_calibration_set(
   return calib;
 }
 
+void Harness::prepare_mixed_precision(Detector* det, ScaleRegressor* reg,
+                                      int calib_frames, int align_frames) {
+  det->quantize(make_calibration_set(calib_frames));
+  // Alignment pairs are sized independently of the range calibration: the
+  // distillation below generalizes better with more (feature, target)
+  // pairs, while the detector's activation-range observation is already
+  // saturated at calib_frames.
+  const std::vector<Tensor> align = make_calibration_set(align_frames);
+  // Teacher pass first: the regressor's own decisions on fp32 features,
+  // captured before any weight moves.
+  det->set_execution_policy(ExecutionPolicy::fp32());
+  reg->set_execution_policy(ExecutionPolicy::fp32());
+  std::vector<float> targets;
+  targets.reserve(align.size());
+  for (const Tensor& img : align)
+    targets.push_back(reg->predict(det->forward(img)));
+  // Student pass: the same frames through the int8 detector — the feature
+  // distribution mixed serving will actually produce.
+  det->set_execution_policy(ExecutionPolicy::int8());
+  std::vector<Tensor> feats;
+  feats.reserve(align.size());
+  for (const Tensor& img : align) feats.push_back(det->forward(img));
+  // Alignment: cancel the systematic t̂ shift int8 features induce, while
+  // the regressor itself keeps serving fp32 kernels.
+  double before = 0.0;
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    const double d = static_cast<double>(reg->predict(feats[i])) -
+                     static_cast<double>(targets[i]);
+    before += d * d;
+  }
+  before /= static_cast<double>(std::max<std::size_t>(feats.size(), 1));
+  const float after = reg->fine_tune(feats, targets);
+  std::fprintf(stderr,
+               "[mixed] regressor alignment on %zu frames: t-hat MSE "
+               "%.3g -> %.3g\n",
+               feats.size(), before, static_cast<double>(after));
+}
+
 std::vector<EvalDetection> Harness::to_reference(
     const DetectionOutput& out) const {
   std::vector<EvalDetection> dets;

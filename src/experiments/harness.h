@@ -108,6 +108,23 @@ class Harness {
   std::vector<Tensor> make_calibration_set(
       int n, const ScaleSet& sreg = ScaleSet::reg_default()) const;
 
+  /// The mixed-precision serving recipe (quickstart under
+  /// ADASCALE_GEMM=int8, tools/calibrate --mixed), in one call:
+  /// calibrates + quantizes ONLY the detector and pins it to an int8
+  /// policy, pins the regressor to fp32, then runs the quantization-aware
+  /// alignment pass — the regressor's own scale decisions on fp32
+  /// features become distillation targets for a small fine-tune on the
+  /// int8 detector's features (ScaleRegressor::fine_tune).  Without the
+  /// alignment, int8 feature noise biases t̂ and AdaScale-mode serving
+  /// drops 2-4 mAP even with an fp32 regressor; with it the delta sits
+  /// within the ±1.0 acceptance bar.  `calib_frames` follows the standard
+  /// recipe (make_calibration_set; 16 is the measured sweet spot for the
+  /// detector's range observation).  `align_frames` sizes the alignment
+  /// pair set independently — distillation generalizes better with more
+  /// (feature, target) pairs, while range calibration does not.
+  void prepare_mixed_precision(Detector* det, ScaleRegressor* reg,
+                               int calib_frames = 16, int align_frames = 48);
+
   /// The shared (stateless, thread-safe) renderer for this dataset.
   const Renderer& renderer() const { return renderer_; }
 

@@ -5,6 +5,21 @@
 
 namespace ada {
 
+void Layer::plan_forward(PlanShape* shape, ExecutionPlan* plan) const {
+  // Default: a shape-preserving step with no kernel choice (ReLU and other
+  // elementwise layers).  Geometry-changing layers override.
+  PlanStep step;
+  step.layer = name();
+  step.in = *shape;
+  step.out = *shape;
+  plan->steps.push_back(std::move(step));
+}
+
+void Layer::forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) {
+  pc->take();  // consume this layer's step; nothing precomputed to use
+  forward(x, y);
+}
+
 std::vector<Param*> collect_all_params(const std::vector<Layer*>& layers) {
   std::vector<Param*> out;
   for (Layer* l : layers) l->collect_params(&out);

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/exec_plan.h"
+#include "runtime/exec_policy.h"
 #include "tensor/tensor.h"
 
 namespace ada {
@@ -52,6 +54,28 @@ class Layer {
   /// the fp32 path.  Containers propagate; layers without quantized
   /// storage ignore the toggle.
   virtual void set_calibration(bool on) { (void)on; }
+
+  /// Sets the execution policy this layer resolves its kernels from
+  /// (backend / precision; runtime/exec_policy.h).  Propagated down from
+  /// the owning model (Detector, ScaleRegressor) and by containers;
+  /// inherited by clones.  Layers without a kernel choice ignore it.
+  virtual void set_policy(const ExecutionPolicy& policy) { (void)policy; }
+
+  /// Appends this layer's ExecutionPlan step(s) for an input of shape
+  /// `*shape` and advances `*shape` to the output shape.  Contract: every
+  /// leaf layer appends exactly one step (containers append their
+  /// children's), in forward execution order — forward_planned() consumes
+  /// them with the same walk.  The default appends a shape-preserving
+  /// kernel-less step; layers that change geometry or choose kernels
+  /// override.
+  virtual void plan_forward(PlanShape* shape, ExecutionPlan* plan) const;
+
+  /// forward() driven by a prebuilt ExecutionPlan: consumes this layer's
+  /// step(s) from the cursor instead of re-resolving kernel choice and
+  /// geometry per call.  Only valid outside training/calibration (the
+  /// owning model gates it).  The default consumes one step and runs the
+  /// eager forward.
+  virtual void forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc);
 
   /// Freezes INT8 inference state from the current weights and the
   /// calibrated activation range: per-output-channel symmetric s8 weights

@@ -15,9 +15,9 @@ namespace ada {
 
 // ------------------------------------------------------- LayerQuantState
 
-bool LayerQuantState::use_int8(bool training) const {
+bool LayerQuantState::use_int8(bool training, GemmBackend backend) const {
   return quantized() && !training && !calibrating &&
-         gemm_backend() == GemmBackend::kInt8;
+         backend == GemmBackend::kInt8;
 }
 
 bool LayerQuantState::freeze(const float* w, int rows, int cols) {
@@ -63,6 +63,32 @@ void Conv2dLayer::init_he(Rng* rng) {
   b_.value.fill(0.0f);
 }
 
+KernelKind Conv2dLayer::resolve_kernel() const {
+  // The INT8 path serves inference only: training (and calibration, which
+  // must observe fp32 activations) always runs the float kernels against
+  // the authoritative fp32 weights.
+  const GemmBackend be = policy_.resolve();
+  if (quant_.use_int8(training_, be)) return KernelKind::kInt8;
+  return be == GemmBackend::kReference ? KernelKind::kGemmReference
+                                       : KernelKind::kGemmPacked;
+}
+
+void Conv2dLayer::run_kernel(KernelKind k, const Tensor& x, Tensor* y) {
+  switch (k) {
+    case KernelKind::kInt8:
+      conv2d_forward_int8(spec_, x, quant_.qw, b_.value, y, fuse_relu_);
+      return;
+    case KernelKind::kGemmReference:
+      conv2d_forward(spec_, x, w_.value, b_.value, y, fuse_relu_,
+                     GemmBackend::kReference);
+      return;
+    default:
+      conv2d_forward(spec_, x, w_.value, b_.value, y, fuse_relu_,
+                     GemmBackend::kPacked);
+      return;
+  }
+}
+
 void Conv2dLayer::forward(const Tensor& x, Tensor* y) {
   // Backward state (input copy; in fused mode also the output copy that
   // sources the ReLU mask, valid since [y > 0] ≡ [pre-relu > 0]) is only
@@ -70,15 +96,34 @@ void Conv2dLayer::forward(const Tensor& x, Tensor* y) {
   backward_ready_ = training_;
   if (quant_.calibrating) quant_.observe(x);
   if (training_) cached_x_ = x;
-  // The INT8 path serves inference only: training (and calibration, which
-  // must observe fp32 activations) always runs the float kernels against
-  // the authoritative fp32 weights.
-  if (quant_.use_int8(training_)) {
-    conv2d_forward_int8(spec_, x, quant_.qw, b_.value, y, fuse_relu_);
-    return;
-  }
-  conv2d_forward(spec_, x, w_.value, b_.value, y, fuse_relu_);
+  run_kernel(resolve_kernel(), x, y);
   if (fuse_relu_ && training_) cached_y_ = *y;
+}
+
+void Conv2dLayer::plan_forward(PlanShape* shape, ExecutionPlan* plan) const {
+  PlanStep step;
+  step.layer = name();
+  step.kernel = resolve_kernel();
+  step.in = *shape;
+  step.out = PlanShape{shape->n, spec_.out_channels, spec_.out_dim(shape->h),
+                       spec_.out_dim(shape->w)};
+  step.workspace_floats = conv2d_forward_workspace_floats(
+      spec_, shape->n, shape->h, shape->w, step.kernel);
+  step.macs = static_cast<long long>(shape->n) *
+              conv2d_macs(spec_, shape->h, shape->w);
+  plan->steps.push_back(std::move(step));
+  *shape = plan->steps.back().out;
+}
+
+void Conv2dLayer::forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) {
+  const PlanStep& step = pc->take();
+  // Plans are inference-only; the owning model must route training and
+  // calibration forwards through the eager path.
+  assert(!training_ && !quant_.calibrating);
+  assert(step.in.n == x.n() && step.in.c == x.c() && step.in.h == x.h() &&
+         step.in.w == x.w());
+  backward_ready_ = false;
+  run_kernel(step.kernel, x, y);
 }
 
 void Conv2dLayer::set_calibration(bool on) { quant_.calibrating = on; }
@@ -161,6 +206,15 @@ void MaxPool2Layer::forward(const Tensor& x, Tensor* y) {
   maxpool2_forward(x, y, &argmax_);
 }
 
+void MaxPool2Layer::plan_forward(PlanShape* shape, ExecutionPlan* plan) const {
+  PlanStep step;
+  step.layer = name();
+  step.in = *shape;
+  step.out = PlanShape{shape->n, shape->c, shape->h / 2, shape->w / 2};
+  plan->steps.push_back(std::move(step));
+  *shape = plan->steps.back().out;
+}
+
 void MaxPool2Layer::backward(const Tensor& dy, Tensor* dx) {
   if (dx == nullptr) return;
   if (dx->n() != in_n_ || dx->c() != in_c_ || dx->h() != in_h_ ||
@@ -173,6 +227,16 @@ void MaxPool2Layer::backward(const Tensor& dy, Tensor* dx) {
 void GlobalAvgPoolLayer::forward(const Tensor& x, Tensor* y) {
   in_n_ = x.n(); in_c_ = x.c(); in_h_ = x.h(); in_w_ = x.w();
   global_avg_pool_forward(x, y);
+}
+
+void GlobalAvgPoolLayer::plan_forward(PlanShape* shape,
+                                      ExecutionPlan* plan) const {
+  PlanStep step;
+  step.layer = name();
+  step.in = *shape;
+  step.out = PlanShape{shape->n, shape->c, 1, 1};
+  plan->steps.push_back(std::move(step));
+  *shape = plan->steps.back().out;
 }
 
 void GlobalAvgPoolLayer::backward(const Tensor& dy, Tensor* dx) {
@@ -198,14 +262,57 @@ void LinearLayer::init_he(Rng* rng) {
   b_.value.fill(0.0f);
 }
 
+KernelKind LinearLayer::resolve_kernel() const {
+  const GemmBackend be = policy_.resolve();
+  if (quant_.use_int8(training_, be)) return KernelKind::kInt8;
+  return be == GemmBackend::kReference ? KernelKind::kGemmReference
+                                       : KernelKind::kGemmPacked;
+}
+
+void LinearLayer::run_kernel(KernelKind k, const Tensor& x, Tensor* y) {
+  switch (k) {
+    case KernelKind::kInt8:
+      linear_forward_int8(x, quant_.qw, b_.value, y);
+      return;
+    case KernelKind::kGemmReference:
+      linear_forward(x, w_.value, b_.value, y, GemmBackend::kReference);
+      return;
+    default:
+      linear_forward(x, w_.value, b_.value, y, GemmBackend::kPacked);
+      return;
+  }
+}
+
 void LinearLayer::forward(const Tensor& x, Tensor* y) {
   if (quant_.calibrating) quant_.observe(x);
   cached_x_ = x;
-  if (quant_.use_int8(training_)) {
-    linear_forward_int8(x, quant_.qw, b_.value, y);
-    return;
-  }
-  linear_forward(x, w_.value, b_.value, y);
+  backward_ready_ = true;
+  run_kernel(resolve_kernel(), x, y);
+}
+
+void LinearLayer::plan_forward(PlanShape* shape, ExecutionPlan* plan) const {
+  PlanStep step;
+  step.layer = name();
+  step.kernel = resolve_kernel();
+  step.in = *shape;
+  step.out = PlanShape{shape->n, w_.value.n(), 1, 1};
+  step.workspace_floats = linear_forward_workspace_floats(
+      shape->n, w_.value.c(), w_.value.n(), step.kernel);
+  step.macs = static_cast<long long>(shape->n) * w_.value.n() * w_.value.c();
+  plan->steps.push_back(std::move(step));
+  *shape = plan->steps.back().out;
+}
+
+void LinearLayer::forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) {
+  const PlanStep& step = pc->take();
+  assert(!training_ && !quant_.calibrating);
+  assert(step.in.n == x.n() && step.in.c == x.c());
+  // The input cache feeds backward only; planned forwards are
+  // inference-only, so skip the copy the eager path still makes — and
+  // mark the stale cache unusable so a backward cannot silently consume
+  // it (same guard as Conv2dLayer).
+  backward_ready_ = false;
+  run_kernel(step.kernel, x, y);
 }
 
 void LinearLayer::set_calibration(bool on) { quant_.calibrating = on; }
@@ -220,6 +327,14 @@ void LinearLayer::quantize_with_range(float lo, float hi) {
 }
 
 void LinearLayer::backward(const Tensor& dy, Tensor* dx) {
+  // A backward against the stale input cache of a *planned* forward would
+  // silently produce gradients of the wrong activations.
+  if (!backward_ready_) {
+    std::fprintf(stderr,
+                 "LinearLayer: backward requires an eager forward (the "
+                 "last forward ran planned)\n");
+    std::abort();
+  }
   if (dx != nullptr && !dx->same_shape(cached_x_))
     *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
   linear_backward(cached_x_, w_.value, dy, dx, &w_.grad, &b_.grad);
@@ -237,6 +352,21 @@ void Sequential::forward(const Tensor& x, Tensor* y) {
   for (std::size_t i = 0; i < layers_.size(); ++i)
     layers_[i]->forward(acts_[i], &acts_[i + 1]);
   *y = acts_.back();
+}
+
+void Sequential::forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) {
+  if (layers_.empty()) {
+    *y = x;
+    return;
+  }
+  if (planned_outs_.size() != layers_.size())
+    planned_outs_.resize(layers_.size());
+  const Tensor* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor* out = (i + 1 == layers_.size()) ? y : &planned_outs_[i];
+    layers_[i]->forward_planned(*cur, out, pc);
+    cur = out;
+  }
 }
 
 void Sequential::backward(const Tensor& dy, Tensor* dx) {

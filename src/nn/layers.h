@@ -59,10 +59,10 @@ struct LayerQuantState {
   bool quantized() const { return !qw.q.empty(); }
 
   /// True when forward() should take the INT8 kernel: frozen tables
-  /// exist, the backend asks for them, and the layer is neither
+  /// exist, the resolved backend asks for them, and the layer is neither
   /// calibrating (must observe fp32) nor training (fp32 weights are
   /// authoritative; gradients flow against the fp32 forward).
-  bool use_int8(bool training) const;
+  bool use_int8(bool training, GemmBackend backend) const;
 
   void observe(const Tensor& x) { obs.observe(x.data(), x.size()); }
 
@@ -94,10 +94,22 @@ class Conv2dLayer : public Layer {
   /// (per stream clone) while serving inference.
   void set_training(bool training) override;
   void set_calibration(bool on) override;
+  void set_policy(const ExecutionPolicy& policy) override {
+    policy_ = policy;
+  }
+  void plan_forward(PlanShape* shape, ExecutionPlan* plan) const override;
+  void forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) override;
   bool quantize() override;
   std::string name() const override {
     return fuse_relu_ ? "conv2d+relu" : "conv2d";
   }
+
+  /// The kernel forward() would run right now, resolved from the layer's
+  /// policy, quantization state, and training/calibration flags — the
+  /// single resolution rule plan_forward() freezes into plans.
+  KernelKind resolve_kernel() const;
+
+  const ExecutionPolicy& policy() const { return policy_; }
 
   /// He-normal weight initialization, zero bias.
   void init_he(Rng* rng);
@@ -120,10 +132,15 @@ class Conv2dLayer : public Layer {
   Param& bias() { return b_; }
 
  private:
+  /// Dispatches to the conv kernel `k` names (shared by the eager and
+  /// planned forwards so they cannot diverge).
+  void run_kernel(KernelKind k, const Tensor& x, Tensor* y);
+
   ConvSpec spec_;
   bool fuse_relu_ = false;
   bool training_ = true;        ///< default on: forward→backward just works
   bool backward_ready_ = false; ///< last forward ran in training mode
+  ExecutionPolicy policy_;      ///< unpinned by default (env-following)
   LayerQuantState quant_;
   Param w_;
   Param b_;
@@ -148,6 +165,7 @@ class MaxPool2Layer : public Layer {
  public:
   void forward(const Tensor& x, Tensor* y) override;
   void backward(const Tensor& dy, Tensor* dx) override;
+  void plan_forward(PlanShape* shape, ExecutionPlan* plan) const override;
   std::string name() const override { return "maxpool2"; }
 
  private:
@@ -162,6 +180,7 @@ class GlobalAvgPoolLayer : public Layer {
  public:
   void forward(const Tensor& x, Tensor* y) override;
   void backward(const Tensor& dy, Tensor* dx) override;
+  void plan_forward(PlanShape* shape, ExecutionPlan* plan) const override;
   std::string name() const override { return "gap"; }
 
  private:
@@ -182,8 +201,18 @@ class LinearLayer : public Layer {
   /// release — the input cache is kept either way.)
   void set_training(bool training) override { training_ = training; }
   void set_calibration(bool on) override;
+  void set_policy(const ExecutionPolicy& policy) override {
+    policy_ = policy;
+  }
+  void plan_forward(PlanShape* shape, ExecutionPlan* plan) const override;
+  void forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) override;
   bool quantize() override;
   std::string name() const override { return "linear"; }
+
+  /// See Conv2dLayer::resolve_kernel.
+  KernelKind resolve_kernel() const;
+
+  const ExecutionPolicy& policy() const { return policy_; }
 
   void init_he(Rng* rng);
 
@@ -200,7 +229,12 @@ class LinearLayer : public Layer {
   Param& bias() { return b_; }
 
  private:
+  /// Shared kernel dispatch for the eager and planned forwards.
+  void run_kernel(KernelKind k, const Tensor& x, Tensor* y);
+
   bool training_ = true;  ///< default on: forward→backward just works
+  bool backward_ready_ = false;  ///< last forward cached its input (eager)
+  ExecutionPolicy policy_;  ///< unpinned by default (env-following)
   LayerQuantState quant_;
   Param w_;
   Param b_;
@@ -230,6 +264,19 @@ class Sequential : public Layer {
   void set_calibration(bool on) override {
     for (auto& l : layers_) l->set_calibration(on);
   }
+  void set_policy(const ExecutionPolicy& policy) override {
+    for (auto& l : layers_) l->set_policy(policy);
+  }
+  void plan_forward(PlanShape* shape, ExecutionPlan* plan) const override {
+    for (const auto& l : layers_) l->plan_forward(shape, plan);
+  }
+  /// Planned inference forward: routes activations through per-layer
+  /// reused buffers instead of the acts_ chain the training forward
+  /// keeps, so a steady-state planned forward makes no input/output
+  /// tensor copies and no allocations (each buffer's shape is stable
+  /// across calls at a given scale).  Same kernels in the same order as
+  /// forward() — bit-identical outputs.
+  void forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) override;
   /// Quantizes every child that can be; true if at least one was.
   bool quantize() override {
     bool any = false;
@@ -246,6 +293,11 @@ class Sequential : public Layer {
   // Intermediate activations kept for the backward pass.
   std::vector<Tensor> acts_;
   std::vector<Tensor> grads_;
+  // Planned-forward intermediate buffers, one per layer: buffer i always
+  // holds layer i's output shape, so steady-state planned forwards never
+  // reallocate (a shared ping-pong pair would reshape — and so reallocate
+  // — at almost every layer).
+  std::vector<Tensor> planned_outs_;
 };
 
 }  // namespace ada

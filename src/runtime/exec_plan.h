@@ -1,0 +1,94 @@
+// Ahead-of-time inference plans.
+//
+// An ExecutionPlan captures, per (model, input shape, resolved backend),
+// everything the eager forward path used to re-derive on every call: each
+// layer's output geometry and im2col column shape, the kernel chosen for it
+// (reference / packed / int8 — resolved once from the model's
+// ExecutionPolicy and quantization state), its scratch-arena workspace
+// demand, and its MAC count.  Models build plans lazily the first time a
+// shape is served, cache them, and invalidate the cache whenever kernel
+// choice could change (quantize(), training-mode re-entry, policy change) —
+// so steady-state forwards do no kernel resolution and no quant-state
+// branching, and the scratch arena can be pre-sized to the plan's exact
+// peak instead of growing through warm-up.
+//
+// Plans are also the inspection/auto-tuning seam: tools/plan_dump prints
+// them (per-layer kernel, workspace bytes, MACs), and a future per-layer
+// tuner only has to write a different KernelKind into a step.
+//
+// Contract: every leaf layer contributes exactly ONE PlanStep, in forward
+// execution order; containers contribute their children's steps.  A planned
+// forward walks the same order with a PlanCursor, so step k always belongs
+// to the k-th leaf layer executed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ada {
+
+/// Which kernel a planned layer step runs.  kNone marks layers with no
+/// kernel choice (pooling, activation, reshape).
+enum class KernelKind { kNone, kGemmReference, kGemmPacked, kInt8 };
+
+/// Human-readable kernel name: "-" | "reference" | "packed" | "int8".
+const char* kernel_kind_name(KernelKind k);
+
+/// A tensor shape flowing through plan construction (NCHW).
+struct PlanShape {
+  int n = 1, c = 0, h = 0, w = 0;
+};
+
+/// One leaf layer's precomputed step: what runs, on what geometry, with how
+/// much scratch.
+struct PlanStep {
+  std::string layer;                     ///< Layer::name() of the owner
+  KernelKind kernel = KernelKind::kNone; ///< resolved kernel choice
+  PlanShape in;                          ///< input shape
+  PlanShape out;                         ///< output shape
+  std::size_t workspace_floats = 0;      ///< scratch-arena peak of this step
+  long long macs = 0;                    ///< multiply-accumulates
+};
+
+/// The full per-(model, shape, backend) plan; see file comment.
+struct ExecutionPlan {
+  PlanShape input;           ///< the planned model input shape
+  std::string policy;        ///< resolved backend name at build time
+  std::vector<PlanStep> steps;
+  std::size_t arena_floats = 0;  ///< peak scratch demand across all steps
+
+  /// Total multiply-accumulates of one planned forward.
+  long long total_macs() const;
+
+  /// Computes arena_floats from the steps (max — steps run sequentially,
+  /// each releasing its scratch frame before the next).  Call once after
+  /// the last step is appended.
+  void finalize();
+
+  /// Pretty-printed table (per-layer kernel, shapes, workspace bytes,
+  /// MACs) — what tools/plan_dump shows.
+  std::string to_string() const;
+};
+
+/// Walking cursor over a plan during a planned forward.  Each leaf layer
+/// takes exactly one step; the order-by-construction contract makes this a
+/// bare index.
+class PlanCursor {
+ public:
+  explicit PlanCursor(const ExecutionPlan* plan) : plan_(plan) {}
+
+  /// The next step, advancing the cursor.  Walking past the end means the
+  /// plan was built for a different layer stack — a programming error.
+  const PlanStep& take() {
+    assert(next_ < plan_->steps.size() && "plan/stack mismatch");
+    return plan_->steps[next_++];
+  }
+
+ private:
+  const ExecutionPlan* plan_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace ada

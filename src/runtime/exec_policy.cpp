@@ -1,0 +1,20 @@
+#include "runtime/exec_policy.h"
+
+namespace ada {
+
+// The one place (besides gemm.cpp itself) that reads the process-wide
+// backend: unpinned policies resolve through here, which is what keeps the
+// global a *default-policy initializer* rather than hot-path state.
+GemmBackend ExecutionPolicy::resolve() const {
+  return backend == GemmBackend::kDefault ? gemm_backend() : backend;
+}
+
+const char* ExecutionPolicy::name() const {
+  switch (resolve()) {
+    case GemmBackend::kReference: return "reference";
+    case GemmBackend::kInt8: return "int8";
+    default: return "packed";
+  }
+}
+
+}  // namespace ada

@@ -1,6 +1,8 @@
 #include "runtime/multi_stream.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "util/timer.h"
@@ -36,6 +38,14 @@ MultiStreamRunner::~MultiStreamRunner() = default;
 
 int MultiStreamRunner::num_streams() const {
   return static_cast<int>(streams_.size());
+}
+
+void MultiStreamRunner::set_stream_policy(
+    int stream, const ExecutionPolicy& detector_policy,
+    const ExecutionPolicy& regressor_policy) {
+  Stream& s = *streams_.at(static_cast<std::size_t>(stream));
+  s.detector->set_execution_policy(detector_policy);
+  s.regressor->set_execution_policy(regressor_policy);
 }
 
 MultiStreamResult MultiStreamRunner::run_impl(
@@ -111,7 +121,23 @@ MultiStreamResult MultiStreamRunner::run_batched(
     const std::vector<const Snippet*>& jobs, const BatchSchedulerConfig& cfg) {
   // The scheduler's contexts are cloned from stream 0's models, which carry
   // the same parameter values as every other stream — any batch composition
-  // therefore produces the same bits as per-stream execution.
+  // therefore produces the same bits as per-stream execution.  That only
+  // holds when every stream resolves the same policies as stream 0;
+  // heterogeneous per-stream policies (set_stream_policy) would be served
+  // silently at stream 0's precision, so fail loudly instead.
+  for (const auto& s : streams_) {
+    if (s->detector->execution_policy().resolve() !=
+            streams_[0]->detector->execution_policy().resolve() ||
+        s->regressor->execution_policy().resolve() !=
+            streams_[0]->regressor->execution_policy().resolve()) {
+      std::fprintf(stderr,
+                   "MultiStreamRunner::run_batched: streams have "
+                   "heterogeneous execution policies — batching shares "
+                   "contexts cloned from stream 0 and cannot honor them; "
+                   "use run()/run_serial() for mixed-policy streams\n");
+      std::abort();
+    }
+  }
   BatchScheduler scheduler(streams_[0]->detector.get(),
                            streams_[0]->regressor.get(), cfg);
   return run_impl(jobs, /*concurrent=*/true, &scheduler);

@@ -64,6 +64,19 @@ class MultiStreamRunner {
 
   int num_streams() const;
 
+  /// Overrides the execution policy of one stream's detector and regressor
+  /// clones (runtime/exec_policy.h) — heterogeneous serving, e.g. an int8
+  /// stream next to an fp32 stream with no shared backend state to race
+  /// on.  By default every stream inherits the prototypes' policies via
+  /// cloning.  run() and run_serial() honor per-stream policies;
+  /// run_batched() coalesces frames from *different* streams onto shared
+  /// contexts cloned from stream 0, so it requires all streams to resolve
+  /// identical policies and aborts loudly otherwise (per-model mixed
+  /// precision — int8 detector + fp32 regressor — is fine: it rides the
+  /// models, not the streams).
+  void set_stream_policy(int stream, const ExecutionPolicy& detector_policy,
+                         const ExecutionPolicy& regressor_policy);
+
   /// Processes every snippet: job j goes to stream j % num_streams, streams
   /// run concurrently on dedicated threads.  Pipelines reset() at each
   /// snippet boundary (Algorithm 1 restarts per video).

@@ -44,6 +44,15 @@ void* ScratchArena::alloc_bytes(std::size_t bytes) {
   return static_cast<void*>(alloc((bytes + sizeof(float) - 1) / sizeof(float)));
 }
 
+void ScratchArena::reserve(std::size_t floats) {
+  const std::size_t need = round_up(floats);
+  if (need <= cap_ || top_ != 0 || live_overflow_ != 0) return;
+  buf_ = make_block(need);
+  cap_ = need;
+  high_water_ = std::max(high_water_, need);
+  ++heap_allocs_;
+}
+
 void ScratchArena::release(std::size_t mark, std::size_t overflow_mark) {
   top_ = mark;
   while (overflow_.size() > overflow_mark) {

@@ -53,6 +53,13 @@ class ScratchArena {
     return static_cast<T*>(alloc_bytes(count * sizeof(T)));
   }
 
+  /// Pre-sizes the main buffer to at least `floats` so the warm-up
+  /// overflow path never triggers — how a model applies its
+  /// ExecutionPlan's arena budget before the first forward at a new
+  /// scale.  No-op while any frame is live (pointers must stay valid) or
+  /// when the buffer is already large enough.
+  void reserve(std::size_t floats);
+
   /// Floats currently reserved by live frames (main buffer only).
   std::size_t in_use() const { return top_; }
 

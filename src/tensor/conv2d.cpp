@@ -90,7 +90,8 @@ void col2im(const float* cols, int n, const ConvSpec& s, int oh, int ow,
 }  // namespace
 
 void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
-                    const Tensor& b, Tensor* y, bool fuse_relu) {
+                    const Tensor& b, Tensor* y, bool fuse_relu,
+                    GemmBackend backend) {
   assert(x.c() == spec.in_channels);
   assert(w.n() == spec.out_channels && w.c() == spec.in_channels &&
          w.h() == spec.kernel && w.w() == spec.kernel);
@@ -119,7 +120,7 @@ void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
     float* cols = frame.alloc(static_cast<std::size_t>(patch) * cells);
     im2col(x, 0, spec, oh, ow, cols, cells);
     sgemm(spec.out_channels, cells, patch, wmat, GemmMat{cols, cells, 1},
-          y->data(), cells, /*accumulate=*/false, epi);
+          y->data(), cells, /*accumulate=*/false, epi, backend);
     return;
   }
 
@@ -140,7 +141,7 @@ void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
   float* ybuf = frame.alloc(static_cast<std::size_t>(spec.out_channels) * total);
   sgemm(spec.out_channels, static_cast<int>(total), patch, wmat,
         GemmMat{cols, static_cast<std::ptrdiff_t>(total), 1}, ybuf,
-        static_cast<int>(total), /*accumulate=*/false, epi);
+        static_cast<int>(total), /*accumulate=*/false, epi, backend);
   // ybuf row oc holds [img0 cells | img1 cells | ...]; y wants image-major.
   parallel_for(static_cast<std::int64_t>(batch) * spec.out_channels, 1,
                [&](std::int64_t rb, std::int64_t re) {
@@ -273,6 +274,39 @@ long long conv2d_macs(const ConvSpec& spec, int in_h, int in_w) {
   long long ow = spec.out_dim(in_w);
   return oh * ow * spec.out_channels * spec.in_channels * spec.kernel *
          spec.kernel;
+}
+
+std::size_t conv2d_forward_workspace_floats(const ConvSpec& spec, int n,
+                                            int in_h, int in_w,
+                                            KernelKind kernel) {
+  // Mirrors the ScratchFrame allocations of conv2d_forward /
+  // conv2d_forward_int8 above, with the arena's cache-line rounding.
+  const auto lines = [](std::size_t floats) {
+    constexpr std::size_t kLine = 64 / sizeof(float);
+    return (std::max<std::size_t>(floats, 1) + kLine - 1) / kLine * kLine;
+  };
+  const int patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t cells = static_cast<std::size_t>(spec.out_dim(in_h)) *
+                            static_cast<std::size_t>(spec.out_dim(in_w));
+  const std::size_t total = static_cast<std::size_t>(std::max(n, 1)) * cells;
+  std::size_t ws = lines(static_cast<std::size_t>(patch) * total);
+  if (n > 1)  // batched path stages the oc-major product before scattering
+    ws += lines(static_cast<std::size_t>(spec.out_channels) * total);
+  const int N = static_cast<int>(total);
+  switch (kernel) {
+    case KernelKind::kInt8:
+      ws += qgemm_workspace_floats(spec.out_channels, N, patch);
+      break;
+    case KernelKind::kGemmReference:
+      ws += sgemm_workspace_floats(spec.out_channels, N, patch,
+                                   GemmBackend::kReference);
+      break;
+    default:
+      ws += sgemm_workspace_floats(spec.out_channels, N, patch,
+                                   GemmBackend::kPacked);
+      break;
+  }
+  return ws;
 }
 
 }  // namespace ada

@@ -9,6 +9,7 @@
 // tests/gemm_test.cpp.
 #pragma once
 
+#include "runtime/exec_plan.h"
 #include "tensor/qgemm.h"
 #include "tensor/tensor.h"
 
@@ -44,9 +45,12 @@ struct ConvSpec {
 /// time.  w is (out_c, in_c, k, k); b is (1, out_c, 1, 1) and may be empty
 /// (no bias).  y is resized as needed.  With fuse_relu the ReLU is applied
 /// inside the GEMM write-out (y = max(conv(x,w)+b, 0)), bit-identical to
-/// applying it afterwards but without the extra pass.
+/// applying it afterwards but without the extra pass.  `backend` picks the
+/// fp32 GEMM (kDefault resolves the process default; planned forwards pass
+/// the backend their ExecutionPlan resolved).
 void conv2d_forward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
-                    const Tensor& b, Tensor* y, bool fuse_relu = false);
+                    const Tensor& b, Tensor* y, bool fuse_relu = false,
+                    GemmBackend backend = GemmBackend::kDefault);
 
 /// INT8 forward: y = dequant(conv(quant(x), wq)) + b, same geometry and
 /// batching contract as conv2d_forward (N > 1 lowers onto one qgemm; the
@@ -69,5 +73,14 @@ void conv2d_backward(const ConvSpec& spec, const Tensor& x, const Tensor& w,
 /// Multiply-accumulate count for one forward pass at the given input size.
 /// Used by benches to report the FLOP-proportional cost of each image scale.
 long long conv2d_macs(const ConvSpec& spec, int in_h, int in_w);
+
+/// Scratch-arena floats one conv2d_forward / conv2d_forward_int8 call with
+/// this geometry and kernel choice claims on the calling thread (im2col
+/// columns, the batched-output staging buffer, and the underlying GEMM's
+/// packing panels).  Execution plans record this per layer so the arena
+/// can be pre-sized once to the exact steady-state peak.
+std::size_t conv2d_forward_workspace_floats(const ConvSpec& spec, int n,
+                                            int in_h, int in_w,
+                                            KernelKind kernel);
 
 }  // namespace ada

@@ -380,6 +380,10 @@ void sgemm_reference(int M, int N, int K, const GemmMat& A, const GemmMat& B,
 GemmBackend gemm_backend() { return g_backend.load(std::memory_order_relaxed); }
 
 void set_gemm_backend(GemmBackend backend) {
+  // kDefault means "defer to this global" — storing it here would make
+  // resolution self-referential.  Ignore rather than abort: the only way
+  // to pass it is a programming error a test will catch via the name.
+  if (backend == GemmBackend::kDefault) return;
   g_backend.store(backend, std::memory_order_relaxed);
 }
 
@@ -387,7 +391,7 @@ const char* gemm_backend_name() {
   switch (gemm_backend()) {
     case GemmBackend::kReference: return "reference";
     case GemmBackend::kInt8: return "int8";
-    case GemmBackend::kPacked: break;
+    default: break;
   }
   return "packed";
 }
@@ -395,15 +399,43 @@ const char* gemm_backend_name() {
 const char* gemm_kernel_isa() { return micro_dispatch().isa; }
 
 void sgemm(int M, int N, int K, const GemmMat& A, const GemmMat& B, float* C,
-           int ldc, bool accumulate, const GemmEpilogue& epi) {
+           int ldc, bool accumulate, const GemmEpilogue& epi,
+           GemmBackend backend) {
   if (M <= 0 || N <= 0) return;
+  if (backend == GemmBackend::kDefault) backend = gemm_backend();
   // kInt8 routes fp32 products (training, unquantized layers, gradients)
   // onto the packed kernel — the quantized path branches above this seam,
   // in the layers that own QuantizedWeights.
-  if (gemm_backend() == GemmBackend::kReference)
+  if (backend == GemmBackend::kReference)
     sgemm_reference(M, N, K, A, B, C, ldc, accumulate, epi);
   else
     sgemm_packed(M, N, K, A, B, C, ldc, accumulate, epi);
+}
+
+std::size_t sgemm_workspace_floats(int M, int N, int K,
+                                   GemmBackend backend) {
+  if (backend == GemmBackend::kDefault) backend = gemm_backend();
+  if (backend == GemmBackend::kReference) return 0;
+  // Mirrors sgemm_packed's ScratchFrame allocations, with each request
+  // rounded to whole cache lines the way ScratchArena::alloc rounds.
+  const auto lines = [](std::size_t floats) {
+    constexpr std::size_t kLine = 64 / sizeof(float);
+    return (std::max<std::size_t>(floats, 1) + kLine - 1) / kLine * kLine;
+  };
+  const std::size_t a_packed =
+      lines(static_cast<std::size_t>(ceil_div(M, kMR)) * kMR *
+            static_cast<std::size_t>(std::min(std::max(K, 1), kKC)));
+  if (K <= kKC) {
+    // Single K block: pa up front plus one B stripe panel (the calling
+    // thread packs at most one stripe at a time; peer stripes pack into
+    // their own threads' arenas).
+    const int nc = std::min(std::max(N, 1), kNC);
+    return a_packed + lines(static_cast<std::size_t>(ceil_div(nc, kNR)) *
+                            kNR * static_cast<std::size_t>(std::max(K, 1)));
+  }
+  // Large K: both operands of one K block packed up front.
+  return a_packed + lines(static_cast<std::size_t>(ceil_div(N, kNR)) * kNR *
+                          static_cast<std::size_t>(kKC));
 }
 
 }  // namespace ada

@@ -34,17 +34,31 @@
 
 namespace ada {
 
-/// Which GEMM implementation runs.  Initialized once from the
-/// ADASCALE_GEMM environment variable ("packed" | "reference" | "int8").
+/// Which GEMM implementation runs.  The process-wide *default* is
+/// initialized once from the ADASCALE_GEMM environment variable
+/// ("packed" | "reference" | "int8").
 ///
 /// kInt8 selects the quantized inference path (tensor/qgemm.h) for layers
 /// that hold quantized weights (Conv2dLayer/LinearLayer after quantize());
 /// everything else — training, unquantized layers, gradient GEMMs — falls
 /// back to the packed fp32 kernel, so flipping the env var is always safe.
-enum class GemmBackend { kReference, kPacked, kInt8 };
+///
+/// kDefault is not a backend: it is the "defer to the process-wide
+/// default" marker used by explicit-backend call sites and unpinned
+/// ExecutionPolicy values (runtime/exec_policy.h).  gemm_backend() never
+/// returns it and set_gemm_backend() rejects it.
+enum class GemmBackend { kReference, kPacked, kInt8, kDefault };
 
-/// The active backend (env-initialized, overridable for tests/benches).
+/// The process-wide default backend (env-initialized, overridable for
+/// tests/benches).  Hot-path kernel selection no longer reads this
+/// directly: models resolve an ExecutionPolicy (which consults this only
+/// when unpinned) and pass the concrete backend down.  Never kDefault.
 GemmBackend gemm_backend();
+
+/// Overrides the process-wide default backend.  This mutates shared state:
+/// concurrently serving models with *unpinned* policies will observe the
+/// change mid-stream.  Serving should pin per-model policies instead and
+/// reserve this for tests/benches/tools.  kDefault is rejected (no-op).
 void set_gemm_backend(GemmBackend backend);
 const char* gemm_backend_name();
 
@@ -73,7 +87,21 @@ struct GemmEpilogue {
 /// with the epilogue applied to the final values.  Parallelizes over column
 /// stripes via the runtime pool; see header comment for the determinism
 /// contract.
+///
+/// `backend` selects the fp32 implementation: kReference or kPacked run as
+/// named, kDefault resolves the process-wide default, and kInt8 (which has
+/// no fp32 kernel — the quantized path branches above this seam, in the
+/// layers that own QuantizedWeights) runs packed.  Planned forwards pass
+/// the backend their ExecutionPlan resolved; legacy call sites omit it.
 void sgemm(int M, int N, int K, const GemmMat& A, const GemmMat& B, float* C,
-           int ldc, bool accumulate, const GemmEpilogue& epi = {});
+           int ldc, bool accumulate, const GemmEpilogue& epi = {},
+           GemmBackend backend = GemmBackend::kDefault);
+
+/// Scratch-arena floats one sgemm call with these shapes claims on the
+/// calling thread (A/B packing panels, rounded to whole cache lines the
+/// way the arena rounds).  The reference backend packs nothing and returns
+/// 0.  Execution plans record this so the arena can be pre-sized to the
+/// exact steady-state peak (runtime/exec_plan.h).
+std::size_t sgemm_workspace_floats(int M, int N, int K, GemmBackend backend);
 
 }  // namespace ada

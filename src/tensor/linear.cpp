@@ -1,5 +1,6 @@
 #include "tensor/linear.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "runtime/scratch.h"
@@ -8,7 +9,7 @@
 namespace ada {
 
 void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                    Tensor* y) {
+                    Tensor* y, GemmBackend backend) {
   assert(x.h() == 1 && x.w() == 1);
   const int in = x.c();
   const int out = w.n();
@@ -20,7 +21,7 @@ void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   GemmEpilogue epi;
   epi.col_bias = b.empty() ? nullptr : b.data();
   sgemm(x.n(), out, in, GemmMat{x.data(), in, 1}, GemmMat{w.data(), 1, in},
-        y->data(), out, /*accumulate=*/false, epi);
+        y->data(), out, /*accumulate=*/false, epi, backend);
 }
 
 void linear_forward_int8(const Tensor& x, const QuantizedWeights& qw,
@@ -48,6 +49,26 @@ void linear_forward_int8(const Tensor& x, const QuantizedWeights& qw,
   for (int n = 0; n < batch; ++n)
     for (int o = 0; o < out; ++o)
       y->at(n, o, 0, 0) = yt[static_cast<std::size_t>(o) * batch + n];
+}
+
+std::size_t linear_forward_workspace_floats(int n, int in, int out,
+                                            KernelKind kernel) {
+  const auto lines = [](std::size_t floats) {
+    constexpr std::size_t kLine = 64 / sizeof(float);
+    return (std::max<std::size_t>(floats, 1) + kLine - 1) / kLine * kLine;
+  };
+  switch (kernel) {
+    case KernelKind::kInt8: {
+      // Batched int8 stages the transposed product before scattering.
+      std::size_t ws = qgemm_workspace_floats(out, n, in);
+      if (n > 1) ws += lines(static_cast<std::size_t>(out) * n);
+      return ws;
+    }
+    case KernelKind::kGemmReference:
+      return 0;
+    default:
+      return sgemm_workspace_floats(n, out, in, GemmBackend::kPacked);
+  }
 }
 
 void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,

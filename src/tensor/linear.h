@@ -1,6 +1,7 @@
 // Fully-connected layer primitives (used by the scale regressor head).
 #pragma once
 
+#include "runtime/exec_plan.h"
 #include "tensor/qgemm.h"
 #include "tensor/tensor.h"
 
@@ -10,8 +11,9 @@ namespace ada {
 /// (b may be empty). y resized to (N, out, 1, 1).  A batch is one GEMM with
 /// M = N; each row's output is bit-identical to the N = 1 call (per-element
 /// accumulation order depends only on the K axis — see tensor/gemm.h).
+/// `backend` picks the fp32 GEMM; kDefault resolves the process default.
 void linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                    Tensor* y);
+                    Tensor* y, GemmBackend backend = GemmBackend::kDefault);
 
 /// INT8 forward: y = dequant(quant(x) * Wq^T) + b, same shape contract as
 /// linear_forward.  Computes the transposed product y^T(out, N) = Wq(out,
@@ -24,5 +26,11 @@ void linear_forward_int8(const Tensor& x, const QuantizedWeights& qw,
 /// Accumulates gradients: dx (if non-null), dw, db (if non-null).
 void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
                      Tensor* dx, Tensor* dw, Tensor* db);
+
+/// Scratch-arena floats one linear_forward / linear_forward_int8 call
+/// claims on the calling thread — the linear counterpart of
+/// conv2d_forward_workspace_floats, recorded by execution plans.
+std::size_t linear_forward_workspace_floats(int n, int in, int out,
+                                            KernelKind kernel);
 
 }  // namespace ada

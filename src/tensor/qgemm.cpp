@@ -491,4 +491,23 @@ void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
   });
 }
 
+std::size_t qgemm_workspace_floats(int M, int N, int K) {
+  // Mirrors qgemm's ScratchFrame allocations: row_scale (M floats), the
+  // widened s8→s32 A panels, and one u8 B stripe panel on the calling
+  // thread.  Byte requests ride the float arena rounded up to cache lines.
+  const auto lines = [](std::size_t bytes) {
+    constexpr std::size_t kLine = 64;
+    return (std::max<std::size_t>(bytes, 1) + kLine - 1) / kLine * kLine /
+           sizeof(float);
+  };
+  const std::size_t a_packed = static_cast<std::size_t>(ceil_div(M, kMR)) *
+                               kMR * static_cast<std::size_t>(std::max(K, 1));
+  const int nc = std::min(std::max(N, 1), kNC);
+  const std::size_t b_panel = static_cast<std::size_t>(ceil_div(nc, kNR)) *
+                              kNR * static_cast<std::size_t>(std::max(K, 1));
+  return lines(static_cast<std::size_t>(M) * sizeof(float)) +
+         lines(a_packed * sizeof(std::int32_t)) +
+         lines(b_panel * sizeof(std::uint8_t));
+}
+
 }  // namespace ada

@@ -126,4 +126,10 @@ QuantizedWeights quantize_weights(const float* w, int rows, int cols,
 void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
            float* C, int ldc, const float* bias, bool relu);
 
+/// Scratch-arena floats one qgemm call with these shapes claims on the
+/// calling thread (epilogue row scales, widened A panels, one quantized B
+/// stripe panel), rounded the way the arena rounds — the qgemm counterpart
+/// of sgemm_workspace_floats, recorded by execution plans.
+std::size_t qgemm_workspace_floats(int M, int N, int K);
+
 }  // namespace ada

@@ -1,0 +1,213 @@
+// Ahead-of-time execution plans: built lazily once per (model, shape,
+// backend) and reused (zero arena growth after warm-up), invalidated by
+// quantize() and training-mode re-entry, kernel choices that follow the
+// model's policy, MAC totals that match the architecture's source of
+// truth, and batched planned forwards bit-identical to per-image on both
+// fp32 backends.
+#include "runtime/exec_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "detection/detector.h"
+#include "runtime/scratch.h"
+
+namespace ada {
+namespace {
+
+struct BackendGuard {
+  GemmBackend saved = gemm_backend();
+  ~BackendGuard() { set_gemm_backend(saved); }
+};
+
+class ExecPlanTest : public ::testing::Test {
+ protected:
+  ExecPlanTest()
+      : dataset_(Dataset::synth_vid(1, 2, 77)),
+        renderer_(dataset_.make_renderer()) {
+    DetectorConfig dcfg;
+    dcfg.num_classes = dataset_.catalog().num_classes();
+    Rng rng(5);
+    detector_ = std::make_unique<Detector>(dcfg, &rng);
+  }
+
+  Tensor render(int scale) const {
+    return renderer_.render_at_scale(dataset_.val_snippets()[0].frames[0],
+                                     scale, dataset_.scale_policy());
+  }
+
+  Dataset dataset_;
+  Renderer renderer_;
+  std::unique_ptr<Detector> detector_;
+};
+
+TEST_F(ExecPlanTest, PlanBuiltOncePerShapeAndReused) {
+  BackendGuard guard;
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  EXPECT_EQ(detector_->cached_plan_count(), 0u);
+
+  detector_->detect(img);
+  EXPECT_EQ(detector_->cached_plan_count(), 1u);
+  const ExecutionPlan* plan = &detector_->plan_for(1, img.h(), img.w());
+
+  // Repeated serving at the same scale reuses the same plan object; a new
+  // scale adds exactly one more.
+  detector_->detect(img);
+  detector_->detect(img);
+  EXPECT_EQ(detector_->cached_plan_count(), 1u);
+  EXPECT_EQ(&detector_->plan_for(1, img.h(), img.w()), plan);
+
+  const Tensor img2 = render(360);
+  detector_->detect(img2);
+  EXPECT_EQ(detector_->cached_plan_count(), 2u);
+}
+
+TEST_F(ExecPlanTest, ZeroArenaGrowthAfterWarmup) {
+  BackendGuard guard;
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  const Tensor img2 = render(360);
+  // Warm-up: every scale this test serves, once.
+  detector_->detect(img);
+  detector_->detect(img2);
+  const std::size_t allocs = scratch_arena().heap_alloc_count();
+  for (int i = 0; i < 3; ++i) {
+    detector_->detect(img);
+    detector_->detect(img2);
+  }
+  EXPECT_EQ(scratch_arena().heap_alloc_count(), allocs)
+      << "steady-state planned forwards must not touch the allocator";
+}
+
+TEST_F(ExecPlanTest, PlanContentMatchesArchitecture) {
+  BackendGuard guard;
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  const ExecutionPlan& plan = detector_->plan_for(1, img.h(), img.w());
+
+  // 4 backbone convs + 3 pools + 2 heads = 9 leaf steps.
+  EXPECT_EQ(plan.steps.size(), 9u);
+  EXPECT_EQ(plan.policy, "packed");
+  EXPECT_EQ(plan.input.h, img.h());
+  EXPECT_EQ(plan.input.w, img.w());
+  // Every conv step resolved to the packed kernel with a real workspace;
+  // pools carry no kernel.
+  int convs = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.kernel == KernelKind::kNone) continue;
+    ++convs;
+    EXPECT_EQ(s.kernel, KernelKind::kGemmPacked) << s.layer;
+    EXPECT_GT(s.workspace_floats, 0u) << s.layer;
+  }
+  EXPECT_EQ(convs, 6);
+  EXPECT_GT(plan.arena_floats, 0u);
+  // MACs come from the same geometry forward_macs uses.
+  EXPECT_EQ(plan.total_macs(), detector_->forward_macs(img.h(), img.w()));
+  // The printable form carries the per-layer table plan_dump shows.
+  const std::string dump = plan.to_string();
+  EXPECT_NE(dump.find("conv2d+relu"), std::string::npos);
+  EXPECT_NE(dump.find("packed"), std::string::npos);
+}
+
+TEST_F(ExecPlanTest, QuantizeInvalidatesAndReplansToInt8) {
+  BackendGuard guard;
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  detector_->detect(img);
+  EXPECT_EQ(detector_->cached_plan_count(), 1u);
+
+  detector_->quantize({img});
+  EXPECT_EQ(detector_->cached_plan_count(), 0u)
+      << "quantize() must invalidate cached plans";
+
+  detector_->set_execution_policy(ExecutionPolicy::int8());
+  const ExecutionPlan& plan = detector_->plan_for(1, img.h(), img.w());
+  EXPECT_EQ(plan.policy, "int8");
+  for (const PlanStep& s : plan.steps)
+    if (s.kernel != KernelKind::kNone)
+      EXPECT_EQ(s.kernel, KernelKind::kInt8) << s.layer;
+}
+
+TEST_F(ExecPlanTest, TrainingReentryInvalidatesPlans) {
+  BackendGuard guard;
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  detector_->detect(img);
+  EXPECT_GE(detector_->cached_plan_count(), 1u);
+
+  Sgd opt(detector_->parameters(), Sgd::Options{});
+  Rng rng(3);
+  detector_->train_step(img, {}, &opt, &rng);
+  EXPECT_EQ(detector_->cached_plan_count(), 0u)
+      << "training-mode re-entry must invalidate plans (weights changed)";
+
+  // Serving after training rebuilds lazily and still works.
+  detector_->detect(img);
+  EXPECT_EQ(detector_->cached_plan_count(), 1u);
+}
+
+TEST_F(ExecPlanTest, UnpinnedPolicyPlansPerResolvedBackend) {
+  // A backend-keyed cache is what lets an env-following model keep
+  // honoring set_gemm_backend flips without serving stale kernels.
+  BackendGuard guard;
+  const Tensor img = render(240);
+  set_gemm_backend(GemmBackend::kReference);
+  detector_->forward(img);
+  const ExecutionPlan& ref_plan = detector_->plan_for(1, img.h(), img.w());
+  EXPECT_EQ(ref_plan.policy, "reference");
+  set_gemm_backend(GemmBackend::kPacked);
+  detector_->forward(img);
+  const ExecutionPlan& packed_plan = detector_->plan_for(1, img.h(), img.w());
+  EXPECT_EQ(packed_plan.policy, "packed");
+  EXPECT_EQ(detector_->cached_plan_count(), 2u);
+  // The two cached plans really resolve to different kernels.  (Feature
+  // *bits* can legitimately coincide here: with zero conv biases both fp32
+  // backends run the same strict ascending-k chains.)
+  ASSERT_FALSE(ref_plan.steps.empty());
+  EXPECT_EQ(ref_plan.steps[0].kernel, KernelKind::kGemmReference);
+  EXPECT_EQ(packed_plan.steps[0].kernel, KernelKind::kGemmPacked);
+}
+
+TEST_F(ExecPlanTest, BatchedPlannedForwardBitIdenticalPerImageBothBackends) {
+  BackendGuard guard;
+  set_gemm_backend(GemmBackend::kInt8);  // models pin; global must not matter
+  const Tensor f0 = render(240);
+  const Tensor f1 = renderer_.render_at_scale(
+      dataset_.val_snippets()[1].frames[0], 240, dataset_.scale_policy());
+  const std::vector<const Tensor*> imgs{&f0, &f1};
+  const Tensor batch = Tensor::batch_of(imgs);
+
+  for (const ExecutionPolicy& policy :
+       {ExecutionPolicy::fp32(), ExecutionPolicy::reference()}) {
+    detector_->set_execution_policy(policy);
+    const std::vector<DetectionOutput> batched =
+        detector_->detect_batch(batch);
+    const Tensor batched_feats = detector_->features();
+    ASSERT_EQ(batched.size(), 2u);
+    for (int n = 0; n < 2; ++n) {
+      const DetectionOutput single = detector_->detect(*imgs[n]);
+      const Tensor single_feats = detector_->features();
+      // Deep features bitwise, detections field-by-field.
+      const Tensor bf = batched_feats.image(n);
+      ASSERT_TRUE(bf.same_shape(single_feats));
+      EXPECT_EQ(0, std::memcmp(bf.data(), single_feats.data(),
+                               bf.size() * sizeof(float)));
+      const auto& da = batched[static_cast<std::size_t>(n)].detections;
+      const auto& db = single.detections;
+      ASSERT_EQ(da.size(), db.size());
+      for (std::size_t d = 0; d < da.size(); ++d) {
+        EXPECT_EQ(da[d].score, db[d].score);
+        EXPECT_EQ(da[d].box.x1, db[d].box.x1);
+        EXPECT_EQ(da[d].box.y2, db[d].box.y2);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ada

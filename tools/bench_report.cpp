@@ -1,14 +1,18 @@
 // bench_report — machine-readable kernel/perf trajectory for the repo.
 //
-// Emits BENCH_kernels.json (schema v3): per-conv-shape GFLOP/s and ns/call
+// Emits BENCH_kernels.json (schema v4): per-conv-shape GFLOP/s and ns/call
 // for all three GEMM backends (packed / reference / int8), end-to-end
 // detector forward latency / fps at each nominal scale, multi-stream
 // serving throughput — unbatched vs the cross-stream batch scheduler — and
 // the INT8 accuracy cost: fixed-600 mAP of the trained detector under fp32
 // vs the quantized path (the `quantized` section; uses the model cache, so
 // the first run trains for a few minutes and later runs load instantly).
-// Future PRs diff this file to see whether the hot path moved;
-// docs/BENCHMARKS.md documents the schema.
+// Since v4 every section records the execution policy its rows ran under
+// (per-column for multi-backend sections), and backends are selected with
+// pinned per-model ExecutionPolicy values / explicit kernel arguments —
+// the process-wide ADASCALE_GEMM default is read once for the header and
+// never mutated.  Future PRs diff this file to see whether the hot path
+// moved; docs/BENCHMARKS.md documents the schema.
 //
 // Usage: bench_report [output.json]   (default: BENCH_kernels.json)
 //
@@ -28,6 +32,7 @@
 #include "data/dataset.h"
 #include "detection/detector.h"
 #include "experiments/harness.h"
+#include "runtime/exec_policy.h"
 #include "runtime/multi_stream.h"
 #include "tensor/conv2d.h"
 #include "tensor/gemm.h"
@@ -61,6 +66,8 @@ struct ConvCase {
 };
 
 void emit_conv_cases(JsonWriter* jw, const std::vector<ConvCase>& cases) {
+  // v4: the policy each column ran under (pinned per call above).
+  jw->key("convs_policies").value("packed|reference|int8 per column");
   jw->key("convs");
   jw->begin_array();
   for (const ConvCase& c : cases) {
@@ -86,11 +93,13 @@ void emit_conv_cases(JsonWriter* jw, const std::vector<ConvCase>& cases) {
     jw->key("dilation").value(c.spec.dilation);
     jw->key("macs").value(static_cast<long long>(flops / 2.0));
     for (GemmBackend be : {GemmBackend::kPacked, GemmBackend::kReference}) {
-      set_gemm_backend(be);
+      // Explicit kernel argument — no global backend mutation.
       const double ns = time_ns(
-          [&] { conv2d_forward(c.spec, x, w, b, &y, /*fuse_relu=*/true); },
+          [&] {
+            conv2d_forward(c.spec, x, w, b, &y, /*fuse_relu=*/true, be);
+          },
           9);
-      const std::string tag = gemm_backend_name();
+      const std::string tag = ExecutionPolicy{be}.name();
       jw->key("ns_" + tag).value(ns);
       jw->key("gflops_" + tag).value(flops / ns);
     }
@@ -124,6 +133,8 @@ void emit_conv_cases(JsonWriter* jw, const std::vector<ConvCase>& cases) {
 void emit_detector_scales(JsonWriter* jw, Detector* det,
                           const Dataset& dataset) {
   const Renderer renderer = dataset.make_renderer();
+  // v4: the policy each column ran under (pinned on the model per row).
+  jw->key("detector_forward_policies").value("packed|reference per column");
   jw->key("detector_forward");
   jw->begin_array();
   for (int scale : {600, 480, 360, 240, 128}) {
@@ -135,15 +146,16 @@ void emit_detector_scales(JsonWriter* jw, Detector* det,
                            std::to_string(img.w()) + "]");
     jw->key("macs").value(det->forward_macs(img.h(), img.w()));
     for (GemmBackend be : {GemmBackend::kPacked, GemmBackend::kReference}) {
-      set_gemm_backend(be);
+      det->set_execution_policy(ExecutionPolicy{be});
       const double ns = time_ns([&] { det->forward(img); }, 7);
-      const std::string tag = gemm_backend_name();
+      const std::string tag = det->execution_policy().name();
       jw->key("forward_ms_" + tag).value(ns * 1e-6);
       jw->key("fps_" + tag).value(1e9 / ns);
     }
     jw->end_object();
   }
   jw->end_array();
+  det->set_execution_policy(ExecutionPolicy::env_default());
 }
 
 /// Multi-stream serving: aggregate FPS of the unbatched runner (dedicated
@@ -155,6 +167,10 @@ void emit_multi_stream(JsonWriter* jw, Detector* det, const Dataset& dataset) {
   rcfg.in_channels = det->feature_channels();
   Rng rng(17);
   ScaleRegressor regressor(rcfg, &rng);
+  // The serving-throughput numbers are always the packed-fp32 ones,
+  // regardless of what ADASCALE_GEMM happens to be in the environment.
+  det->set_execution_policy(ExecutionPolicy::fp32());
+  regressor.set_execution_policy(ExecutionPolicy::fp32());
 
   std::vector<const Snippet*> jobs;
   for (const Snippet& s : dataset.val_snippets()) jobs.push_back(&s);
@@ -177,6 +193,8 @@ void emit_multi_stream(JsonWriter* jw, Detector* det, const Dataset& dataset) {
 
   jw->key("multi_stream");
   jw->begin_object();
+  // v4: the (shared) per-model policy every stream clone served under.
+  jw->key("policy").value(det->execution_policy().name());
   jw->key("streams").value(streams);
   jw->key("scales_snapped_to_reg_set").value(true);
   jw->key("cores").value(
@@ -219,17 +237,20 @@ void emit_quantized(JsonWriter* jw) {
   // quickstart and tools/calibrate (Harness::make_calibration_set).
   const std::vector<Tensor> calib = h.make_calibration_set(16);
 
-  set_gemm_backend(GemmBackend::kPacked);
+  // Pinned per-model policies select the backend per row; the process
+  // default is never touched.
+  det->set_execution_policy(ExecutionPolicy::fp32());
   det->quantize(calib);
   const MethodRun fp32 = h.evaluate("fixed-600/fp32",
                                     h.run_fixed(det.get(), 600));
-  set_gemm_backend(GemmBackend::kInt8);
+  det->set_execution_policy(ExecutionPolicy::int8());
   const MethodRun int8 = h.evaluate("fixed-600/int8",
                                     h.run_fixed(det.get(), 600));
-  set_gemm_backend(GemmBackend::kPacked);
 
   jw->key("quantized");
   jw->begin_object();
+  jw->key("policy_fp32").value("packed");
+  jw->key("policy_int8").value("int8");
   jw->key("calibration_frames").value(static_cast<int>(calib.size()));
   jw->key("eval").value("fixed-600, quickstart harness val split");
   jw->key("map_fp32").value(100.0 * fp32.eval.map);
@@ -253,9 +274,9 @@ int main(int argc, char** argv) {
 
   JsonWriter jw;
   jw.begin_object();
-  jw.key("schema").value("adascale-bench-kernels-v3");
+  jw.key("schema").value("adascale-bench-kernels-v4");
   jw.key("gemm_kernel_isa").value(gemm_kernel_isa());
-  jw.key("default_backend").value(gemm_backend_name());
+  jw.key("default_policy").value(gemm_backend_name());
 
   // The detector's real conv stack at the scale-600 rendering, straight
   // from the architecture's single source of truth so the perf-trajectory
@@ -269,7 +290,6 @@ int main(int argc, char** argv) {
     cases.push_back({std::string(e.name) + "@600", e.spec, e.in_h, e.in_w});
   emit_conv_cases(&jw, cases);
   emit_detector_scales(&jw, &detector, dataset);
-  set_gemm_backend(GemmBackend::kPacked);
 
   // Serving throughput on a separate small job pool (8 snippets over 4
   // streams), default kernel pool: the batched-vs-unbatched comparison the
