@@ -11,6 +11,7 @@
 
 #include "experiments/harness.h"
 #include "runtime/exec_policy.h"
+#include "runtime/multi_stream.h"
 
 using namespace ada;
 
@@ -86,5 +87,27 @@ int main() {
               100.0 * fixed.eval.map, fixed.mean_ms);
   std::printf("AdaScale : mAP %.1f%%  %.1f ms/frame  (%.2fx speedup)\n",
               100.0 * ada.eval.map, ada.mean_ms, fixed.mean_ms / ada.mean_ms);
+
+  // Temporal reuse on the serving path: the full backbone runs only on key
+  // frames; warp frames re-use the cached deep features along a cheap
+  // optical flow and run just the heads.  One set_dff call turns it on for
+  // every stream; DffServingConfig{} is the default adaptive keyframe
+  // policy (warp residual + AdaScale scale-jump + max-interval triggers).
+  // docs/SERVING.md walks through the knobs.
+  std::vector<const Snippet*> jobs;
+  for (const Snippet& s : h.dataset().val_snippets()) jobs.push_back(&s);
+  MultiStreamRunner runner(detector, regressor, &renderer,
+                           h.dataset().scale_policy(), ScaleSet::reg_default(),
+                           /*num_streams=*/1, /*init_scale=*/600,
+                           /*snap_scales=*/true);
+  const MultiStreamResult plain = runner.run_serial(jobs);
+  runner.set_dff(DffServingConfig{});
+  const MultiStreamResult dff = runner.run_serial(jobs);
+  long keys = 0;
+  for (const AdaFrameOutput& out : dff.streams[0].frames) keys += out.dff_key;
+  std::printf(
+      "DFF      : %ld/%ld key frames, %.0f -> %.0f fps (%.2fx per-stream)\n",
+      keys, dff.total_frames, plain.aggregate_fps, dff.aggregate_fps,
+      dff.aggregate_fps / plain.aggregate_fps);
   return 0;
 }

@@ -1,39 +1,265 @@
 #include "adascale/pipeline.h"
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "tensor/image_ops.h"
+#include "util/timer.h"
+
 namespace ada {
 
 AdaFrameOutput AdaScalePipeline::process(const Scene& frame) {
+  if (dff_enabled_) return process_dff(frame, /*backend=*/nullptr);
+
   AdaFrameOutput out;
-  out.scale_used = target_scale_;
+  out.scale_used = ctx_.target_scale;
 
   const Tensor image =
-      renderer_->render_at_scale(frame, target_scale_, policy_);
+      renderer_->render_at_scale(frame, ctx_.target_scale, policy_);
   out.detections = detector_->detect(image);
   out.detect_ms = out.detections.forward_ms;
 
   // Regress t on the deep features of *this* frame; apply to the next.
   out.regressed_t = regressor_->predict(detector_->features());
   out.regressor_ms = regressor_->last_predict_ms();
-  out.next_scale = decode_scale_target(out.regressed_t, target_scale_, sreg_);
+  out.next_scale =
+      decode_scale_target(out.regressed_t, ctx_.target_scale, sreg_);
   if (snap_to_set_) out.next_scale = sreg_.nearest(out.next_scale);
-  target_scale_ = out.next_scale;
+  ctx_.target_scale = out.next_scale;
   return out;
 }
 
 AdaFrameOutput AdaScalePipeline::process_via(const Scene& frame,
                                              const DetectBackend& backend) {
-  AdaFrameOutput out;
-  out.scale_used = target_scale_;
+  if (dff_enabled_) return process_dff(frame, &backend);
 
-  Tensor image = renderer_->render_at_scale(frame, target_scale_, policy_);
+  AdaFrameOutput out;
+  out.scale_used = ctx_.target_scale;
+
+  Tensor image = renderer_->render_at_scale(frame, ctx_.target_scale, policy_);
   DetectResult r = backend(std::move(image));
   out.detections = std::move(r.detections);
   out.detect_ms = r.detect_ms;
   out.regressed_t = r.regressed_t;
   out.regressor_ms = r.regressor_ms;
-  out.next_scale = decode_scale_target(out.regressed_t, target_scale_, sreg_);
+  out.next_scale =
+      decode_scale_target(out.regressed_t, ctx_.target_scale, sreg_);
   if (snap_to_set_) out.next_scale = sreg_.nearest(out.next_scale);
-  target_scale_ = out.next_scale;
+  ctx_.target_scale = out.next_scale;
+  return out;
+}
+
+void AdaScalePipeline::set_dff(const DffServingConfig& cfg) {
+  dff_ = cfg;
+  dff_enabled_ = true;
+  ctx_.reset(init_scale_);
+}
+
+void AdaScalePipeline::push_history(const DetectionOutput& out) {
+  const int window = dff_.seqnms_window;
+  if (window <= 0) return;
+  ctx_.history.push_back(out);
+  if (static_cast<int>(ctx_.history.size()) > window)
+    ctx_.history.erase(ctx_.history.begin());
+}
+
+Tensor AdaScalePipeline::flow_gray(const Scene& frame,
+                                   const Tensor* full_render) const {
+  if (dff_.flow_render_scale > 0) {
+    const Tensor tiny =
+        renderer_->render_at_scale(frame, dff_.flow_render_scale, policy_);
+    return to_grayscale(tiny);
+  }
+  assert(full_render != nullptr);
+  return to_grayscale(*full_render);
+}
+
+void AdaScalePipeline::refresh_key(const Scene& frame, Tensor image,
+                                   const DetectBackend* backend,
+                                   AdaFrameOutput* out) {
+  DffStreamState& st = ctx_.dff;
+  const int img_h = image.h(), img_w = image.w();
+  // The grayscale flow source is taken before the image is handed to the
+  // backend; the downsample to feature resolution waits until the feature
+  // dimensions are known.
+  Tensor gray = flow_gray(frame, &image);
+
+  if (backend != nullptr) {
+    DetectResult r = (*backend)(std::move(image));
+    if (r.features.size() == 0) {
+      std::fprintf(stderr,
+                   "AdaScalePipeline: DFF key frame served through a backend "
+                   "that returned no features — run the BatchScheduler with "
+                   "features_only (MultiStreamRunner::run_batched does this "
+                   "automatically once set_dff is called)\n");
+      std::abort();
+    }
+    st.key_features = std::move(r.features);
+    out->detect_ms = r.detect_ms;
+    if (dff_.adascale) {
+      out->regressed_t = r.regressed_t;
+      out->regressor_ms = r.regressor_ms;
+    }
+  } else {
+    Timer backbone_timer;
+    const Tensor& features = detector_->forward(image);
+    out->detect_ms = backbone_timer.elapsed_ms();
+    st.key_features = features;
+    if (dff_.adascale) {
+      out->regressed_t = regressor_->predict(st.key_features);
+      out->regressor_ms = regressor_->last_predict_ms();
+    }
+  }
+
+  st.key_gray = Tensor();
+  bilinear_resize(gray, st.key_features.h(), st.key_features.w(),
+                  &st.key_gray);
+  st.prev_gray = st.key_gray;
+  st.acc_flow_y = Tensor();
+  st.acc_flow_x = Tensor();
+
+  // Heads + decode run on the stream's own detector in BOTH execution modes
+  // (the cached features, not the backend's decode, are the input) — the
+  // same call sequence as the offline DffPipeline, which is what makes
+  // serving output bit-identical to Harness::run_dff and batched serving
+  // bit-identical to serial regardless of batch composition.
+  Timer head_timer;
+  out->detections =
+      detector_->detect_from_features(st.key_features, img_h, img_w);
+  out->detect_ms += head_timer.elapsed_ms();
+
+  if (dff_.adascale) {
+    int next = decode_scale_target(out->regressed_t, st.current_scale, sreg_);
+    if (snap_to_set_) next = sreg_.nearest(next);
+    st.pending_scale = next;
+  }
+
+  out->dff_key = true;
+  st.has_key = true;
+  st.since_key = 0;
+  ++st.keys;
+}
+
+AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
+                                             const DetectBackend* backend) {
+  DffStreamState& st = ctx_.dff;
+  AdaFrameOutput out;
+  out.dff = true;
+
+  const bool fixed = dff_.policy == DffServingConfig::Keyframe::kFixedInterval;
+  const int key_interval = std::max(dff_.key_interval, 1);
+  bool key = fixed ? (st.frame_index % key_interval) == 0
+                   : (!st.has_key || st.since_key >= dff_.max_interval);
+
+  // Scale changes only take effect at key frames, so warped features always
+  // share the cached key's geometry.
+  if (key) st.current_scale = st.pending_scale;
+  out.scale_used = st.current_scale;
+
+  if (!key) {
+    // Warp attempt: estimate flow from the key frame to this one.  With a
+    // tiny flow render the full working-scale render is skipped entirely —
+    // the heads only need the image dimensions, which the scale policy
+    // knows.  (A forced key below re-renders at full scale.)
+    const bool tiny = dff_.flow_render_scale > 0;
+    const int img_h = policy_.render_h(st.current_scale);
+    const int img_w = policy_.render_w(st.current_scale);
+    Tensor full_render;
+    if (!tiny)
+      full_render =
+          renderer_->render_at_scale(frame, st.current_scale, policy_);
+
+    Timer flow_timer;
+    Tensor gray = flow_gray(frame, tiny ? nullptr : &full_render);
+    Tensor cur_gray;
+    bilinear_resize(gray, st.key_features.h(), st.key_features.w(), &cur_gray);
+    Tensor flow_y, flow_x;
+    if (dff_.incremental_flow && st.acc_flow_y.size() != 0) {
+      Tensor step_y, step_x;
+      block_matching_flow(st.prev_gray, cur_gray, dff_.flow, &step_y, &step_x);
+      compose_flow(st.acc_flow_y, st.acc_flow_x, step_y, step_x, &flow_y,
+                   &flow_x);
+    } else {
+      // First warp frame after a key (prev == key), or incremental off.
+      block_matching_flow(st.key_gray, cur_gray, dff_.flow, &flow_y, &flow_x);
+    }
+
+    if (!fixed) {
+      // Adaptive policy: gate propagation on the warp residual
+      // (AdaptiveDffPipeline's trigger, same arithmetic).
+      Tensor warped_gray;
+      bilinear_warp(st.key_gray, flow_y, flow_x, &warped_gray);
+      double residual = 0.0;
+      for (std::size_t i = 0; i < warped_gray.size(); ++i)
+        residual +=
+            std::abs(static_cast<double>(warped_gray[i]) - cur_gray[i]);
+      residual /= static_cast<double>(warped_gray.size());
+      out.warp_residual = static_cast<float>(residual);
+      if (out.warp_residual > dff_.residual_threshold) {
+        // Propagation unreliable: this frame becomes the new key at the
+        // scale regressed at the previous key (the key-frame-only
+        // scale-change rule).
+        st.current_scale = st.pending_scale;
+        key = true;
+      }
+    }
+
+    if (!key) {
+      Tensor warped;
+      bilinear_warp(st.key_features, flow_y, flow_x, &warped);
+
+      // Scene-change trigger: AdaScale's scale signal is cheap to read on
+      // the warped features, and a large jump in the decoded scale means
+      // the scene no longer resembles the cached key — refresh at the
+      // freshly regressed scale instead of serving stale features.
+      if (!fixed && dff_.adascale && dff_.scale_jump_frac > 0.0f) {
+        out.regressed_t = regressor_->predict(warped);
+        out.regressor_ms = regressor_->last_predict_ms();
+        int decoded =
+            decode_scale_target(out.regressed_t, st.current_scale, sreg_);
+        if (snap_to_set_) decoded = sreg_.nearest(decoded);
+        const float jump =
+            std::abs(static_cast<float>(decoded - st.current_scale)) /
+            static_cast<float>(st.current_scale);
+        if (jump >= dff_.scale_jump_frac) {
+          st.current_scale = decoded;
+          st.pending_scale = decoded;
+          key = true;
+        }
+      }
+
+      if (!key) {
+        out.flow_ms = flow_timer.elapsed_ms();
+        st.prev_gray = std::move(cur_gray);
+        st.acc_flow_y = std::move(flow_y);
+        st.acc_flow_x = std::move(flow_x);
+        Timer head_timer;
+        out.detections = detector_->detect_from_features(warped, img_h, img_w);
+        out.detect_ms = head_timer.elapsed_ms();
+        ++st.since_key;
+        ++st.frame_index;
+        ++st.frames;
+        out.next_scale = st.pending_scale;
+        push_history(out.detections);
+        return out;
+      }
+    }
+
+    // A key was forced mid-warp; fall through to the key path, which
+    // renders at the (possibly updated) current scale.
+    out.flow_ms = flow_timer.elapsed_ms();
+    out.scale_used = st.current_scale;
+  }
+
+  Tensor image = renderer_->render_at_scale(frame, st.current_scale, policy_);
+  refresh_key(frame, std::move(image), backend, &out);
+  ++st.frame_index;
+  ++st.frames;
+  out.next_scale = st.pending_scale;
+  push_history(out.detections);
   return out;
 }
 

@@ -8,6 +8,17 @@
 //
 // The current frame's deep features predict the *next* frame's scale — the
 // temporal-consistency assumption the paper's results justify empirically.
+//
+// With a DffServingConfig (set_dff) the pipeline additionally reuses
+// temporal compute à la Deep Feature Flow: the full backbone runs only on
+// key frames, whose deep features are cached in the per-stream
+// StreamContext; intermediate frames estimate a cheap optical flow, warp
+// the cached features along it, and run only the detection heads.  This is
+// the paper's Fig. 7 headline combination (AdaScale + DFF) on the serving
+// path — the scale regressor runs on key frames (decoded scale takes effect
+// at the next key, so warped features always match the cached geometry) and
+// doubles as a scene-change detector on warp frames (a regressed scale jump
+// forces a key frame).
 #pragma once
 
 #include <functional>
@@ -17,6 +28,7 @@
 #include "adascale/scale_target.h"
 #include "data/renderer.h"
 #include "detection/detector.h"
+#include "runtime/stream_context.h"
 
 namespace ada {
 
@@ -24,12 +36,19 @@ namespace ada {
 struct AdaFrameOutput {
   DetectionOutput detections;
   int scale_used = 0;       ///< nominal scale this frame was processed at
-  int next_scale = 0;       ///< decoded regressor output for the next frame
-  float regressed_t = 0.0f; ///< raw regressor output
-  double detect_ms = 0.0;
+  int next_scale = 0;       ///< scale the next frame (DFF: next key) will use
+  float regressed_t = 0.0f; ///< raw regressor output (0 if it did not run)
+  double detect_ms = 0.0;   ///< backbone+head wall-clock
   double regressor_ms = 0.0;
+  // DFF-mode fields (dff == false on the per-frame Algorithm-1 path).
+  bool dff = false;          ///< frame was served by the keyframe/warp branch
+  bool dff_key = false;      ///< this frame refreshed the feature cache
+  float warp_residual = 0.0f;///< adaptive policy: mean warp residual measured
+                             ///< on this frame (also set on residual-forced
+                             ///< keys — it is what triggered them)
+  double flow_ms = 0.0;      ///< flow estimation + feature warp wall-clock
 
-  double total_ms() const { return detect_ms + regressor_ms; }
+  double total_ms() const { return detect_ms + regressor_ms + flow_ms; }
 };
 
 /// Stateful Algorithm-1 runner.  Call reset() at each new video snippet.
@@ -43,6 +62,11 @@ struct AdaFrameOutput {
 /// scale perturbation (≤ half the gap between set members) for dense batch
 /// buckets; it applies identically in serial and batched execution, so the
 /// bit-equality contract between them is unaffected.
+///
+/// All cross-frame mutable state lives in one StreamContext (the
+/// per-stream half of the shared-weights / per-stream-state split —
+/// runtime/stream_context.h); the detector/regressor models are treated as
+/// immutable shared weights at serving time.
 class AdaScalePipeline {
  public:
   AdaScalePipeline(Detector* detector, ScaleRegressor* regressor,
@@ -55,17 +79,33 @@ class AdaScalePipeline {
         policy_(policy),
         sreg_(sreg),
         init_scale_(init_scale),
-        target_scale_(init_scale),
-        snap_to_set_(snap_to_set) {}
+        snap_to_set_(snap_to_set) {
+    ctx_.reset(init_scale_);
+  }
 
-  /// Re-initializes the scale for a new snippet (Algorithm 1 starts every
-  /// video at 600).
-  void reset() { target_scale_ = init_scale_; }
+  /// Re-initializes the per-stream context for a new snippet (Algorithm 1
+  /// restarts every video at 600; the DFF cache drops, so the next frame is
+  /// a key frame).
+  void reset() { ctx_.reset(init_scale_); }
 
-  int current_scale() const { return target_scale_; }
+  int current_scale() const {
+    return dff_enabled_ ? ctx_.dff.current_scale : ctx_.target_scale;
+  }
+
+  /// Enables DFF temporal reuse with the given configuration and resets the
+  /// stream context (the cached features of any previous mode are invalid).
+  void set_dff(const DffServingConfig& cfg);
+
+  bool dff_enabled() const { return dff_enabled_; }
+  const DffServingConfig& dff_config() const { return dff_; }
+
+  /// The per-stream mutable state (inspection/tests).
+  const StreamContext& context() const { return ctx_; }
 
   /// Processes one frame: detect at the current target scale, then update
-  /// the target scale from the regressed relative scale.
+  /// the target scale from the regressed relative scale.  In DFF mode,
+  /// key frames run the full backbone and refresh the feature cache; warp
+  /// frames skip the backbone entirely.
   AdaFrameOutput process(const Scene& frame);
 
   /// What a detection backend returns for one rendered frame — detections
@@ -75,6 +115,10 @@ class AdaScalePipeline {
     float regressed_t = 0.0f;
     double detect_ms = 0.0;
     double regressor_ms = 0.0;
+    /// The frame's deep features (backbone output).  Only populated when
+    /// the backend runs in feature-returning mode (DFF key frames served
+    /// through a BatchScheduler with features_only set); empty otherwise.
+    Tensor features;
   };
 
   /// Pluggable detection backend: receives the frame rendered at the
@@ -86,18 +130,43 @@ class AdaScalePipeline {
   using DetectBackend = std::function<DetectResult(Tensor image)>;
 
   /// process(), but detection runs through `backend` instead of the owned
-  /// detector/regressor.  Scale state updates identically.
+  /// detector/regressor.  Scale state updates identically.  In DFF mode
+  /// only key frames reach the backend (which must return features —
+  /// BatchSchedulerConfig::features_only); warp frames never leave the
+  /// stream: flow, warp, and heads all run on the stream's own models.
   AdaFrameOutput process_via(const Scene& frame, const DetectBackend& backend);
 
  private:
+  /// The keyframe/warp branch shared by process() / process_via().
+  /// `backend` is null for owned-model execution.
+  AdaFrameOutput process_dff(const Scene& frame, const DetectBackend* backend);
+
+  /// Runs the full backbone on `image` (owned detector or backend), caches
+  /// key features + grayscale into the context, detects on the cached
+  /// features, and (when dff_.adascale) regresses the next key's scale.
+  /// `frame` supplies the grayscale flow source (tiny render).
+  void refresh_key(const Scene& frame, Tensor image,
+                   const DetectBackend* backend, AdaFrameOutput* out);
+
+  /// Grayscale flow source for `frame`: a tiny dedicated render
+  /// (dff_.flow_render_scale > 0) or the given full-scale render (legacy;
+  /// `full_render` may be null in tiny mode).  Same convention as
+  /// DffPipeline::flow_gray — callers resize to the feature grid.
+  Tensor flow_gray(const Scene& frame, const Tensor* full_render) const;
+
+  /// Bounded per-stream detection history (seq-NMS seam).
+  void push_history(const DetectionOutput& out);
+
   Detector* detector_;
   ScaleRegressor* regressor_;
   const Renderer* renderer_;
   ScalePolicy policy_;
   ScaleSet sreg_;
   int init_scale_;
-  int target_scale_;
   bool snap_to_set_;
+  bool dff_enabled_ = false;
+  DffServingConfig dff_;
+  StreamContext ctx_;
 };
 
 }  // namespace ada

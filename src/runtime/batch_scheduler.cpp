@@ -76,6 +76,25 @@ void BatchScheduler::execute(Context* ctx,
   images.reserve(batch.size());
   for (const Request* r : batch) images.push_back(r->image);
   const Tensor stacked = Tensor::batch_of(images);
+  if (cfg_.features_only) {
+    // DFF key frames: backbone + regressor only.  Heads/decode/NMS run in
+    // the submitting stream's pipeline on its cached copy of these
+    // features, so they are deliberately skipped here.
+    const Tensor& feats = ctx->detector->forward(stacked);
+    const double detect_ms =
+        timer.elapsed_ms() / static_cast<double>(std::max(n, 1));
+    const std::vector<float> ts = ctx->regressor->predict_batch(feats);
+    const double regressor_ms = ctx->regressor->last_predict_ms();
+    for (int i = 0; i < n; ++i) {
+      Request* r = batch[static_cast<std::size_t>(i)];
+      r->result.features = feats.image(i);
+      r->result.regressed_t = ts[static_cast<std::size_t>(i)];
+      r->result.detect_ms = detect_ms;
+      r->result.regressor_ms = regressor_ms;
+      r->result.batch_size = n;
+    }
+    return;
+  }
   std::vector<DetectionOutput> outs = ctx->detector->detect_batch(stacked);
   const double detect_ms =
       timer.elapsed_ms() / static_cast<double>(std::max(n, 1));

@@ -52,15 +52,24 @@ struct BatchSchedulerConfig {
   double max_wait_ms = 25.0;
   int contexts = 2;  ///< detector/regressor clone pairs; bounds how many
                      ///< scale buckets can execute concurrently
+  /// DFF key-frame serving: run only the backbone (+ scale regressor) per
+  /// batch and hand each stream its own image's deep features instead of
+  /// decoded detections.  The submitting pipeline runs heads/decode/NMS
+  /// itself on the cached copy — that keeps head execution on the stream's
+  /// own models, which is what makes batched DFF bit-identical to serial
+  /// (MultiStreamRunner::run_batched flips this on when DFF is enabled).
+  bool features_only = false;
 };
 
 /// What one stream gets back for one submitted frame.
 struct BatchSubmitResult {
-  DetectionOutput detections;
+  DetectionOutput detections; ///< empty in features_only mode
   float regressed_t = 0.0f;  ///< scale regressor output on this frame
   double detect_ms = 0.0;    ///< batch detect wall-clock amortized per frame
   double regressor_ms = 0.0; ///< batch predict wall-clock amortized per frame
   int batch_size = 1;        ///< how many frames shared the forward
+  Tensor features;           ///< this image's (1,C,fh,fw) backbone features
+                             ///< (features_only mode; empty otherwise)
 };
 
 /// Aggregate counters (read after a run; also folded into bench output).

@@ -48,6 +48,11 @@ void MultiStreamRunner::set_stream_policy(
   s.regressor->set_execution_policy(regressor_policy);
 }
 
+void MultiStreamRunner::set_dff(const DffServingConfig& cfg) {
+  for (const auto& s : streams_) s->pipeline->set_dff(cfg);
+  dff_enabled_ = true;
+}
+
 MultiStreamResult MultiStreamRunner::run_impl(
     const std::vector<const Snippet*>& jobs, bool concurrent,
     BatchScheduler* scheduler) {
@@ -68,6 +73,7 @@ MultiStreamResult MultiStreamRunner::run_impl(
         d.regressed_t = r.regressed_t;
         d.detect_ms = r.detect_ms;
         d.regressor_ms = r.regressor_ms;
+        d.features = std::move(r.features);
         return d;
       };
       scheduler->attach();
@@ -138,8 +144,12 @@ MultiStreamResult MultiStreamRunner::run_batched(
       std::abort();
     }
   }
+  // DFF key frames want features back (heads run in-stream on the cached
+  // copy); warp frames never reach the scheduler at all.
+  BatchSchedulerConfig scfg = cfg;
+  if (dff_enabled_) scfg.features_only = true;
   BatchScheduler scheduler(streams_[0]->detector.get(),
-                           streams_[0]->regressor.get(), cfg);
+                           streams_[0]->regressor.get(), scfg);
   return run_impl(jobs, /*concurrent=*/true, &scheduler);
 }
 

@@ -77,6 +77,17 @@ class MultiStreamRunner {
   void set_stream_policy(int stream, const ExecutionPolicy& detector_policy,
                          const ExecutionPolicy& regressor_policy);
 
+  /// Enables DFF temporal reuse (keyframe/warp serving) on every stream's
+  /// pipeline and resets their per-stream contexts.  Applies to all three
+  /// execution modes; under run_batched() the scheduler automatically runs
+  /// in features_only mode — key frames join cross-stream same-scale
+  /// batches, warp frames never reach the scheduler (flow + warp + heads
+  /// run on the stream's own models, no backbone at all).
+  void set_dff(const DffServingConfig& cfg);
+
+  /// Whether set_dff has been called.
+  bool dff_enabled() const { return dff_enabled_; }
+
   /// Processes every snippet: job j goes to stream j % num_streams, streams
   /// run concurrently on dedicated threads.  Pipelines reset() at each
   /// snippet boundary (Algorithm 1 restarts per video).
@@ -109,6 +120,7 @@ class MultiStreamRunner {
                              bool concurrent, BatchScheduler* scheduler);
 
   std::vector<std::unique_ptr<Stream>> streams_;
+  bool dff_enabled_ = false;
 };
 
 }  // namespace ada

@@ -1,6 +1,8 @@
 #include "video/adaptive_dff.h"
 
+#include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "tensor/image_ops.h"
 #include "util/timer.h"
@@ -15,18 +17,35 @@ void AdaptiveDffPipeline::reset() {
   pending_scale_ = init_scale_;
   key_features_ = Tensor();
   key_gray_ = Tensor();
+  prev_gray_ = Tensor();
+  acc_flow_y_ = Tensor();
+  acc_flow_x_ = Tensor();
 }
 
-void AdaptiveDffPipeline::refresh_key(const Tensor& image,
+Tensor AdaptiveDffPipeline::flow_gray(const Scene& frame,
+                                      const Tensor* full_render) const {
+  if (cfg_.flow_render_scale > 0) {
+    const Tensor tiny =
+        renderer_->render_at_scale(frame, cfg_.flow_render_scale, policy_);
+    return to_grayscale(tiny);
+  }
+  assert(full_render != nullptr);
+  return to_grayscale(*full_render);
+}
+
+void AdaptiveDffPipeline::refresh_key(const Scene& frame, const Tensor& image,
                                       AdaptiveDffFrameOutput* out) {
   Timer backbone_timer;
   const Tensor& features = detector_->forward(image);
   out->backbone_ms = backbone_timer.elapsed_ms();
 
   key_features_ = features;
-  Tensor gray = to_grayscale(image);
+  const Tensor gray = flow_gray(frame, &image);
   key_gray_ = Tensor();
   bilinear_resize(gray, features.h(), features.w(), &key_gray_);
+  prev_gray_ = key_gray_;
+  acc_flow_y_ = Tensor();
+  acc_flow_x_ = Tensor();
 
   Timer head_timer;
   out->detections =
@@ -51,22 +70,38 @@ AdaptiveDffFrameOutput AdaptiveDffPipeline::process(const Scene& frame) {
   if (first || interval_exceeded) current_scale_ = pending_scale_;
   out.scale_used = current_scale_;
 
-  const Tensor image =
-      renderer_->render_at_scale(frame, current_scale_, policy_);
-
   if (first || interval_exceeded) {
-    refresh_key(image, &out);
+    const Tensor image =
+        renderer_->render_at_scale(frame, current_scale_, policy_);
+    refresh_key(frame, image, &out);
     ++frames_;
     return out;
   }
 
   // Try propagation: estimate flow, check its quality via the warp residual.
+  // With a tiny flow render the full-scale render is skipped entirely unless
+  // this frame turns into a key (the heads only need the image dimensions,
+  // which the scale policy knows).
+  const bool tiny = cfg_.flow_render_scale > 0;
+  const int img_h = policy_.render_h(current_scale_);
+  const int img_w = policy_.render_w(current_scale_);
+  Tensor full_render;
+  if (!tiny)
+    full_render = renderer_->render_at_scale(frame, current_scale_, policy_);
+
   Timer flow_timer;
-  Tensor gray = to_grayscale(image);
+  const Tensor gray = flow_gray(frame, tiny ? nullptr : &full_render);
   Tensor cur_gray;
   bilinear_resize(gray, key_features_.h(), key_features_.w(), &cur_gray);
   Tensor flow_y, flow_x;
-  block_matching_flow(key_gray_, cur_gray, cfg_.flow, &flow_y, &flow_x);
+  if (cfg_.incremental_flow && acc_flow_y_.size() != 0) {
+    Tensor step_y, step_x;
+    block_matching_flow(prev_gray_, cur_gray, cfg_.flow, &step_y, &step_x);
+    compose_flow(acc_flow_y_, acc_flow_x_, step_y, step_x, &flow_y, &flow_x);
+  } else {
+    // First warp frame after a key (prev == key), or incremental off.
+    block_matching_flow(key_gray_, cur_gray, cfg_.flow, &flow_y, &flow_x);
+  }
 
   Tensor warped_gray;
   bilinear_warp(key_gray_, flow_y, flow_x, &warped_gray);
@@ -85,7 +120,7 @@ AdaptiveDffFrameOutput AdaptiveDffPipeline::process(const Scene& frame) {
     out.scale_used = current_scale_;
     const Tensor key_image =
         renderer_->render_at_scale(frame, current_scale_, policy_);
-    refresh_key(key_image, &out);
+    refresh_key(frame, key_image, &out);
     ++frames_;
     return out;
   }
@@ -95,9 +130,12 @@ AdaptiveDffFrameOutput AdaptiveDffPipeline::process(const Scene& frame) {
   bilinear_warp(key_features_, flow_y, flow_x, &warped);
   out.flow_ms += warp_timer.elapsed_ms();
 
+  prev_gray_ = std::move(cur_gray);
+  acc_flow_y_ = std::move(flow_y);
+  acc_flow_x_ = std::move(flow_x);
+
   Timer head_timer;
-  out.detections =
-      detector_->detect_from_features(warped, image.h(), image.w());
+  out.detections = detector_->detect_from_features(warped, img_h, img_w);
   out.head_ms = head_timer.elapsed_ms();
 
   ++since_key_;

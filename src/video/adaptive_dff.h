@@ -36,6 +36,14 @@ struct AdaptiveDffConfig {
   // residual misses).
   int max_interval = 20;
   FlowConfig flow;
+
+  /// Tiny dedicated render scale for the grayscale flow source; <= 0 uses
+  /// the full working-scale render (see DffConfig::flow_render_scale).
+  int flow_render_scale = 96;
+
+  /// Compose per-frame flow steps instead of matching key->current directly
+  /// (see DffConfig::incremental_flow).
+  bool incremental_flow = true;
 };
 
 /// Per-frame output; `is_key` reports whether this frame refreshed the
@@ -43,7 +51,10 @@ struct AdaptiveDffConfig {
 struct AdaptiveDffFrameOutput {
   DetectionOutput detections;
   bool is_key = false;
-  float warp_residual = 0.0f;  ///< mean |warped key - current| (0 on keys)
+  float warp_residual = 0.0f;  ///< mean |warped key - current|.  0 on
+                               ///< scheduled keys (first frame,
+                               ///< max_interval); residual-triggered keys
+                               ///< carry the residual that forced them.
   int scale_used = 0;
   double backbone_ms = 0.0;
   double flow_ms = 0.0;
@@ -84,7 +95,12 @@ class AdaptiveDffPipeline {
 
  private:
   /// Runs the backbone on `image`, caches features, detects, regresses.
-  void refresh_key(const Tensor& image, AdaptiveDffFrameOutput* out);
+  /// `frame` supplies the grayscale flow source (tiny render).
+  void refresh_key(const Scene& frame, const Tensor& image,
+                   AdaptiveDffFrameOutput* out);
+
+  /// Grayscale flow source for `frame` (see DffPipeline::flow_gray).
+  Tensor flow_gray(const Scene& frame, const Tensor* full_render) const;
 
   Detector* detector_;
   ScaleRegressor* regressor_;
@@ -101,6 +117,8 @@ class AdaptiveDffPipeline {
   int pending_scale_ = 0;
   Tensor key_features_;
   Tensor key_gray_;
+  Tensor prev_gray_;                ///< previous frame at feature resolution
+  Tensor acc_flow_y_, acc_flow_x_;  ///< composed key->previous flow
 };
 
 }  // namespace ada

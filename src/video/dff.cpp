@@ -1,5 +1,8 @@
 #include "video/dff.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "tensor/image_ops.h"
 #include "util/timer.h"
 
@@ -11,28 +14,47 @@ void DffPipeline::reset() {
   pending_scale_ = init_scale_;
   key_features_ = Tensor();
   key_gray_ = Tensor();
+  prev_gray_ = Tensor();
+  acc_flow_y_ = Tensor();
+  acc_flow_x_ = Tensor();
+}
+
+Tensor DffPipeline::flow_gray(const Scene& frame,
+                              const Tensor* full_render) const {
+  if (cfg_.flow_render_scale > 0) {
+    const Tensor tiny =
+        renderer_->render_at_scale(frame, cfg_.flow_render_scale, policy_);
+    return to_grayscale(tiny);
+  }
+  assert(full_render != nullptr);
+  return to_grayscale(*full_render);
 }
 
 DffFrameOutput DffPipeline::process(const Scene& frame) {
   DffFrameOutput out;
-  out.is_key = (frame_index_ % cfg_.key_interval) == 0;
+  // key_interval < 1 would be a modulo-by-zero; clamp to "every frame keys".
+  out.is_key = (frame_index_ % std::max(cfg_.key_interval, 1)) == 0;
 
   if (out.is_key) current_scale_ = pending_scale_;
   out.scale_used = current_scale_;
 
-  const Tensor image =
-      renderer_->render_at_scale(frame, current_scale_, policy_);
-
   if (out.is_key) {
+    const Tensor image =
+        renderer_->render_at_scale(frame, current_scale_, policy_);
+
     Timer backbone_timer;
     const Tensor& features = detector_->forward(image);
     out.backbone_ms = backbone_timer.elapsed_ms();
 
     key_features_ = features;
-    // Grayscale image downsampled to the feature grid for flow estimation.
-    Tensor gray = to_grayscale(image);
+    // Grayscale reference downsampled to the feature grid for flow
+    // estimation on the upcoming warp frames.
+    const Tensor gray = flow_gray(frame, &image);
     key_gray_ = Tensor();
     bilinear_resize(gray, features.h(), features.w(), &key_gray_);
+    prev_gray_ = key_gray_;
+    acc_flow_y_ = Tensor();
+    acc_flow_x_ = Tensor();
 
     Timer head_timer;
     out.detections =
@@ -45,19 +67,41 @@ DffFrameOutput DffPipeline::process(const Scene& frame) {
       pending_scale_ = decode_scale_target(t, current_scale_, sreg_);
     }
   } else {
+    // Warp frames never run the backbone; with a tiny flow render they skip
+    // the full-scale render as well (the detections only need its
+    // dimensions, which the scale policy knows).
+    const bool tiny = cfg_.flow_render_scale > 0;
+    const int img_h = policy_.render_h(current_scale_);
+    const int img_w = policy_.render_w(current_scale_);
+    Tensor full_render;
+    if (!tiny)
+      full_render = renderer_->render_at_scale(frame, current_scale_, policy_);
+
     Timer flow_timer;
-    Tensor gray = to_grayscale(image);
+    const Tensor gray = flow_gray(frame, tiny ? nullptr : &full_render);
     Tensor cur_gray;
     bilinear_resize(gray, key_features_.h(), key_features_.w(), &cur_gray);
     Tensor flow_y, flow_x;
-    block_matching_flow(key_gray_, cur_gray, cfg_.flow, &flow_y, &flow_x);
+    const bool compose = cfg_.incremental_flow && acc_flow_y_.size() != 0;
+    if (compose) {
+      Tensor step_y, step_x;
+      block_matching_flow(prev_gray_, cur_gray, cfg_.flow, &step_y, &step_x);
+      compose_flow(acc_flow_y_, acc_flow_x_, step_y, step_x, &flow_y,
+                   &flow_x);
+    } else {
+      // First warp frame after a key (prev == key), or incremental off.
+      block_matching_flow(key_gray_, cur_gray, cfg_.flow, &flow_y, &flow_x);
+    }
     Tensor warped;
     bilinear_warp(key_features_, flow_y, flow_x, &warped);
     out.flow_ms = flow_timer.elapsed_ms();
 
+    prev_gray_ = std::move(cur_gray);
+    acc_flow_y_ = std::move(flow_y);
+    acc_flow_x_ = std::move(flow_x);
+
     Timer head_timer;
-    out.detections =
-        detector_->detect_from_features(warped, image.h(), image.w());
+    out.detections = detector_->detect_from_features(warped, img_h, img_w);
     out.head_ms = head_timer.elapsed_ms();
   }
 

@@ -26,8 +26,26 @@
 namespace ada {
 
 struct DffConfig {
-  int key_interval = 10;  ///< paper's DFF default
+  int key_interval = 10;  ///< paper's DFF default (values < 1 clamp to 1,
+                          ///< i.e. every frame is a key frame)
   FlowConfig flow;
+
+  /// Flow is estimated from grayscale frames resized to the feature grid.
+  /// With a positive value, that grayscale comes from a dedicated render at
+  /// this (tiny) scale — warp frames then never render at the full working
+  /// scale at all, which is both much cheaper and *less aliased* than
+  /// point-sampling a full-resolution render down ~16x to the feature grid
+  /// (the aliasing measurably hurts flow quality).  <= 0 restores the
+  /// legacy full-resolution-render source.
+  int flow_render_scale = 96;
+
+  /// Estimate per-frame flow steps (previous frame -> current) and compose
+  /// them into the key->current field (compose_flow) instead of matching
+  /// key->current directly.  Block matching is only accurate for small
+  /// displacements, so direct matching quietly degrades once cumulative
+  /// motion leaves the search radius; composed steps keep tracking.
+  /// Identical results for propagation spans <= 1 either way.
+  bool incremental_flow = true;
 };
 
 /// Per-frame DFF output.
@@ -77,11 +95,18 @@ class DffPipeline {
   ScaleSet sreg_;
   int init_scale_;
 
+  /// Grayscale flow source for `frame` (callers resize it to the feature
+  /// grid): a tiny dedicated render (flow_render_scale > 0) or the given
+  /// full-scale render (legacy).  `full_render` may be null in tiny mode.
+  Tensor flow_gray(const Scene& frame, const Tensor* full_render) const;
+
   int frame_index_ = 0;
   int current_scale_ = 0;
   int pending_scale_ = 0;  ///< regressed scale waiting for the next key frame
   Tensor key_features_;
   Tensor key_gray_;        ///< key frame at feature resolution, grayscale
+  Tensor prev_gray_;       ///< previous frame at feature resolution
+  Tensor acc_flow_y_, acc_flow_x_;  ///< composed key->previous flow
 };
 
 }  // namespace ada

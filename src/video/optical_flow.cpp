@@ -91,4 +91,40 @@ void block_matching_flow(const Tensor& ref, const Tensor& cur,
     }
 }
 
+namespace {
+
+/// Bilinear sample with border clamp (matches bilinear_warp's convention).
+float sample_clamped(const Tensor& t, float y, float x) {
+  const int h = t.h(), w = t.w();
+  const float cy = std::clamp(y, 0.0f, static_cast<float>(h - 1));
+  const float cx = std::clamp(x, 0.0f, static_cast<float>(w - 1));
+  const int y0 = static_cast<int>(cy), x0 = static_cast<int>(cx);
+  const int y1 = std::min(y0 + 1, h - 1), x1 = std::min(x0 + 1, w - 1);
+  const float fy = cy - static_cast<float>(y0);
+  const float fx = cx - static_cast<float>(x0);
+  return (1.0f - fy) * ((1.0f - fx) * t.at(0, 0, y0, x0) +
+                        fx * t.at(0, 0, y0, x1)) +
+         fy * ((1.0f - fx) * t.at(0, 0, y1, x0) + fx * t.at(0, 0, y1, x1));
+}
+
+}  // namespace
+
+void compose_flow(const Tensor& acc_y, const Tensor& acc_x,
+                  const Tensor& step_y, const Tensor& step_x, Tensor* out_y,
+                  Tensor* out_x) {
+  assert(acc_y.h() == step_y.h() && acc_y.w() == step_y.w());
+  const int h = step_y.h(), w = step_y.w();
+  if (out_y->h() != h || out_y->w() != w) *out_y = Tensor(1, 1, h, w);
+  if (out_x->h() != h || out_x->w() != w) *out_x = Tensor(1, 1, h, w);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const float sy = step_y.at(0, 0, y, x);
+      const float sx = step_x.at(0, 0, y, x);
+      const float py = static_cast<float>(y) + sy;
+      const float px = static_cast<float>(x) + sx;
+      out_y->at(0, 0, y, x) = sy + sample_clamped(acc_y, py, px);
+      out_x->at(0, 0, y, x) = sx + sample_clamped(acc_x, py, px);
+    }
+}
+
 }  // namespace ada

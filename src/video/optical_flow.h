@@ -30,4 +30,19 @@ void block_matching_flow(const Tensor& ref, const Tensor& cur,
                          const FlowConfig& cfg, Tensor* flow_y,
                          Tensor* flow_x);
 
+/// Composes two backward flow fields: given `acc` mapping frame P onto a
+/// reference K (K(y + acc_y, x + acc_x) ≈ P(y, x)) and `step` mapping the
+/// current frame C onto P, writes the flow mapping C directly onto K:
+///
+///   out(y, x) = step(y, x) + acc sampled (bilinearly, border-clamped) at
+///               (y + step_y, x + step_x)
+///
+/// Block matching is only reliable for small displacements, so long
+/// propagation spans track far better through per-frame steps composed with
+/// this than through one direct key->current match (which silently falls
+/// back to near-zero flow once motion leaves the search radius).
+void compose_flow(const Tensor& acc_y, const Tensor& acc_x,
+                  const Tensor& step_y, const Tensor& step_x, Tensor* out_y,
+                  Tensor* out_x);
+
 }  // namespace ada

@@ -1,0 +1,495 @@
+// DFF on the serving path: the keyframe/warp branch of AdaScalePipeline /
+// MultiStreamRunner must be a pure wiring change — bit-identical to the
+// already-trusted offline video pipelines (DffPipeline, AdaptiveDffPipeline,
+// Harness::run_dff) on the same input, and bit-identical between serial,
+// concurrent, and batched execution no matter how key frames coalesce.
+// Serving is stateful for the first time here, so the suite also proves the
+// per-stream context carries no state across streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "adascale/pipeline.h"
+#include "adascale/scale_target.h"
+#include "data/dataset.h"
+#include "detection/box.h"
+#include "experiments/harness.h"
+#include "runtime/multi_stream.h"
+#include "video/adaptive_dff.h"
+#include "video/dff.h"
+
+namespace ada {
+namespace {
+
+void expect_equal_detections(const DetectionOutput& a,
+                             const DetectionOutput& b) {
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t d = 0; d < a.detections.size(); ++d) {
+    EXPECT_EQ(a.detections[d].class_id, b.detections[d].class_id);
+    EXPECT_EQ(a.detections[d].score, b.detections[d].score);
+    EXPECT_EQ(a.detections[d].box.x1, b.detections[d].box.x1);
+    EXPECT_EQ(a.detections[d].box.y1, b.detections[d].box.y1);
+    EXPECT_EQ(a.detections[d].box.x2, b.detections[d].box.x2);
+    EXPECT_EQ(a.detections[d].box.y2, b.detections[d].box.y2);
+  }
+}
+
+/// Per-stream outputs of two runs must match bit for bit, including the
+/// DFF bookkeeping fields (key placement is part of the contract: a key in
+/// one mode but not the other means the stateful branch diverged).
+void expect_equal_outputs(const MultiStreamResult& a,
+                          const MultiStreamResult& b) {
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  EXPECT_EQ(a.total_frames, b.total_frames);
+  for (std::size_t s = 0; s < a.streams.size(); ++s) {
+    const StreamOutput& x = a.streams[s];
+    const StreamOutput& y = b.streams[s];
+    ASSERT_EQ(x.frames.size(), y.frames.size());
+    for (std::size_t f = 0; f < x.frames.size(); ++f) {
+      EXPECT_EQ(x.frames[f].scale_used, y.frames[f].scale_used);
+      EXPECT_EQ(x.frames[f].next_scale, y.frames[f].next_scale);
+      EXPECT_EQ(x.frames[f].regressed_t, y.frames[f].regressed_t);
+      EXPECT_EQ(x.frames[f].dff, y.frames[f].dff);
+      EXPECT_EQ(x.frames[f].dff_key, y.frames[f].dff_key);
+      EXPECT_EQ(x.frames[f].warp_residual, y.frames[f].warp_residual);
+      expect_equal_detections(x.frames[f].detections, y.frames[f].detections);
+    }
+  }
+}
+
+class DffServingTest : public ::testing::Test {
+ protected:
+  DffServingTest()
+      : dataset_(Dataset::synth_vid(1, 4, 77)),
+        renderer_(dataset_.make_renderer()) {
+    DetectorConfig dcfg;
+    dcfg.num_classes = dataset_.catalog().num_classes();
+    Rng rng(5);
+    detector_ = std::make_unique<Detector>(dcfg, &rng);
+    RegressorConfig rcfg;
+    rcfg.in_channels = detector_->feature_channels();
+    Rng rng2(6);
+    regressor_ = std::make_unique<ScaleRegressor>(rcfg, &rng2);
+  }
+
+  std::vector<const Snippet*> val_jobs() const {
+    std::vector<const Snippet*> jobs;
+    for (const Snippet& s : dataset_.val_snippets()) jobs.push_back(&s);
+    return jobs;
+  }
+
+  AdaScalePipeline make_serving(int init_scale = 600) {
+    return AdaScalePipeline(detector_.get(), regressor_.get(), &renderer_,
+                            dataset_.scale_policy(), ScaleSet::reg_default(),
+                            init_scale);
+  }
+
+  Dataset dataset_;
+  Renderer renderer_;
+  std::unique_ptr<Detector> detector_;
+  std::unique_ptr<ScaleRegressor> regressor_;
+};
+
+TEST_F(DffServingTest, FixedIntervalAdaScaleMatchesDffPipeline) {
+  // AdaScale-driven keyframing: the serving branch must retrace
+  // DffPipeline's exact state machine — same keys, same per-key scale
+  // switches, same detections, bit for bit.
+  DffConfig dcfg;
+  dcfg.key_interval = 4;
+  DffPipeline reference(detector_.get(), regressor_.get(), &renderer_,
+                        dataset_.scale_policy(), dcfg,
+                        ScaleSet::reg_default());
+  AdaScalePipeline serving = make_serving();
+  DffServingConfig scfg;
+  scfg.policy = DffServingConfig::Keyframe::kFixedInterval;
+  scfg.key_interval = 4;
+  scfg.adascale = true;
+  serving.set_dff(scfg);
+
+  for (const Snippet& snip : dataset_.val_snippets()) {
+    reference.reset();
+    serving.reset();
+    for (const Scene& frame : snip.frames) {
+      const DffFrameOutput a = reference.process(frame);
+      const AdaFrameOutput b = serving.process(frame);
+      EXPECT_TRUE(b.dff);
+      EXPECT_EQ(a.is_key, b.dff_key);
+      EXPECT_EQ(a.scale_used, b.scale_used);
+      expect_equal_detections(a.detections, b.detections);
+    }
+  }
+}
+
+TEST_F(DffServingTest, FixedScaleMatchesDffPipelineWithoutRegressor) {
+  // adascale=false is plain DFF: the regressor never runs, the scale stays
+  // pinned at init.  Must match DffPipeline built with a null regressor.
+  DffConfig dcfg;
+  dcfg.key_interval = 3;
+  DffPipeline reference(detector_.get(), nullptr, &renderer_,
+                        dataset_.scale_policy(), dcfg, ScaleSet::reg_default(),
+                        /*init_scale=*/480);
+  AdaScalePipeline serving = make_serving(/*init_scale=*/480);
+  DffServingConfig scfg;
+  scfg.policy = DffServingConfig::Keyframe::kFixedInterval;
+  scfg.key_interval = 3;
+  scfg.adascale = false;
+  serving.set_dff(scfg);
+
+  for (const Snippet& snip : dataset_.val_snippets()) {
+    reference.reset();
+    serving.reset();
+    for (const Scene& frame : snip.frames) {
+      const DffFrameOutput a = reference.process(frame);
+      const AdaFrameOutput b = serving.process(frame);
+      EXPECT_EQ(a.is_key, b.dff_key);
+      EXPECT_EQ(b.scale_used, 480);
+      EXPECT_EQ(b.regressed_t, 0.0f);
+      expect_equal_detections(a.detections, b.detections);
+    }
+  }
+}
+
+TEST_F(DffServingTest, LegacyFlowSourceStillMatchesDffPipeline) {
+  // The pre-tiny-render flow configuration (grayscale from the full
+  // working-scale render, direct key->current matching) remains a supported
+  // mode and must stay bit-identical between serving and DffPipeline.
+  DffConfig dcfg;
+  dcfg.key_interval = 4;
+  dcfg.flow_render_scale = 0;
+  dcfg.incremental_flow = false;
+  DffPipeline reference(detector_.get(), regressor_.get(), &renderer_,
+                        dataset_.scale_policy(), dcfg,
+                        ScaleSet::reg_default());
+  AdaScalePipeline serving = make_serving();
+  DffServingConfig scfg;
+  scfg.policy = DffServingConfig::Keyframe::kFixedInterval;
+  scfg.key_interval = 4;
+  scfg.adascale = true;
+  scfg.flow_render_scale = 0;
+  scfg.incremental_flow = false;
+  serving.set_dff(scfg);
+
+  for (const Snippet& snip : dataset_.val_snippets()) {
+    reference.reset();
+    serving.reset();
+    for (const Scene& frame : snip.frames) {
+      const DffFrameOutput a = reference.process(frame);
+      const AdaFrameOutput b = serving.process(frame);
+      EXPECT_EQ(a.is_key, b.dff_key);
+      EXPECT_EQ(a.scale_used, b.scale_used);
+      expect_equal_detections(a.detections, b.detections);
+    }
+  }
+}
+
+TEST_F(DffServingTest, AdaptiveMatchesAdaptiveDffPipeline) {
+  // With the scale-jump trigger off, the adaptive serving branch is exactly
+  // AdaptiveDffPipeline: same residual arithmetic, same forced keys, same
+  // max_interval refreshes.
+  AdaptiveDffConfig acfg;
+  acfg.residual_threshold = 0.02f;  // low enough to exercise forced keys
+  acfg.max_interval = 6;
+  AdaptiveDffPipeline reference(detector_.get(), regressor_.get(), &renderer_,
+                                dataset_.scale_policy(), acfg,
+                                ScaleSet::reg_default());
+  AdaScalePipeline serving = make_serving();
+  DffServingConfig scfg;
+  scfg.policy = DffServingConfig::Keyframe::kAdaptive;
+  scfg.residual_threshold = 0.02f;
+  scfg.max_interval = 6;
+  scfg.scale_jump_frac = 0.0f;
+  scfg.adascale = true;
+  serving.set_dff(scfg);
+
+  long keys = 0, forced = 0;
+  for (const Snippet& snip : dataset_.val_snippets()) {
+    reference.reset();
+    serving.reset();
+    for (const Scene& frame : snip.frames) {
+      const AdaptiveDffFrameOutput a = reference.process(frame);
+      const AdaFrameOutput b = serving.process(frame);
+      EXPECT_EQ(a.is_key, b.dff_key);
+      EXPECT_EQ(a.scale_used, b.scale_used);
+      EXPECT_EQ(a.warp_residual, b.warp_residual);
+      expect_equal_detections(a.detections, b.detections);
+      if (b.dff_key) ++keys;
+      if (b.dff_key && b.warp_residual > 0.0f) ++forced;
+    }
+  }
+  EXPECT_GT(keys, 0);
+}
+
+TEST_F(DffServingTest, ServingMatchesHarnessRunDff) {
+  // End-to-end: a 1-stream MultiStreamRunner in DFF mode must reproduce
+  // Harness::run_dff bit for bit — same snippets, same renderer, detections
+  // equal after the same reference-frame rescale the harness applies.
+  Harness h(Dataset::synth_vid(1, 4, 77), /*cache_dir=*/"");
+  DffConfig dcfg;
+  dcfg.key_interval = 5;
+  const std::vector<SnippetRun> runs =
+      h.run_dff(detector_.get(), regressor_.get(), dcfg,
+                ScaleSet::reg_default());
+
+  MultiStreamRunner runner(detector_.get(), regressor_.get(), &h.renderer(),
+                           h.dataset().scale_policy(), ScaleSet::reg_default(),
+                           /*num_streams=*/1);
+  DffServingConfig scfg;
+  scfg.policy = DffServingConfig::Keyframe::kFixedInterval;
+  scfg.key_interval = 5;
+  scfg.adascale = true;
+  runner.set_dff(scfg);
+  std::vector<const Snippet*> jobs;
+  for (const Snippet& s : h.dataset().val_snippets()) jobs.push_back(&s);
+  const MultiStreamResult res = runner.run_serial(jobs);
+
+  ASSERT_EQ(runs.size(), jobs.size());
+  std::size_t fi = 0;
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    ASSERT_EQ(runs[s].frame_dets.size(), jobs[s]->frames.size());
+    for (std::size_t f = 0; f < runs[s].frame_dets.size(); ++f, ++fi) {
+      ASSERT_LT(fi, res.streams[0].frames.size());
+      const AdaFrameOutput& out = res.streams[0].frames[fi];
+      EXPECT_EQ(out.scale_used, runs[s].frame_scales[f]);
+      const auto& ref = runs[s].frame_dets[f];
+      const auto& dets = out.detections.detections;
+      ASSERT_EQ(dets.size(), ref.size());
+      for (std::size_t d = 0; d < dets.size(); ++d) {
+        const Box rb =
+            rescale_box(dets[d].box, out.detections.image_h,
+                        out.detections.image_w, h.reference_h(),
+                        h.reference_w());
+        EXPECT_EQ(dets[d].class_id, ref[d].class_id);
+        EXPECT_EQ(dets[d].score, ref[d].score);
+        EXPECT_EQ(rb.x1, ref[d].box.x1);
+        EXPECT_EQ(rb.y1, ref[d].box.y1);
+        EXPECT_EQ(rb.x2, ref[d].box.x2);
+        EXPECT_EQ(rb.y2, ref[d].box.y2);
+      }
+    }
+  }
+  EXPECT_EQ(fi, res.streams[0].frames.size());
+}
+
+TEST_F(DffServingTest, FixedScaleServingMatchesHarnessRunDff) {
+  // Plain-DFF flavor of the same end-to-end equivalence (run_dff with a
+  // null regressor vs serving with adascale=false).
+  Harness h(Dataset::synth_vid(1, 4, 77), /*cache_dir=*/"");
+  DffConfig dcfg;
+  dcfg.key_interval = 4;
+  const std::vector<SnippetRun> runs =
+      h.run_dff(detector_.get(), nullptr, dcfg, ScaleSet::reg_default());
+
+  MultiStreamRunner runner(detector_.get(), regressor_.get(), &h.renderer(),
+                           h.dataset().scale_policy(), ScaleSet::reg_default(),
+                           /*num_streams=*/1);
+  DffServingConfig scfg;
+  scfg.policy = DffServingConfig::Keyframe::kFixedInterval;
+  scfg.key_interval = 4;
+  scfg.adascale = false;
+  runner.set_dff(scfg);
+  std::vector<const Snippet*> jobs;
+  for (const Snippet& s : h.dataset().val_snippets()) jobs.push_back(&s);
+  const MultiStreamResult res = runner.run_serial(jobs);
+
+  std::size_t fi = 0;
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    for (std::size_t f = 0; f < runs[s].frame_dets.size(); ++f, ++fi) {
+      const AdaFrameOutput& out = res.streams[0].frames[fi];
+      EXPECT_EQ(out.scale_used, runs[s].frame_scales[f]);
+      const auto& ref = runs[s].frame_dets[f];
+      const auto& dets = out.detections.detections;
+      ASSERT_EQ(dets.size(), ref.size());
+      for (std::size_t d = 0; d < dets.size(); ++d) {
+        const Box rb =
+            rescale_box(dets[d].box, out.detections.image_h,
+                        out.detections.image_w, h.reference_h(),
+                        h.reference_w());
+        EXPECT_EQ(dets[d].score, ref[d].score);
+        EXPECT_EQ(rb.x1, ref[d].box.x1);
+        EXPECT_EQ(rb.y2, ref[d].box.y2);
+      }
+    }
+  }
+}
+
+TEST_F(DffServingTest, BatchedDffMatchesSerialDff) {
+  // The core serving contract: run_batched with DFF — key frames coalesced
+  // across streams by the features_only scheduler, warp frames bypassing it
+  // entirely — produces the same bits as run_serial, for the default
+  // adaptive policy with every trigger armed.
+  MultiStreamRunner batched(detector_.get(), regressor_.get(), &renderer_,
+                            dataset_.scale_policy(), ScaleSet::reg_default(),
+                            4, /*init_scale=*/600, /*snap_scales=*/true);
+  MultiStreamRunner serial(detector_.get(), regressor_.get(), &renderer_,
+                           dataset_.scale_policy(), ScaleSet::reg_default(),
+                           4, /*init_scale=*/600, /*snap_scales=*/true);
+  DffServingConfig scfg;  // default: adaptive, adascale, scale-jump on
+  batched.set_dff(scfg);
+  serial.set_dff(scfg);
+  const auto jobs = val_jobs();
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.contexts = 2;
+  cfg.max_wait_ms = 2.0;
+  const MultiStreamResult bat = batched.run_batched(jobs, cfg);
+  const MultiStreamResult ref = serial.run_serial(jobs);
+  expect_equal_outputs(bat, ref);
+
+  // Only key frames reach the scheduler; warp frames bypass the backbone.
+  long keys = 0;
+  for (const StreamOutput& s : bat.streams)
+    for (const AdaFrameOutput& f : s.frames)
+      if (f.dff_key) ++keys;
+  EXPECT_EQ(bat.batch_stats.frames, keys);
+  EXPECT_LT(keys, bat.total_frames);
+}
+
+TEST_F(DffServingTest, BatchedDffOddKnobsStillMatchSerial) {
+  // Awkward batch composition — max_batch not dividing the stream count,
+  // one context, a tiny wait window — must not change a single bit.
+  MultiStreamRunner batched(detector_.get(), regressor_.get(), &renderer_,
+                            dataset_.scale_policy(), ScaleSet::reg_default(),
+                            4, /*init_scale=*/600, /*snap_scales=*/true);
+  MultiStreamRunner serial(detector_.get(), regressor_.get(), &renderer_,
+                           dataset_.scale_policy(), ScaleSet::reg_default(),
+                           4, /*init_scale=*/600, /*snap_scales=*/true);
+  DffServingConfig scfg;
+  scfg.policy = DffServingConfig::Keyframe::kFixedInterval;
+  scfg.key_interval = 3;
+  scfg.adascale = true;
+  batched.set_dff(scfg);
+  serial.set_dff(scfg);
+  const auto jobs = val_jobs();
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 3;
+  cfg.contexts = 1;
+  cfg.max_wait_ms = 0.5;
+  expect_equal_outputs(batched.run_batched(jobs, cfg),
+                       serial.run_serial(jobs));
+}
+
+TEST_F(DffServingTest, HeterogeneousPoliciesConcurrentMatchesSerial) {
+  // Interleaved stateful streams with *different* pinned execution policies:
+  // run() honors per-stream policies and must equal the serial per-stream
+  // run — any cross-stream leak of DFF caches or scale state would surface
+  // as a bitwise mismatch.
+  MultiStreamRunner concurrent(detector_.get(), regressor_.get(), &renderer_,
+                               dataset_.scale_policy(),
+                               ScaleSet::reg_default(), 2);
+  MultiStreamRunner serial(detector_.get(), regressor_.get(), &renderer_,
+                           dataset_.scale_policy(), ScaleSet::reg_default(),
+                           2);
+  for (MultiStreamRunner* r : {&concurrent, &serial}) {
+    r->set_stream_policy(0, ExecutionPolicy::fp32(), ExecutionPolicy::fp32());
+    r->set_stream_policy(1, ExecutionPolicy::reference(),
+                         ExecutionPolicy::reference());
+    DffServingConfig scfg;
+    scfg.max_interval = 5;
+    r->set_dff(scfg);
+  }
+  const auto jobs = val_jobs();
+  expect_equal_outputs(concurrent.run(jobs), serial.run_serial(jobs));
+}
+
+TEST_F(DffServingTest, PerStreamContextIsolatedAcrossStreams) {
+  // Round-robin job assignment means stream s of a 2-stream run sees
+  // exactly the jobs a 1-stream runner would see given that subset — if the
+  // outputs match, no state crossed between the interleaved streams.
+  MultiStreamRunner pair(detector_.get(), regressor_.get(), &renderer_,
+                         dataset_.scale_policy(), ScaleSet::reg_default(), 2);
+  DffServingConfig scfg;
+  pair.set_dff(scfg);
+  const auto jobs = val_jobs();
+  const MultiStreamResult both = pair.run(jobs);
+
+  for (int s = 0; s < 2; ++s) {
+    MultiStreamRunner solo(detector_.get(), regressor_.get(), &renderer_,
+                           dataset_.scale_policy(), ScaleSet::reg_default(),
+                           1);
+    solo.set_dff(scfg);
+    std::vector<const Snippet*> subset;
+    for (std::size_t j = static_cast<std::size_t>(s); j < jobs.size(); j += 2)
+      subset.push_back(jobs[j]);
+    const MultiStreamResult alone = solo.run_serial(subset);
+    const StreamOutput& x = both.streams[static_cast<std::size_t>(s)];
+    const StreamOutput& y = alone.streams[0];
+    ASSERT_EQ(x.frames.size(), y.frames.size());
+    for (std::size_t f = 0; f < x.frames.size(); ++f) {
+      EXPECT_EQ(x.frames[f].scale_used, y.frames[f].scale_used);
+      EXPECT_EQ(x.frames[f].dff_key, y.frames[f].dff_key);
+      EXPECT_EQ(x.frames[f].warp_residual, y.frames[f].warp_residual);
+      expect_equal_detections(x.frames[f].detections,
+                              y.frames[f].detections);
+    }
+  }
+}
+
+TEST_F(DffServingTest, ScaleJumpTriggerForcesKeyframes) {
+  // With a near-zero jump threshold every warp frame whose regressed scale
+  // differs from the current one must become a key; with the trigger off
+  // those frames warp.  The non-key frames that remain must all satisfy the
+  // jump bound — that is the trigger's contract.
+  const auto count_keys = [&](float jump_frac) {
+    AdaScalePipeline serving = make_serving();
+    DffServingConfig scfg;
+    scfg.residual_threshold = 1.0f;  // residual trigger effectively off
+    scfg.max_interval = 1000;        // interval trigger effectively off
+    scfg.scale_jump_frac = jump_frac;
+    serving.set_dff(scfg);
+    long keys = 0;
+    for (const Snippet& snip : dataset_.val_snippets()) {
+      serving.reset();
+      for (const Scene& frame : snip.frames) {
+        const AdaFrameOutput out = serving.process(frame);
+        if (out.dff_key) ++keys;
+        if (!out.dff_key && jump_frac > 0.0f) {
+          const int decoded = decode_scale_target(out.regressed_t,
+                                                  out.scale_used,
+                                                  ScaleSet::reg_default());
+          const float jump =
+              std::abs(static_cast<float>(decoded - out.scale_used)) /
+              static_cast<float>(out.scale_used);
+          EXPECT_LT(jump, jump_frac);
+        }
+      }
+    }
+    return keys;
+  };
+  const long keys_tight = count_keys(1e-4f);
+  const long keys_off = count_keys(0.0f);
+  EXPECT_GE(keys_tight, keys_off);
+}
+
+TEST_F(DffServingTest, SeqNmsHistoryStaysBounded) {
+  AdaScalePipeline serving = make_serving();
+  DffServingConfig scfg;
+  scfg.seqnms_window = 3;
+  serving.set_dff(scfg);
+  const auto& frames = dataset_.val_snippets()[0].frames;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    serving.process(frames[f]);
+    EXPECT_LE(serving.context().history.size(), 3u);
+    EXPECT_EQ(serving.context().history.size(),
+              std::min<std::size_t>(f + 1, 3u));
+  }
+  serving.reset();
+  EXPECT_TRUE(serving.context().history.empty());
+}
+
+TEST_F(DffServingTest, ResetDropsKeyCacheAndRestartsAtInitScale) {
+  AdaScalePipeline serving = make_serving();
+  DffServingConfig scfg;
+  serving.set_dff(scfg);
+  const auto& frames = dataset_.val_snippets()[0].frames;
+  serving.process(frames[0]);
+  serving.process(frames[1]);
+  serving.reset();
+  EXPECT_FALSE(serving.context().dff.has_key);
+  EXPECT_EQ(serving.current_scale(), 600);
+  const AdaFrameOutput out = serving.process(frames[2]);
+  EXPECT_TRUE(out.dff_key) << "first frame after reset must be a key";
+}
+
+}  // namespace
+}  // namespace ada

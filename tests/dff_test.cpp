@@ -107,6 +107,20 @@ TEST_F(DffFixture, AdaScaleChangesScaleOnlyAtKeyFrames) {
   }
 }
 
+TEST_F(DffFixture, NonPositiveKeyIntervalClampsToEveryFrameKey) {
+  // Regression: key_interval <= 0 used to hit a modulo-by-zero; it now
+  // clamps to 1, i.e. the backbone runs on every frame.
+  DffConfig cfg;
+  cfg.key_interval = 0;
+  DffPipeline p(detector.get(), nullptr, &renderer, dataset.scale_policy(),
+                cfg, ScaleSet::reg_default());
+  const auto& frames = dataset.val_snippets()[0].frames;
+  for (std::size_t f = 0; f < 3; ++f) {
+    const DffFrameOutput out = p.process(frames[f]);
+    EXPECT_TRUE(out.is_key) << "frame " << f;
+  }
+}
+
 TEST_F(DffFixture, ResetStartsNewKeyInterval) {
   DffConfig cfg;
   cfg.key_interval = 4;

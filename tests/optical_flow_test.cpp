@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "tensor/image_ops.h"
 #include "util/rng.h"
 
@@ -93,6 +95,169 @@ TEST(Flow, WarpWithEstimatedFlowReconstructsCurrent) {
       ++n;
     }
   EXPECT_LT(err / n, 0.05);
+}
+
+TEST(Warp, IdentityFlowReproducesInputExactly) {
+  // Zero flow means every destination pixel samples its own integer
+  // coordinate: bilinear weights collapse to 1·src, so the warp must be a
+  // bitwise copy — the property DFF leans on when a scene is static.
+  Tensor src(1, 3, 14, 18);
+  Rng rng(7);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = rng.uniform();
+  Tensor fy(1, 1, 14, 18), fx(1, 1, 14, 18);
+  fy.fill(0.0f);
+  fx.fill(0.0f);
+  Tensor out;
+  bilinear_warp(src, fy, fx, &out);
+  ASSERT_EQ(out.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_EQ(out[i], src[i]) << "element " << i;
+}
+
+TEST(Warp, OutOfBoundsFlowClampsToBorder) {
+  // Flow vectors pointing far outside the image must clamp to the border
+  // sample, never read out of bounds or produce non-finite values.
+  const Tensor src = textured(10, 12, 8);
+  Tensor fy(1, 1, 10, 12), fx(1, 1, 10, 12);
+  fy.fill(1000.0f);   // way below the bottom edge
+  fx.fill(-1000.0f);  // way left of the left edge
+  Tensor out;
+  bilinear_warp(src, fy, fx, &out);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 12; ++j) {
+      const float v = out.at(0, 0, i, j);
+      EXPECT_TRUE(std::isfinite(v));
+      // Clamped sample: bottom-left corner pixel, exactly.
+      EXPECT_EQ(v, src.at(0, 0, 9, 0)) << "(" << i << "," << j << ")";
+    }
+
+  // Mixed directions clamp per-axis.
+  fy.fill(-1000.0f);
+  fx.fill(1000.0f);
+  bilinear_warp(src, fy, fx, &out);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 12; ++j)
+      EXPECT_EQ(out.at(0, 0, i, j), src.at(0, 0, 0, 11));
+}
+
+TEST(Warp, DeterministicAcrossThreads) {
+  // DFF's bit-identity contracts require the warp to be independent of the
+  // threading environment: computing it concurrently from many threads (and
+  // repeatedly) must reproduce the single-threaded bits exactly.
+  const Tensor src = textured(24, 30, 9);
+  Tensor fy(1, 1, 24, 30), fx(1, 1, 24, 30);
+  Rng rng(10);
+  for (std::size_t i = 0; i < fy.size(); ++i) {
+    fy[i] = 4.0f * (rng.uniform() - 0.5f);
+    fx[i] = 4.0f * (rng.uniform() - 0.5f);
+  }
+  Tensor baseline;
+  bilinear_warp(src, fy, fx, &baseline);
+
+  constexpr int kThreads = 4;
+  std::vector<Tensor> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 3; ++rep)
+        bilinear_warp(src, fy, fx, &results[static_cast<std::size_t>(t)]);
+    });
+  for (std::thread& t : threads) t.join();
+  for (const Tensor& r : results) {
+    ASSERT_EQ(r.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i)
+      EXPECT_EQ(r[i], baseline[i]);
+  }
+}
+
+TEST(Compose, ZeroAccumulatorReturnsStep) {
+  // acc == 0 means the previous frame IS the key: composing any step with it
+  // must reproduce the step bitwise (sample of an all-zero field is zero).
+  Tensor acc_y(1, 1, 10, 12), acc_x(1, 1, 10, 12);
+  acc_y.fill(0.0f);
+  acc_x.fill(0.0f);
+  Tensor step_y(1, 1, 10, 12), step_x(1, 1, 10, 12);
+  Rng rng(11);
+  for (std::size_t i = 0; i < step_y.size(); ++i) {
+    step_y[i] = 4.0f * (rng.uniform() - 0.5f);
+    step_x[i] = 4.0f * (rng.uniform() - 0.5f);
+  }
+  Tensor out_y, out_x;
+  compose_flow(acc_y, acc_x, step_y, step_x, &out_y, &out_x);
+  for (std::size_t i = 0; i < step_y.size(); ++i) {
+    EXPECT_EQ(out_y[i], step_y[i]);
+    EXPECT_EQ(out_x[i], step_x[i]);
+  }
+}
+
+TEST(Compose, ZeroStepReturnsAccumulator) {
+  // A static frame (step == 0) must leave the accumulated key->prev flow
+  // unchanged: the sample lands exactly on each integer cell.
+  Tensor acc_y(1, 1, 10, 12), acc_x(1, 1, 10, 12);
+  Rng rng(12);
+  for (std::size_t i = 0; i < acc_y.size(); ++i) {
+    acc_y[i] = 4.0f * (rng.uniform() - 0.5f);
+    acc_x[i] = 4.0f * (rng.uniform() - 0.5f);
+  }
+  Tensor step_y(1, 1, 10, 12), step_x(1, 1, 10, 12);
+  step_y.fill(0.0f);
+  step_x.fill(0.0f);
+  Tensor out_y, out_x;
+  compose_flow(acc_y, acc_x, step_y, step_x, &out_y, &out_x);
+  for (std::size_t i = 0; i < acc_y.size(); ++i) {
+    EXPECT_EQ(out_y[i], acc_y[i]);
+    EXPECT_EQ(out_x[i], acc_x[i]);
+  }
+}
+
+TEST(Compose, ConstantFieldsAdd) {
+  // Uniform translations compose additively: acc = (a,b), step = (c,d)
+  // gives exactly (a+c, b+d) everywhere (the bilinear sample of a constant
+  // field is that constant, clamped or not).
+  Tensor acc_y(1, 1, 8, 9), acc_x(1, 1, 8, 9);
+  acc_y.fill(1.5f);
+  acc_x.fill(-0.75f);
+  Tensor step_y(1, 1, 8, 9), step_x(1, 1, 8, 9);
+  step_y.fill(-0.5f);
+  step_x.fill(2.25f);
+  Tensor out_y, out_x;
+  compose_flow(acc_y, acc_x, step_y, step_x, &out_y, &out_x);
+  for (std::size_t i = 0; i < out_y.size(); ++i) {
+    EXPECT_FLOAT_EQ(out_y[i], 1.0f);
+    EXPECT_FLOAT_EQ(out_x[i], 1.5f);
+  }
+}
+
+TEST(Compose, ComposedStepsTrackBeyondSearchRadius) {
+  // The reason incremental flow exists: a cumulative shift of 4 cells is
+  // outside a radius-2 search, so direct key->current matching fails, while
+  // two in-budget steps composed together recover it.
+  const Tensor key = textured(24, 28, 13);
+  const Tensor mid = shift(key, 2, 0);   // key->mid backward flow = +2
+  const Tensor cur = shift(key, 4, 0);   // key->cur backward flow = +4
+  FlowConfig cfg;
+  cfg.search_radius = 2;
+
+  Tensor direct_y, direct_x;
+  block_matching_flow(key, cur, cfg, &direct_y, &direct_x);
+
+  Tensor acc_y, acc_x;
+  block_matching_flow(key, mid, cfg, &acc_y, &acc_x);
+  Tensor step_y, step_x;
+  block_matching_flow(mid, cur, cfg, &step_y, &step_x);
+  Tensor comp_y, comp_x;
+  compose_flow(acc_y, acc_x, step_y, step_x, &comp_y, &comp_x);
+
+  int comp_good = 0, direct_good = 0, total = 0;
+  for (int i = 8; i < 18; ++i)
+    for (int j = 6; j < 22; ++j) {
+      ++total;
+      if (std::abs(comp_y.at(0, 0, i, j) - 4.0f) < 0.6f) ++comp_good;
+      if (std::abs(direct_y.at(0, 0, i, j) - 4.0f) < 0.6f) ++direct_good;
+    }
+  EXPECT_GT(static_cast<double>(comp_good) / total, 0.8);
+  // Direct matching cannot even represent a 4-cell displacement.
+  EXPECT_EQ(direct_good, 0);
 }
 
 TEST(Flow, DisplacementBoundedBySearchRadius) {

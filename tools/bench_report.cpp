@@ -1,12 +1,15 @@
 // bench_report — machine-readable kernel/perf trajectory for the repo.
 //
-// Emits BENCH_kernels.json (schema v4): per-conv-shape GFLOP/s and ns/call
+// Emits BENCH_kernels.json (schema v5): per-conv-shape GFLOP/s and ns/call
 // for all three GEMM backends (packed / reference / int8), end-to-end
 // detector forward latency / fps at each nominal scale, multi-stream
-// serving throughput — unbatched vs the cross-stream batch scheduler — and
-// the INT8 accuracy cost: fixed-600 mAP of the trained detector under fp32
+// serving throughput — unbatched vs the cross-stream batch scheduler — the
+// INT8 accuracy cost: fixed-600 mAP of the trained detector under fp32
 // vs the quantized path (the `quantized` section; uses the model cache, so
-// the first run trains for a few minutes and later runs load instantly).
+// the first run trains for a few minutes and later runs load instantly) —
+// and, since v5, the `dff` section: per-stream serving FPS with and without
+// DFF temporal reuse (keyframe share, warp-frame vs full-forward cost, and
+// the mAP delta the DFF acceptance bar reads).
 // Since v4 every section records the execution policy its rows ran under
 // (per-column for multi-backend sections), and backends are selected with
 // pinned per-model ExecutionPolicy values / explicit kernel arguments —
@@ -261,6 +264,115 @@ void emit_quantized(JsonWriter* jw) {
   jw->end_object();
 }
 
+/// DFF temporal reuse on the serving path (schema v5): a 1-stream serial
+/// run over the trained harness's validation snippets, with and without
+/// DFF at the default adaptive keyframe policy.  Records the per-stream
+/// FPS multiplier, the keyframe share, mean warp-frame vs full-forward
+/// cost, and the mAP delta — the numbers the DFF acceptance bar reads.
+void emit_dff(JsonWriter* jw) {
+  Harness h = make_vid_harness(default_cache_dir());
+  std::unique_ptr<Detector> det =
+      clone_detector(h.detector(ScaleSet::train_default()));
+  std::unique_ptr<ScaleRegressor> reg = clone_regressor(h.regressor(
+      ScaleSet::train_default(), h.default_regressor_config()));
+  // Serving numbers are always packed fp32, like the multi_stream section.
+  det->set_execution_policy(ExecutionPolicy::fp32());
+  reg->set_execution_policy(ExecutionPolicy::fp32());
+
+  std::vector<const Snippet*> jobs;
+  for (const Snippet& s : h.dataset().val_snippets()) jobs.push_back(&s);
+
+  // Serving outputs → per-snippet reference-frame detections so the
+  // harness evaluator can score them (same rescale Harness::run_* apply).
+  auto to_runs = [&](const MultiStreamResult& r) {
+    std::vector<SnippetRun> runs;
+    std::size_t fi = 0;
+    for (const Snippet* job : jobs) {
+      SnippetRun run;
+      for (std::size_t f = 0; f < job->frames.size(); ++f, ++fi) {
+        const AdaFrameOutput& out = r.streams[0].frames[fi];
+        std::vector<EvalDetection> dets;
+        dets.reserve(out.detections.detections.size());
+        for (const Detection& d : out.detections.detections) {
+          EvalDetection e;
+          e.box = rescale_box(d.box, out.detections.image_h,
+                              out.detections.image_w, h.reference_h(),
+                              h.reference_w());
+          e.class_id = d.class_id;
+          e.score = d.score;
+          dets.push_back(e);
+        }
+        run.frame_dets.push_back(std::move(dets));
+        run.frame_ms.push_back(out.total_ms());
+        run.frame_scales.push_back(out.scale_used);
+      }
+      runs.push_back(std::move(run));
+    }
+    return runs;
+  };
+  auto best_fps = [](MultiStreamResult a, const MultiStreamResult& b) {
+    return a.aggregate_fps >= b.aggregate_fps ? a : b;
+  };
+
+  MultiStreamRunner base(det.get(), reg.get(), &h.renderer(),
+                         h.dataset().scale_policy(), ScaleSet::reg_default(),
+                         /*num_streams=*/1);
+  base.run_serial(jobs);  // warm caches, arenas, pool
+  const MultiStreamResult baseline =
+      best_fps(base.run_serial(jobs), base.run_serial(jobs));
+
+  MultiStreamRunner runner(det.get(), reg.get(), &h.renderer(),
+                           h.dataset().scale_policy(), ScaleSet::reg_default(),
+                           /*num_streams=*/1);
+  const DffServingConfig scfg;  // default adaptive policy, every trigger on
+  runner.set_dff(scfg);
+  runner.run_serial(jobs);
+  const MultiStreamResult dff =
+      best_fps(runner.run_serial(jobs), runner.run_serial(jobs));
+
+  long keys = 0, warps = 0;
+  double key_ms = 0.0, warp_ms = 0.0;
+  for (const AdaFrameOutput& f : dff.streams[0].frames) {
+    if (f.dff_key) {
+      ++keys;
+      key_ms += f.total_ms();
+    } else {
+      ++warps;
+      warp_ms += f.total_ms();
+    }
+  }
+
+  const MethodRun base_eval = h.evaluate("serving/no-dff", to_runs(baseline));
+  const MethodRun dff_eval = h.evaluate("serving/dff", to_runs(dff));
+
+  jw->key("dff");
+  jw->begin_object();
+  jw->key("policy").value("packed");
+  jw->key("keyframe_policy").value("adaptive");
+  jw->key("adascale").value(true);
+  jw->key("streams").value(1);
+  jw->key("frames").value(static_cast<long long>(dff.total_frames));
+  jw->key("keyframes").value(static_cast<long long>(keys));
+  jw->key("keyframe_share")
+      .value(dff.total_frames > 0
+                 ? static_cast<double>(keys) /
+                       static_cast<double>(dff.total_frames)
+                 : 0.0);
+  jw->key("full_frame_ms").value(keys > 0 ? key_ms / keys : 0.0);
+  jw->key("warp_frame_ms").value(warps > 0 ? warp_ms / warps : 0.0);
+  jw->key("fps_baseline").value(baseline.aggregate_fps);
+  jw->key("fps_dff").value(dff.aggregate_fps);
+  jw->key("fps_multiplier")
+      .value(baseline.aggregate_fps > 0.0
+                 ? dff.aggregate_fps / baseline.aggregate_fps
+                 : 0.0);
+  jw->key("map_baseline").value(100.0 * base_eval.eval.map);
+  jw->key("map_dff").value(100.0 * dff_eval.eval.map);
+  jw->key("map_delta")
+      .value(100.0 * (dff_eval.eval.map - base_eval.eval.map));
+  jw->end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,7 +386,7 @@ int main(int argc, char** argv) {
 
   JsonWriter jw;
   jw.begin_object();
-  jw.key("schema").value("adascale-bench-kernels-v4");
+  jw.key("schema").value("adascale-bench-kernels-v5");
   jw.key("gemm_kernel_isa").value(gemm_kernel_isa());
   jw.key("default_policy").value(gemm_backend_name());
 
@@ -299,6 +411,10 @@ int main(int argc, char** argv) {
 
   // INT8 accuracy cost on the trained detector (schema v3).
   emit_quantized(&jw);
+
+  // DFF serving FPS multiplier + accuracy budget on the trained models
+  // (schema v5; shares the model cache with the quantized section).
+  emit_dff(&jw);
   jw.end_object();
 
   std::ofstream out(out_path);
