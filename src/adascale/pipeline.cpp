@@ -11,10 +11,17 @@
 
 namespace ada {
 
+int AdaScalePipeline::capped(int s) const {
+  if (scale_cap_ <= 0) return s;
+  return sreg_.nearest(std::min(s, scale_cap_));
+}
+
 AdaFrameOutput AdaScalePipeline::process(const Scene& frame) {
   if (dff_enabled_) return process_dff(frame, /*backend=*/nullptr);
 
   AdaFrameOutput out;
+  // A cap imposed between frames takes effect here, before the render.
+  ctx_.target_scale = capped(ctx_.target_scale);
   out.scale_used = ctx_.target_scale;
 
   const Tensor image =
@@ -28,6 +35,7 @@ AdaFrameOutput AdaScalePipeline::process(const Scene& frame) {
   out.next_scale =
       decode_scale_target(out.regressed_t, ctx_.target_scale, sreg_);
   if (snap_to_set_) out.next_scale = sreg_.nearest(out.next_scale);
+  out.next_scale = capped(out.next_scale);
   ctx_.target_scale = out.next_scale;
   return out;
 }
@@ -37,6 +45,7 @@ AdaFrameOutput AdaScalePipeline::process_via(const Scene& frame,
   if (dff_enabled_) return process_dff(frame, &backend);
 
   AdaFrameOutput out;
+  ctx_.target_scale = capped(ctx_.target_scale);
   out.scale_used = ctx_.target_scale;
 
   Tensor image = renderer_->render_at_scale(frame, ctx_.target_scale, policy_);
@@ -48,11 +57,13 @@ AdaFrameOutput AdaScalePipeline::process_via(const Scene& frame,
   out.next_scale =
       decode_scale_target(out.regressed_t, ctx_.target_scale, sreg_);
   if (snap_to_set_) out.next_scale = sreg_.nearest(out.next_scale);
+  out.next_scale = capped(out.next_scale);
   ctx_.target_scale = out.next_scale;
   return out;
 }
 
 void AdaScalePipeline::set_dff(const DffServingConfig& cfg) {
+  cfg.validate();
   dff_ = cfg;
   dff_enabled_ = true;
   ctx_.reset(init_scale_);
@@ -134,7 +145,7 @@ void AdaScalePipeline::refresh_key(const Scene& frame, Tensor image,
   if (dff_.adascale) {
     int next = decode_scale_target(out->regressed_t, st.current_scale, sreg_);
     if (snap_to_set_) next = sreg_.nearest(next);
-    st.pending_scale = next;
+    st.pending_scale = capped(next);
   }
 
   out->dff_key = true;
@@ -155,8 +166,9 @@ AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
                    : (!st.has_key || st.since_key >= dff_.max_interval);
 
   // Scale changes only take effect at key frames, so warped features always
-  // share the cached key's geometry.
-  if (key) st.current_scale = st.pending_scale;
+  // share the cached key's geometry.  A cap imposed between frames also
+  // lands here (the key-frame-only scale-change rule applies to it too).
+  if (key) st.current_scale = capped(st.pending_scale);
   out.scale_used = st.current_scale;
 
   if (!key) {
@@ -202,7 +214,7 @@ AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
         // Propagation unreliable: this frame becomes the new key at the
         // scale regressed at the previous key (the key-frame-only
         // scale-change rule).
-        st.current_scale = st.pending_scale;
+        st.current_scale = capped(st.pending_scale);
         key = true;
       }
     }
@@ -221,6 +233,7 @@ AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
         int decoded =
             decode_scale_target(out.regressed_t, st.current_scale, sreg_);
         if (snap_to_set_) decoded = sreg_.nearest(decoded);
+        decoded = capped(decoded);
         const float jump =
             std::abs(static_cast<float>(decoded - st.current_scale)) /
             static_cast<float>(st.current_scale);

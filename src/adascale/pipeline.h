@@ -21,6 +21,8 @@
 // forces a key frame).
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "adascale/scale_regressor.h"
@@ -80,6 +82,13 @@ class AdaScalePipeline {
         sreg_(sreg),
         init_scale_(init_scale),
         snap_to_set_(snap_to_set) {
+    if (detector_ == nullptr || regressor_ == nullptr || renderer_ == nullptr ||
+        init_scale_ <= 0 || sreg_.scales.empty()) {
+      std::fprintf(stderr,
+                   "AdaScalePipeline: invalid construction (null models/"
+                   "renderer, non-positive init_scale, or empty scale set)\n");
+      std::abort();
+    }
     ctx_.reset(init_scale_);
   }
 
@@ -95,6 +104,16 @@ class AdaScalePipeline {
   /// Enables DFF temporal reuse with the given configuration and resets the
   /// stream context (the cached features of any previous mode are invalid).
   void set_dff(const DffServingConfig& cfg);
+
+  /// Overload-degradation seam: caps the target scale at `cap` (0 lifts the
+  /// cap).  While capped, the scale this pipeline serves is
+  /// sreg.nearest(min(scale, cap)) — snapped onto the scale set so capped
+  /// streams keep landing in shared batch buckets (runtime/
+  /// overload_controller.h walks this knob).  Takes effect from the next
+  /// frame (next key frame in DFF mode); lifting it lets Algorithm 1
+  /// regress back up naturally.
+  void set_scale_cap(int cap) { scale_cap_ = cap; }
+  int scale_cap() const { return scale_cap_; }
 
   bool dff_enabled() const { return dff_enabled_; }
   const DffServingConfig& dff_config() const { return dff_; }
@@ -157,6 +176,9 @@ class AdaScalePipeline {
   /// Bounded per-stream detection history (seq-NMS seam).
   void push_history(const DetectionOutput& out);
 
+  /// `s` clamped under the overload scale cap (identity when uncapped).
+  int capped(int s) const;
+
   Detector* detector_;
   ScaleRegressor* regressor_;
   const Renderer* renderer_;
@@ -164,6 +186,7 @@ class AdaScalePipeline {
   ScaleSet sreg_;
   int init_scale_;
   bool snap_to_set_;
+  int scale_cap_ = 0;  ///< 0 = uncapped (see set_scale_cap)
   bool dff_enabled_ = false;
   DffServingConfig dff_;
   StreamContext ctx_;

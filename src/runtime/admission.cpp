@@ -1,0 +1,140 @@
+#include "runtime/admission.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ada {
+
+namespace {
+
+[[noreturn]] void config_fail(const char* what) {
+  std::fprintf(stderr, "AdmissionConfig: %s\n", what);
+  std::abort();
+}
+
+/// Exponential inter-arrival draw for a Poisson process at `rate_hz`,
+/// in milliseconds.  1 - U keeps the argument strictly positive (U is
+/// uniform on [0, 1)).
+double exp_interarrival_ms(double rate_hz, Rng* rng) {
+  const double u = 1.0 - static_cast<double>(rng->uniform());
+  return -std::log(u) * 1000.0 / rate_hz;
+}
+
+}  // namespace
+
+void AdmissionConfig::validate() const {
+  if (capacity <= 0) config_fail("capacity must be >= 1 (bounded queue)");
+  if (!(deadline_ms > 0.0))
+    config_fail("deadline_ms must be positive and finite");
+  if (!std::isfinite(deadline_ms))
+    config_fail("deadline_ms must be positive and finite");
+}
+
+ArrivalQueue::ArrivalQueue(const AdmissionConfig& cfg, const Clock* clock)
+    : cfg_(cfg), clock_(clock) {
+  cfg_.validate();
+  if (clock_ == nullptr) config_fail("ArrivalQueue requires a clock");
+}
+
+bool ArrivalQueue::offer(const Scene* scene, bool snippet_start,
+                         double arrival_ms) {
+  ++stats_.offered;
+  if (depth() >= cfg_.capacity) {
+    ++stats_.dropped_queue_full;
+    ++next_seq_;  // seq numbers every offered frame, admitted or not
+    return false;
+  }
+  AdmittedFrame f;
+  f.scene = scene;
+  f.arrival_ms = arrival_ms;
+  f.deadline_ms = arrival_ms + cfg_.deadline_ms;
+  f.seq = next_seq_++;
+  f.snippet_start = snippet_start;
+  queue_.push_back(f);
+  ++stats_.admitted;
+  return true;
+}
+
+AdmittedFrame ArrivalQueue::pop() {
+  AdmittedFrame f = queue_.front();
+  queue_.erase(queue_.begin());
+  ++stats_.served;
+  return f;
+}
+
+std::vector<AdmittedFrame> ArrivalQueue::shed_expired() {
+  const double now = clock_->now_ms();
+  std::vector<AdmittedFrame> shed;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].deadline_ms <= now) {
+      shed.push_back(queue_[i]);
+    } else {
+      queue_[keep++] = queue_[i];
+    }
+  }
+  queue_.resize(keep);
+  stats_.dropped_deadline += static_cast<long>(shed.size());
+  return shed;
+}
+
+double ArrivalQueue::oldest_slack_ms() const {
+  if (queue_.empty()) return cfg_.deadline_ms;
+  return queue_.front().deadline_ms - clock_->now_ms();
+}
+
+namespace {
+
+/// Shared schedule builder: walks the flattened frames of `jobs`, drawing
+/// each inter-arrival gap from `next_gap_ms(t)` evaluated at the current
+/// schedule time.
+template <typename GapFn>
+StreamSchedule build_schedule(const std::vector<const Snippet*>& jobs,
+                              double start_ms, GapFn next_gap_ms) {
+  StreamSchedule schedule;
+  double t = start_ms;
+  for (const Snippet* job : jobs) {
+    bool first = true;
+    for (const Scene& frame : job->frames) {
+      t += next_gap_ms(t);
+      FrameArrival a;
+      a.ms = t;
+      a.scene = &frame;
+      a.snippet_start = first;
+      first = false;
+      schedule.push_back(a);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace
+
+StreamSchedule poisson_schedule(const std::vector<const Snippet*>& jobs,
+                                double rate_hz, double start_ms, Rng* rng) {
+  if (!(rate_hz > 0.0)) config_fail("poisson_schedule: rate_hz must be > 0");
+  return build_schedule(jobs, start_ms, [&](double) {
+    return exp_interarrival_ms(rate_hz, rng);
+  });
+}
+
+StreamSchedule bursty_schedule(const std::vector<const Snippet*>& jobs,
+                               double base_rate_hz, double burst_rate_hz,
+                               double burst_period_ms, double burst_len_ms,
+                               double start_ms, Rng* rng) {
+  if (!(base_rate_hz > 0.0) || !(burst_rate_hz > 0.0))
+    config_fail("bursty_schedule: rates must be > 0");
+  if (!(burst_period_ms > 0.0) || burst_len_ms < 0.0 ||
+      burst_len_ms > burst_period_ms)
+    config_fail(
+        "bursty_schedule: need 0 <= burst_len_ms <= burst_period_ms, "
+        "burst_period_ms > 0");
+  return build_schedule(jobs, start_ms, [&](double t) {
+    const double phase = std::fmod(t - start_ms, burst_period_ms);
+    const double rate = phase < burst_len_ms ? burst_rate_hz : base_rate_hz;
+    return exp_interarrival_ms(rate, rng);
+  });
+}
+
+}  // namespace ada

@@ -1,13 +1,14 @@
 #include "runtime/batch_scheduler.h"
 
 #include <algorithm>
-#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/timer.h"
 
 namespace ada {
-
-using Clock = std::chrono::steady_clock;
 
 struct BatchScheduler::Request {
   const Tensor* image = nullptr;
@@ -17,7 +18,7 @@ struct BatchScheduler::Request {
 
 struct BatchScheduler::Bucket {
   std::vector<Request*> pending;  ///< FIFO; front request's thread leads
-  Clock::time_point opened;       ///< when the oldest pending request arrived
+  double opened_ms = 0.0;  ///< clock time the oldest pending request arrived
 };
 
 struct BatchScheduler::Context {
@@ -25,11 +26,31 @@ struct BatchScheduler::Context {
   std::unique_ptr<ScaleRegressor> regressor;
 };
 
+void BatchSchedulerConfig::validate() const {
+  auto fail = [](const char* what) {
+    std::fprintf(stderr, "BatchSchedulerConfig: %s\n", what);
+    std::abort();
+  };
+  if (max_batch < 1) fail("max_batch must be >= 1");
+  if (contexts < 1) fail("contexts must be >= 1");
+  if (!(max_wait_ms >= 0.0) || !std::isfinite(max_wait_ms))
+    fail("max_wait_ms must be finite and >= 0");
+}
+
 BatchScheduler::BatchScheduler(Detector* prototype_detector,
                                ScaleRegressor* prototype_regressor,
-                               const BatchSchedulerConfig& cfg)
-    : cfg_(cfg) {
-  assert(cfg_.max_batch >= 1 && cfg_.contexts >= 1);
+                               const BatchSchedulerConfig& cfg,
+                               const Clock* clock)
+    : cfg_(cfg), clock_(clock) {
+  cfg_.validate();
+  if (clock_ == nullptr) {
+    own_clock_ = std::make_unique<WallClock>();
+    clock_ = own_clock_.get();
+  } else {
+    // An injected clock cannot drive timed waits (its "time" is whatever
+    // the injector says) — leaders block and rely on poke().
+    manual_clock_ = true;
+  }
   stats_.batch_size_hist.assign(static_cast<std::size_t>(cfg_.max_batch) + 1,
                                 0);
   for (int i = 0; i < cfg_.contexts; ++i) {
@@ -132,7 +153,7 @@ BatchSubmitResult BatchScheduler::submit(const Tensor& image) {
 
   const std::pair<int, int> key{image.h(), image.w()};
   Bucket& bucket = buckets_[key];  // std::map: reference stays valid
-  if (bucket.pending.empty()) bucket.opened = Clock::now();
+  if (bucket.pending.empty()) bucket.opened_ms = clock_->now_ms();
   Request req;
   req.image = &image;
   bucket.pending.push_back(&req);
@@ -151,11 +172,9 @@ BatchSubmitResult BatchScheduler::submit(const Tensor& image) {
       const bool full =
           static_cast<int>(bucket.pending.size()) >= cfg_.max_batch;
       const bool all_blocked = waiting_ >= attached_;
-      const auto deadline =
-          bucket.opened + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double, std::milli>(
-                                  cfg_.max_wait_ms));
-      if (full || all_blocked || Clock::now() >= deadline) {
+      const double deadline_ms = bucket.opened_ms + cfg_.max_wait_ms;
+      const double now_ms = clock_->now_ms();
+      if (full || all_blocked || now_ms >= deadline_ms) {
         const std::size_t take = std::min<std::size_t>(
             bucket.pending.size(), static_cast<std::size_t>(cfg_.max_batch));
         std::vector<Request*> batch(bucket.pending.begin(),
@@ -166,7 +185,7 @@ BatchSubmitResult BatchScheduler::submit(const Tensor& image) {
                                  static_cast<std::ptrdiff_t>(take));
         // Anyone left behind becomes a fresh bucket generation with its own
         // leader and wait window.
-        if (!bucket.pending.empty()) bucket.opened = Clock::now();
+        if (!bucket.pending.empty()) bucket.opened_ms = clock_->now_ms();
         waiting_ -= static_cast<int>(take);
         Context* ctx = acquire_context(&lk);
         lk.unlock();
@@ -178,14 +197,24 @@ BatchSubmitResult BatchScheduler::submit(const Tensor& image) {
         for (Request* r : batch) r->done = true;
         cv_.notify_all();
         // req.done is now true; the loop head returns it.
+      } else if (manual_clock_) {
+        // Timed waits are meaningless against an injected clock; block until
+        // poke() (after a clock advance) or any state change re-wakes us.
+        cv_.wait(lk);
       } else {
-        cv_.wait_until(lk, deadline);
+        cv_.wait_for(lk, std::chrono::duration<double, std::milli>(
+                             deadline_ms - now_ms));
       }
     } else {
       // Follower (or leader-to-be after a promotion): wait for the leader.
       cv_.wait(lk);
     }
   }
+}
+
+void BatchScheduler::poke() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cv_.notify_all();
 }
 
 BatchSchedulerStats BatchScheduler::stats() const {

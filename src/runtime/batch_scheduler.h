@@ -27,7 +27,6 @@
 // waiting, no batching overhead).
 #pragma once
 
-#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -36,6 +35,7 @@
 
 #include "adascale/scale_regressor.h"
 #include "detection/detector.h"
+#include "util/clock.h"
 
 namespace ada {
 
@@ -59,6 +59,11 @@ struct BatchSchedulerConfig {
   /// own models, which is what makes batched DFF bit-identical to serial
   /// (MultiStreamRunner::run_batched flips this on when DFF is enabled).
   bool features_only = false;
+
+  /// Aborts loudly on nonsensical values (non-positive max_batch or
+  /// context pool, negative/non-finite max_wait_ms) instead of a silent
+  /// assert that vanishes in Release builds.
+  void validate() const;
 };
 
 /// What one stream gets back for one submitted frame.
@@ -92,10 +97,17 @@ struct BatchSchedulerStats {
 class BatchScheduler {
  public:
   /// Clones `cfg.contexts` detector/regressor pairs from the prototypes
-  /// (which are only read during construction).
+  /// (which are only read during construction).  `clock` injects the time
+  /// source for the max_wait_ms flush deadline: null (the default) uses a
+  /// wall clock and timed waits, exactly the legacy behavior; a ManualClock
+  /// makes the timeout path deterministic and wall-clock-free — leaders
+  /// then block indefinitely, and whoever advances the clock must call
+  /// poke() so they re-check their deadlines (tests/batch_scheduler_test
+  /// drives a lone-frame timeout flush this way).
   BatchScheduler(Detector* prototype_detector,
                  ScaleRegressor* prototype_regressor,
-                 const BatchSchedulerConfig& cfg);
+                 const BatchSchedulerConfig& cfg,
+                 const Clock* clock = nullptr);
   ~BatchScheduler();
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -115,6 +127,10 @@ class BatchScheduler {
   /// alive for the duration of the call (it is read, never copied whole).
   BatchSubmitResult submit(const Tensor& image);
 
+  /// Wakes every blocked leader/follower so deadlines are re-evaluated.
+  /// Required after advancing an injected ManualClock; harmless otherwise.
+  void poke();
+
   BatchSchedulerStats stats() const;
 
  private:
@@ -129,6 +145,9 @@ class BatchScheduler {
   void execute(Context* ctx, const std::vector<Request*>& batch);
 
   BatchSchedulerConfig cfg_;
+  const Clock* clock_;               ///< injected, or own_clock_ when null
+  std::unique_ptr<WallClock> own_clock_;
+  bool manual_clock_ = false;  ///< injected clock: block + poke, no timed wait
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::pair<int, int>, Bucket> buckets_;

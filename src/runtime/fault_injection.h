@@ -1,0 +1,63 @@
+// Declarative fault injection for the overload-resilience tests.
+//
+// The overload controller's job is to degrade and recover instead of
+// collapsing when the serving path misbehaves — which means tests need a
+// way to make it misbehave on demand, deterministically.  A FaultInjection
+// is a list of declarative rules evaluated per (stream, seq) against the
+// virtual clock: per-stage latency spikes (a slow model, a cache miss
+// storm), a stalled-stream straggler (one stream's frames take 100x as
+// long, backlogging the shared worker), and arrival bursts are expressed by
+// the load schedule itself (runtime/admission.h).  Rules add simulated
+// service time, so injected faults are exactly reproducible — no sleeps,
+// no real slowdowns (util/clock.h).
+#pragma once
+
+#include <vector>
+
+namespace ada {
+
+/// Adds `extra_ms` of simulated service time to frames [from_seq, to_seq]
+/// of one stream (or every stream with stream == -1).
+struct LatencySpike {
+  int stream = -1;     ///< target stream id; -1 matches all streams
+  long from_seq = 0;   ///< first affected per-stream frame index (inclusive)
+  long to_seq = -1;    ///< last affected frame index; -1 = unbounded
+  double extra_ms = 0.0;
+};
+
+/// A bundle of injected faults consulted by the virtual-time runner.
+struct FaultInjection {
+  std::vector<LatencySpike> spikes;
+
+  /// Total injected extra service time for frame `seq` of `stream`.
+  double extra_service_ms(int stream, long seq) const {
+    double total = 0.0;
+    for (const LatencySpike& s : spikes) {
+      if (s.stream != -1 && s.stream != stream) continue;
+      if (seq < s.from_seq) continue;
+      if (s.to_seq >= 0 && seq > s.to_seq) continue;
+      total += s.extra_ms;
+    }
+    return total;
+  }
+
+  /// A stalled-stream straggler: every frame of `stream` from `from_seq`
+  /// on takes `stall_ms` longer — the shape of a wedged decoder or a dying
+  /// disk behind one camera.
+  static FaultInjection stalled_stream(int stream, long from_seq,
+                                       double stall_ms) {
+    FaultInjection f;
+    f.spikes.push_back({stream, from_seq, -1, stall_ms});
+    return f;
+  }
+
+  /// A transient latency spike across all streams (frames [from, to]).
+  static FaultInjection global_spike(long from_seq, long to_seq,
+                                     double extra_ms) {
+    FaultInjection f;
+    f.spikes.push_back({-1, from_seq, to_seq, extra_ms});
+    return f;
+  }
+};
+
+}  // namespace ada

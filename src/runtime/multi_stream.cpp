@@ -1,5 +1,6 @@
 #include "runtime/multi_stream.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -21,7 +22,14 @@ MultiStreamRunner::MultiStreamRunner(Detector* prototype_detector,
                                      const ScalePolicy& policy,
                                      const ScaleSet& sreg, int num_streams,
                                      int init_scale, bool snap_scales) {
-  assert(num_streams > 0);
+  if (num_streams <= 0) {
+    std::fprintf(stderr,
+                 "MultiStreamRunner: num_streams must be >= 1 (got %d)\n",
+                 num_streams);
+    std::abort();
+  }
+  // Null models/renderer, non-positive init_scale and an empty scale set
+  // abort loudly inside the AdaScalePipeline constructor below.
   streams_.reserve(static_cast<std::size_t>(num_streams));
   for (int s = 0; s < num_streams; ++s) {
     auto stream = std::make_unique<Stream>();
@@ -51,6 +59,10 @@ void MultiStreamRunner::set_stream_policy(
 void MultiStreamRunner::set_dff(const DffServingConfig& cfg) {
   for (const auto& s : streams_) s->pipeline->set_dff(cfg);
   dff_enabled_ = true;
+}
+
+void MultiStreamRunner::set_scale_cap(int cap) {
+  for (const auto& s : streams_) s->pipeline->set_scale_cap(cap);
 }
 
 MultiStreamResult MultiStreamRunner::run_impl(
@@ -151,6 +163,202 @@ MultiStreamResult MultiStreamRunner::run_batched(
   BatchScheduler scheduler(streams_[0]->detector.get(),
                            streams_[0]->regressor.get(), scfg);
   return run_impl(jobs, /*concurrent=*/true, &scheduler);
+}
+
+TimedRunResult MultiStreamRunner::run_timed(
+    const std::vector<StreamSchedule>& schedules, const TimedRunConfig& cfg,
+    ManualClock* clock, OverloadController* controller) {
+  if (static_cast<int>(schedules.size()) != num_streams()) {
+    std::fprintf(stderr,
+                 "MultiStreamRunner::run_timed: %zu schedules for %d streams "
+                 "— need exactly one per stream\n",
+                 schedules.size(), num_streams());
+    std::abort();
+  }
+  if (clock == nullptr) {
+    std::fprintf(stderr, "MultiStreamRunner::run_timed: clock is required\n");
+    std::abort();
+  }
+  if (!cfg.run_inference && !cfg.service_model) {
+    std::fprintf(stderr,
+                 "MultiStreamRunner::run_timed: run_inference=false needs a "
+                 "service_model — with both off there is no service time\n");
+    std::abort();
+  }
+  const std::size_t n = streams_.size();
+
+  TimedRunResult result;
+  result.stream_stats.resize(n);
+  const double t_begin = clock->now_ms();
+
+  std::vector<ArrivalQueue> queues;
+  queues.reserve(n);
+  for (std::size_t s = 0; s < n; ++s)
+    queues.emplace_back(cfg.admission, clock);
+
+  std::vector<std::size_t> next(n, 0);   // next undelivered schedule index
+  std::vector<long> offered_seq(n, 0);   // mirrors the queue's seq numbering
+  // Policy-switch bookkeeping: the pre-degradation policies to restore.
+  std::vector<ExecutionPolicy> saved_det(n), saved_reg(n);
+  bool policies_switched = false;
+
+  auto record_drop = [&](int stream, long seq, double arrival_ms,
+                         DropReason reason, DegradeLevel level) {
+    TimedFrameRecord r;
+    r.stream = stream;
+    r.seq = seq;
+    r.arrival_ms = arrival_ms;
+    r.start_ms = clock->now_ms();
+    r.finish_ms = r.start_ms;
+    r.dropped = true;
+    r.drop_reason = reason;
+    r.level = level;
+    result.frames.push_back(std::move(r));
+  };
+
+  std::size_t rr = 0;  // round-robin service pointer
+  for (;;) {
+    const double now = clock->now_ms();
+    const DegradeLevel level =
+        controller != nullptr ? controller->level() : DegradeLevel::kNormal;
+
+    // 1. Deliver every arrival due by now.  Arrivals that landed during the
+    // previous service window are delivered here with their scheduled
+    // arrival_ms (not the current clock), so their queueing delay is real.
+    for (std::size_t s = 0; s < n; ++s) {
+      while (next[s] < schedules[s].size() &&
+             schedules[s][next[s]].ms <= now) {
+        const FrameArrival& a = schedules[s][next[s]];
+        const long seq = offered_seq[s]++;
+        if (!queues[s].offer(a.scene, a.snippet_start, a.ms))
+          record_drop(static_cast<int>(s), seq, a.ms, DropReason::kQueueFull,
+                      level);
+        ++next[s];
+      }
+    }
+
+    // 2. Termination / idle handling.
+    bool any_queued = false, any_pending = false;
+    double next_arrival = 0.0;
+    bool have_next = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!queues[s].empty()) any_queued = true;
+      if (next[s] < schedules[s].size()) {
+        any_pending = true;
+        const double t = schedules[s][next[s]].ms;
+        if (!have_next || t < next_arrival) next_arrival = t;
+        have_next = true;
+      }
+    }
+    if (!any_queued) {
+      if (!any_pending) break;        // drained and exhausted: done
+      clock->advance_to(next_arrival);  // idle: jump to the next arrival
+      continue;
+    }
+
+    // 3. One controller tick per service slot: worst depth, worst slack.
+    int max_depth = 0;
+    double min_slack = cfg.admission.deadline_ms;
+    for (std::size_t s = 0; s < n; ++s) {
+      max_depth = std::max(max_depth, queues[s].depth());
+      min_slack = std::min(min_slack, queues[s].oldest_slack_ms());
+    }
+    DegradeLevel now_level = DegradeLevel::kNormal;
+    if (controller != nullptr) {
+      now_level = controller->observe(max_depth, min_slack);
+
+      // Enforce the rung: scale cap on every pipeline (0 lifts it)...
+      set_scale_cap(now_level >= DegradeLevel::kScaleCap &&
+                            controller->config().enable_scale_cap
+                        ? controller->config().scale_cap
+                        : 0);
+      // ...degraded execution policies (saved once, restored on recovery)...
+      if (controller->policy_switch_active() && !policies_switched) {
+        for (std::size_t s = 0; s < n; ++s) {
+          saved_det[s] = streams_[s]->detector->execution_policy();
+          saved_reg[s] = streams_[s]->regressor->execution_policy();
+          set_stream_policy(static_cast<int>(s), cfg.degraded_detector_policy,
+                            cfg.degraded_regressor_policy);
+        }
+        policies_switched = true;
+      } else if (!controller->policy_switch_active() && policies_switched) {
+        for (std::size_t s = 0; s < n; ++s)
+          set_stream_policy(static_cast<int>(s), saved_det[s], saved_reg[s]);
+        policies_switched = false;
+      }
+      // ...and deadline-aware shedding of already-expired queued frames.
+      if (controller->shedding_active()) {
+        for (std::size_t s = 0; s < n; ++s) {
+          for (const AdmittedFrame& f : queues[s].shed_expired())
+            record_drop(static_cast<int>(s), f.seq, f.arrival_ms,
+                        DropReason::kDeadline, now_level);
+        }
+      }
+    }
+
+    // 4. Serve one frame round-robin across non-empty queues.  Shedding may
+    // just have emptied everything; the loop head re-evaluates then.
+    std::size_t pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = (rr + i) % n;
+      if (!queues[s].empty()) {
+        pick = s;
+        break;
+      }
+    }
+    if (pick == n) continue;
+    rr = pick + 1;
+
+    Stream& stream = *streams_[pick];
+    const AdmittedFrame f = queues[pick].pop();
+    if (f.snippet_start) stream.pipeline->reset();
+
+    TimedFrameRecord r;
+    r.stream = static_cast<int>(pick);
+    r.seq = f.seq;
+    r.arrival_ms = f.arrival_ms;
+    r.start_ms = clock->now_ms();
+    r.level = now_level;
+    if (cfg.run_inference) {
+      r.output = stream.pipeline->process(*f.scene);
+      r.scale_used = r.output.scale_used;
+    } else {
+      r.scale_used = stream.pipeline->current_scale();
+      if (controller != nullptr)
+        r.scale_used = controller->apply_scale(r.scale_used);
+    }
+    double svc = cfg.service_model
+                     ? cfg.service_model(r.stream, r.seq, r.scale_used,
+                                         now_level)
+                     : r.output.total_ms();
+    svc += cfg.faults.extra_service_ms(r.stream, r.seq);
+    clock->advance(svc);
+    r.finish_ms = clock->now_ms();
+    r.deadline_met = r.finish_ms <= f.deadline_ms;
+    result.latency.record(r.finish_ms - r.arrival_ms);
+    if (!r.deadline_met) ++result.deadline_violations;
+    result.frames.push_back(std::move(r));
+  }
+
+  result.makespan_ms = clock->now_ms() - t_begin;
+  for (std::size_t s = 0; s < n; ++s) {
+    const AdmissionStats& st = queues[s].stats();
+    result.stream_stats[static_cast<std::size_t>(s)] = st;
+    result.offered += st.offered;
+    result.served += st.served;
+    result.dropped_queue_full += st.dropped_queue_full;
+    result.dropped_deadline += st.dropped_deadline;
+  }
+  if (controller != nullptr) {
+    result.timeline = controller->timeline();
+    result.final_level = controller->level();
+    // A timed run must not leak degraded state into later runs.
+    if (policies_switched)
+      for (std::size_t s = 0; s < n; ++s)
+        set_stream_policy(static_cast<int>(s), saved_det[s], saved_reg[s]);
+    set_scale_cap(0);
+  }
+  return result;
 }
 
 }  // namespace ada

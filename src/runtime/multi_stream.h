@@ -13,12 +13,17 @@
 // the multi_stream test asserts exactly that.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "adascale/pipeline.h"
 #include "data/video.h"
+#include "runtime/admission.h"
 #include "runtime/batch_scheduler.h"
+#include "runtime/fault_injection.h"
+#include "runtime/overload_controller.h"
+#include "util/latency_histogram.h"
 
 namespace ada {
 
@@ -38,6 +43,82 @@ struct MultiStreamResult {
   double aggregate_fps = 0.0;         ///< total_frames / wall_ms
   bool batched = false;               ///< produced by run_batched()
   BatchSchedulerStats batch_stats;    ///< meaningful when batched
+};
+
+/// Why a frame never produced output (TimedFrameRecord::drop_reason).
+enum class DropReason : int {
+  kNone = 0,       ///< not dropped
+  kQueueFull = 1,  ///< tail-dropped on admission (bounded queue at capacity)
+  kDeadline = 2,   ///< shed after admission with its deadline already passed
+};
+
+/// What happened to one offered frame in a timed (arrival-driven) run.
+struct TimedFrameRecord {
+  int stream = 0;
+  long seq = 0;            ///< per-stream frame index, in offer order
+  double arrival_ms = 0.0; ///< scheduled arrival (absolute clock time)
+  double start_ms = 0.0;   ///< service start; equals drop time for drops
+  double finish_ms = 0.0;  ///< service end; equals drop time for drops
+  bool dropped = false;
+  DropReason drop_reason = DropReason::kNone;
+  bool deadline_met = false;  ///< served with finish <= arrival + deadline
+  int scale_used = 0;         ///< nominal serving scale (0 for drops)
+  DegradeLevel level = DegradeLevel::kNormal;  ///< controller rung in force
+  AdaFrameOutput output;  ///< populated only when served with run_inference
+};
+
+/// Knobs of a timed run (see MultiStreamRunner::run_timed).
+struct TimedRunConfig {
+  AdmissionConfig admission;  ///< per-stream queue bound + relative deadline
+
+  /// With true (default) every served frame runs the stream's real pipeline
+  /// (detections, scale trajectory, measured latencies).  With false the
+  /// pipelines are bypassed entirely — pure queueing simulation; a
+  /// service_model is then mandatory.
+  bool run_inference = true;
+
+  /// Modeled service time in virtual ms for one frame:
+  /// (stream, seq, scale_used, level) -> ms.  Null uses the measured
+  /// inference time of the frame (run_inference must then be true).  Tests
+  /// model service deterministically (e.g. quadratic in scale); loadgen
+  /// measures it.
+  std::function<double(int stream, long seq, int scale_used, DegradeLevel level)>
+      service_model;
+
+  /// Extra simulated service time per (stream, seq) — latency spikes,
+  /// stalled-stream stragglers (runtime/fault_injection.h).
+  FaultInjection faults;
+
+  /// Policies installed on every stream while the controller's
+  /// policy-switch rung is in force (and restored on recovery): the
+  /// canonical degraded recipe is the quantized detector with the fp32
+  /// regressor.
+  ExecutionPolicy degraded_detector_policy = ExecutionPolicy::int8();
+  ExecutionPolicy degraded_regressor_policy = ExecutionPolicy::fp32();
+};
+
+/// Aggregate result of a timed run.  The per-stream AdmissionStats obey
+///   offered  == admitted + dropped_queue_full
+///   admitted == served + dropped_deadline      (queues drain before return)
+struct TimedRunResult {
+  std::vector<TimedFrameRecord> frames;      ///< completion/drop order
+  std::vector<AdmissionStats> stream_stats;  ///< indexed by stream id
+  LatencyHistogram latency;  ///< served frames only: finish - arrival (ms)
+  long offered = 0;
+  long served = 0;
+  long dropped_queue_full = 0;
+  long dropped_deadline = 0;
+  long deadline_violations = 0;  ///< served, but after the deadline
+  double makespan_ms = 0.0;      ///< virtual time from first call to drain
+  std::vector<DegradeEvent> timeline;  ///< controller transitions (if any)
+  DegradeLevel final_level = DegradeLevel::kNormal;
+
+  double drop_rate() const {
+    return offered > 0 ? static_cast<double>(dropped_queue_full +
+                                             dropped_deadline) /
+                             static_cast<double>(offered)
+                       : 0.0;
+  }
 };
 
 /// Drives N independent AdaScalePipeline instances concurrently.
@@ -88,6 +169,13 @@ class MultiStreamRunner {
   /// Whether set_dff has been called.
   bool dff_enabled() const { return dff_enabled_; }
 
+  /// Caps every stream's target scale at `cap` (0 lifts the cap) — the
+  /// overload controller's first degradation rung, fanned out to each
+  /// stream's AdaScalePipeline::set_scale_cap.  run_timed drives this
+  /// automatically when given a controller; it is public so external
+  /// operators (or tests) can impose a cap directly.
+  void set_scale_cap(int cap);
+
   /// Processes every snippet: job j goes to stream j % num_streams, streams
   /// run concurrently on dedicated threads.  Pipelines reset() at each
   /// snippet boundary (Algorithm 1 restarts per video).
@@ -109,6 +197,28 @@ class MultiStreamRunner {
   /// MultiStreamResult::batch_stats.
   MultiStreamResult run_batched(const std::vector<const Snippet*>& jobs,
                                 const BatchSchedulerConfig& cfg = {});
+
+  /// Arrival-driven serving in virtual time: frames *arrive* on per-stream
+  /// schedules (runtime/admission.h) instead of being pulled as fast as the
+  /// hardware allows, pass through bounded deadline-stamped queues, and are
+  /// served round-robin by a single modeled worker that advances `clock` by
+  /// each frame's service time (modeled or measured) — so queueing, drops,
+  /// deadline slack and controller decisions are exact functions of the
+  /// schedule + config, reproducible bit-for-bit with no sleeps and no
+  /// dependence on machine speed or ADASCALE_THREADS.
+  ///
+  /// `schedules` must have exactly one (possibly empty) schedule per
+  /// stream, each sorted by arrival time.  `controller` is optional: null
+  /// serves as configured no matter the backlog (the SLO baseline); with a
+  /// controller the runner feeds it one observation per loop tick (worst
+  /// queue depth, worst head-of-line slack) and enforces whatever rung it
+  /// chooses — scale caps via set_scale_cap, the degraded execution
+  /// policies, deadline-aware shedding.  The run ends when every schedule
+  /// is exhausted and every queue has drained (served or shed — with no
+  /// controller, queued frames are always served, even late).
+  TimedRunResult run_timed(const std::vector<StreamSchedule>& schedules,
+                           const TimedRunConfig& cfg, ManualClock* clock,
+                           OverloadController* controller = nullptr);
 
  private:
   struct Stream;

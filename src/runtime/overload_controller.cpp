@@ -1,0 +1,131 @@
+#include "runtime/overload_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ada {
+
+namespace {
+
+[[noreturn]] void config_fail(const char* what) {
+  std::fprintf(stderr, "OverloadControllerConfig: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+const char* degrade_level_name(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNormal: return "normal";
+    case DegradeLevel::kScaleCap: return "scale_cap";
+    case DegradeLevel::kPolicySwitch: return "policy_switch";
+    case DegradeLevel::kShed: return "shed";
+  }
+  return "?";
+}
+
+void OverloadControllerConfig::validate() const {
+  if (queue_high <= 0) config_fail("queue_high must be >= 1");
+  if (queue_low < 0) config_fail("queue_low must be >= 0");
+  if (queue_low >= queue_high)
+    config_fail("inverted watermarks: queue_low must be < queue_high "
+                "(hysteresis gap)");
+  if (!std::isfinite(slack_low_ms))
+    config_fail("slack_low_ms must be finite");
+  if (calm_ticks <= 0) config_fail("calm_ticks must be >= 1");
+  if (!(min_dwell_ms >= 0.0) || !std::isfinite(min_dwell_ms))
+    config_fail("min_dwell_ms must be finite and >= 0");
+  if (enable_scale_cap && scale_cap <= 0)
+    config_fail("scale_cap must be a positive nominal scale");
+  if (!enable_scale_cap && !enable_policy_switch && !enable_shed)
+    config_fail("every degradation rung is disabled — the controller "
+                "cannot do anything; leave it out instead");
+}
+
+OverloadController::OverloadController(const OverloadControllerConfig& cfg,
+                                       const ScaleSet& sreg,
+                                       const Clock* clock)
+    : cfg_(cfg), sreg_(sreg), clock_(clock) {
+  cfg_.validate();
+  if (sreg_.scales.empty())
+    config_fail("OverloadController needs a non-empty scale set");
+  if (clock_ == nullptr) config_fail("OverloadController requires a clock");
+}
+
+bool OverloadController::rung_enabled(DegradeLevel level) const {
+  switch (level) {
+    case DegradeLevel::kNormal: return true;
+    case DegradeLevel::kScaleCap: return cfg_.enable_scale_cap;
+    case DegradeLevel::kPolicySwitch: return cfg_.enable_policy_switch;
+    case DegradeLevel::kShed: return cfg_.enable_shed;
+  }
+  return false;
+}
+
+DegradeLevel OverloadController::next_up(DegradeLevel from) const {
+  for (int l = static_cast<int>(from) + 1;
+       l <= static_cast<int>(DegradeLevel::kShed); ++l) {
+    const DegradeLevel candidate = static_cast<DegradeLevel>(l);
+    if (rung_enabled(candidate)) return candidate;
+  }
+  return from;
+}
+
+DegradeLevel OverloadController::next_down(DegradeLevel from) const {
+  for (int l = static_cast<int>(from) - 1;
+       l >= static_cast<int>(DegradeLevel::kNormal); --l) {
+    const DegradeLevel candidate = static_cast<DegradeLevel>(l);
+    if (rung_enabled(candidate)) return candidate;
+  }
+  return from;
+}
+
+DegradeLevel OverloadController::observe(int max_depth, double min_slack_ms) {
+  const bool overloaded =
+      max_depth >= cfg_.queue_high || min_slack_ms < cfg_.slack_low_ms;
+  const bool healthy =
+      max_depth <= cfg_.queue_low && min_slack_ms >= cfg_.slack_low_ms;
+
+  DegradeLevel target = level_;
+  if (overloaded) {
+    calm_streak_ = 0;
+    // Dwell gate: give the current rung's action min_dwell_ms to bite
+    // before escalating past it.
+    const bool dwelled =
+        timeline_.empty() ||
+        clock_->now_ms() - timeline_.back().ms >= cfg_.min_dwell_ms;
+    if (dwelled) target = next_up(level_);
+  } else if (healthy) {
+    ++calm_streak_;
+    if (calm_streak_ >= cfg_.calm_ticks) {
+      target = next_down(level_);
+      calm_streak_ = 0;  // each rung down needs its own calm streak
+    }
+  } else {
+    // Neither overloaded nor fully healthy (inside the hysteresis band):
+    // hold the level and the streak does not grow.
+    calm_streak_ = 0;
+  }
+
+  if (target != level_) {
+    DegradeEvent e;
+    e.ms = clock_->now_ms();
+    e.from = level_;
+    e.to = target;
+    e.depth = max_depth;
+    e.slack_ms = min_slack_ms;
+    timeline_.push_back(e);
+    level_ = target;
+  }
+  return level_;
+}
+
+int OverloadController::apply_scale(int target_scale) const {
+  if (!cfg_.enable_scale_cap || level_ < DegradeLevel::kScaleCap)
+    return target_scale;
+  return sreg_.nearest(std::min(target_scale, cfg_.scale_cap));
+}
+
+}  // namespace ada

@@ -21,6 +21,9 @@
 // is what makes any batch composition bit-identical to serial execution.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "detection/detector.h"
@@ -95,6 +98,23 @@ struct DffServingConfig {
   /// StreamContext::history (0 = keep none).  Reserved seam for online
   /// seq-NMS; nothing consumes the history yet.
   int seqnms_window = 0;
+
+  /// Aborts loudly on nonsensical values instead of silently clamping or
+  /// misbehaving (called by AdaScalePipeline::set_dff).
+  void validate() const {
+    auto fail = [](const char* what) {
+      std::fprintf(stderr, "DffServingConfig: %s\n", what);
+      std::abort();
+    };
+    if (key_interval < 1) fail("key_interval must be >= 1");
+    if (max_interval < 1) fail("max_interval must be >= 1");
+    if (!(residual_threshold >= 0.0f) || !std::isfinite(residual_threshold))
+      fail("residual_threshold must be finite and >= 0");
+    if (!(scale_jump_frac >= 0.0f) || !std::isfinite(scale_jump_frac))
+      fail("scale_jump_frac must be finite and >= 0 (0 disables)");
+    if (seqnms_window < 0) fail("seqnms_window must be >= 0");
+    // flow_render_scale <= 0 is meaningful (legacy full-res flow source).
+  }
 };
 
 /// DFF temporal-reuse state of one stream.

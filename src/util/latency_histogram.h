@@ -1,0 +1,80 @@
+// Latency sample accumulator with exact quantiles.
+//
+// The SLO harness needs p50/p95/p99 over a few thousand per-frame latencies
+// — small enough that keeping every sample exact beats a bucketed sketch:
+// quantiles are reproducible bit-for-bit given the same sample sequence
+// (which the deterministic virtual-time runner guarantees), and there is no
+// bucket-resolution knob to tune or document.  Quantile extraction sorts a
+// copy lazily and caches it until the next record().
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ada {
+
+/// Accumulates latency samples (ms) and reports exact quantiles.
+class LatencyHistogram {
+ public:
+  void record(double ms) {
+    samples_.push_back(ms);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Exact empirical quantile (nearest-rank): q in [0, 1]; 0.5 = median.
+  /// Returns 0 when empty.
+  double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    // Nearest-rank: ceil(q * n), 1-indexed; q = 0 maps to the first sample.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(clamped * static_cast<double>(cache_.size())));
+    if (rank > 0) --rank;
+    return cache_[rank];
+  }
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Fraction of samples strictly above `threshold_ms` (SLO violation rate).
+  double fraction_above(double threshold_ms) const {
+    if (samples_.empty()) return 0.0;
+    std::size_t over = 0;
+    for (double x : samples_)
+      if (x > threshold_ms) ++over;
+    return static_cast<double>(over) / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (sorted_) return;
+    cache_ = samples_;
+    std::sort(cache_.begin(), cache_.end());
+    sorted_ = true;
+  }
+
+  std::vector<double> samples_;
+  mutable std::vector<double> cache_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace ada
