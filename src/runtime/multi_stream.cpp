@@ -165,6 +165,16 @@ MultiStreamResult MultiStreamRunner::run_batched(
   return run_impl(jobs, /*concurrent=*/true, &scheduler);
 }
 
+void TimedRunConfig::validate() const {
+  admission.validate();
+  if (!run_inference && !service_model) {
+    std::fprintf(stderr,
+                 "TimedRunConfig: run_inference=false needs a service_model "
+                 "— with both off there is no service time\n");
+    std::abort();
+  }
+}
+
 TimedRunResult MultiStreamRunner::run_timed(
     const std::vector<StreamSchedule>& schedules, const TimedRunConfig& cfg,
     ManualClock* clock, OverloadController* controller) {
@@ -179,12 +189,7 @@ TimedRunResult MultiStreamRunner::run_timed(
     std::fprintf(stderr, "MultiStreamRunner::run_timed: clock is required\n");
     std::abort();
   }
-  if (!cfg.run_inference && !cfg.service_model) {
-    std::fprintf(stderr,
-                 "MultiStreamRunner::run_timed: run_inference=false needs a "
-                 "service_model — with both off there is no service time\n");
-    std::abort();
-  }
+  cfg.validate();
   const std::size_t n = streams_.size();
 
   TimedRunResult result;

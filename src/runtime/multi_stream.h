@@ -95,6 +95,11 @@ struct TimedRunConfig {
   /// regressor.
   ExecutionPolicy degraded_detector_policy = ExecutionPolicy::int8();
   ExecutionPolicy degraded_regressor_policy = ExecutionPolicy::fp32();
+
+  /// Aborts loudly on inconsistent knobs (called by run_timed): the
+  /// admission config must validate, and run_inference=false requires a
+  /// service_model — with both off there is no service time at all.
+  void validate() const;
 };
 
 /// Aggregate result of a timed run.  The per-stream AdmissionStats obey

@@ -1,32 +1,35 @@
 // Wall-clock timing utilities used by the runtime profiler and benches.
+//
+// Timer is a *consumer* of the clock seam (util/clock.h), not a second time
+// source: it reads WallClock::now_ms() rather than touching std::chrono
+// directly, so the project-wide invariant "all timing flows through the
+// injected Clock" (enforced by tools/invariant_lint rule R1) holds here too.
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <cstdint>
+
+#include "util/clock.h"
 
 namespace ada {
 
 /// Monotonic stopwatch with millisecond resolution reporting.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_ms_(clock_.now_ms()) {}
 
   /// Restarts the stopwatch.
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ms_ = clock_.now_ms(); }
 
   /// Elapsed time since construction / last reset, in milliseconds.
-  double elapsed_ms() const {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
-        .count();
-  }
+  double elapsed_ms() const { return clock_.now_ms() - start_ms_; }
 
   /// Elapsed time in seconds.
   double elapsed_s() const { return elapsed_ms() / 1000.0; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  WallClock clock_;
+  double start_ms_ = 0.0;
 };
 
 /// Accumulates per-event durations; used to report mean ms/frame.

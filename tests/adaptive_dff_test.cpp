@@ -108,8 +108,9 @@ TEST_F(AdaptiveDffFixture, ScaleChangesOnlyAtKeyFrames) {
   for (const Snippet& snip : dataset_.val_snippets())
     for (const Scene& f : snip.frames) {
       const auto out = p.process(f);
-      if (last_scale >= 0 && out.scale_used != last_scale)
+      if (last_scale >= 0 && out.scale_used != last_scale) {
         EXPECT_TRUE(out.is_key) << "scale changed on a propagated frame";
+      }
       last_scale = out.scale_used;
       last_was_key = out.is_key;
       EXPECT_GE(out.scale_used, 128);

@@ -150,8 +150,8 @@ TEST_P(BatchEquivalenceTest, RegressorPredictBatchMatchesPredictBitwise) {
 INSTANTIATE_TEST_SUITE_P(BothBackends, BatchEquivalenceTest,
                          ::testing::Values(GemmBackend::kPacked,
                                            GemmBackend::kReference),
-                         [](const auto& info) {
-                           return info.param == GemmBackend::kPacked
+                         [](const auto& tpi) {
+                           return tpi.param == GemmBackend::kPacked
                                       ? "packed"
                                       : "reference";
                          });

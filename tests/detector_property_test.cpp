@@ -51,7 +51,9 @@ TEST_P(DetectAtScale, OutputsAreWellFormed) {
     EXPECT_LE(d.score, 1.0f);
     EXPECT_GE(d.class_id, 0);
     EXPECT_LT(d.class_id, detector()->config().num_classes);
-    if (i > 0) EXPECT_GE(out.detections[i - 1].score, d.score);
+    if (i > 0) {
+      EXPECT_GE(out.detections[i - 1].score, d.score);
+    }
     // The stored softmax must be a distribution over K+1 classes.
     ASSERT_EQ(static_cast<int>(d.probs.size()),
               detector()->config().num_classes + 1);
@@ -91,8 +93,8 @@ TEST_P(DetectAtScale, MacsGrowWithArea) {
 
 INSTANTIATE_TEST_SUITE_P(AllNominalScales, DetectAtScale,
                          ::testing::Values(600, 480, 360, 240, 128),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "scale" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& tpi) {
+                           return "scale" + std::to_string(tpi.param);
                          });
 
 // ---------------------------------------------------------------------------
@@ -132,8 +134,8 @@ TEST_P(LossAtScale, LossIsFiniteAndImprovable) {
 
 INSTANTIATE_TEST_SUITE_P(AllNominalScales, LossAtScale,
                          ::testing::Values(600, 360, 128),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "scale" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& tpi) {
+                           return "scale" + std::to_string(tpi.param);
                          });
 
 // ---------------------------------------------------------------------------

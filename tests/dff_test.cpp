@@ -99,8 +99,9 @@ TEST_F(DffFixture, AdaScaleChangesScaleOnlyAtKeyFrames) {
   int last_scale = -1;
   for (std::size_t f = 0; f < frames.size(); ++f) {
     const DffFrameOutput out = p.process(frames[f]);
-    if (!out.is_key && last_scale >= 0)
+    if (!out.is_key && last_scale >= 0) {
       EXPECT_EQ(out.scale_used, last_scale) << "scale changed mid-interval";
+    }
     last_scale = out.scale_used;
     EXPECT_GE(out.scale_used, 128);
     EXPECT_LE(out.scale_used, 600);

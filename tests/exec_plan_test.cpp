@@ -129,8 +129,9 @@ TEST_F(ExecPlanTest, QuantizeInvalidatesAndReplansToInt8) {
   const ExecutionPlan& plan = detector_->plan_for(1, img.h(), img.w());
   EXPECT_EQ(plan.policy, "int8");
   for (const PlanStep& s : plan.steps)
-    if (s.kernel != KernelKind::kNone)
+    if (s.kernel != KernelKind::kNone) {
       EXPECT_EQ(s.kernel, KernelKind::kInt8) << s.layer;
+    }
 }
 
 TEST_F(ExecPlanTest, TrainingReentryInvalidatesPlans) {

@@ -1,0 +1,24 @@
+// R1 passing fixture: all timing flows through the injected Clock seam.
+// Identifiers that merely *contain* banned tokens (runtime_ms, sleepy) must
+// not trip the token matcher.
+
+namespace ada {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now_ms() const = 0;
+};
+
+double frame_deadline(const Clock& clock, double runtime_ms) {
+  double sleepy = 0.0;  // not a sleep_for call, just an unfortunate name
+  return clock.now_ms() + runtime_ms + sleepy;
+}
+
+struct Record {
+  double time_ms = 0.0;  // member named time_ms, not a time() call
+};
+
+double read_time(const Record& r) { return r.time_ms; }
+
+}  // namespace ada

@@ -1,0 +1,22 @@
+// R1 violating fixture: wall-clock reads and sleeps outside util/clock.h.
+// lint_test copies this file to src/video/... in a temp tree and expects
+// exactly rule R1 to fire (three sites).
+#include <chrono>
+#include <ctime>
+#include <thread>
+
+namespace ada {
+
+double bad_now_ms() {
+  auto t = std::chrono::steady_clock::now();  // R1: direct clock read
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}
+
+void bad_wait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // R1: sleep
+}
+
+long bad_epoch() { return static_cast<long>(time(nullptr)); }  // R1: time()
+
+}  // namespace ada

@@ -1,0 +1,15 @@
+// R2 passing fixture: models carry an ExecutionPolicy; no global backend
+// traffic.  The word "backend" alone must not trip anything.
+
+namespace ada {
+
+enum class ExecutionPolicy { kFp32, kInt8 };
+
+struct Model {
+  ExecutionPolicy policy = ExecutionPolicy::kFp32;
+  void set_policy(ExecutionPolicy p) { policy = p; }
+};
+
+ExecutionPolicy resolve_backend_policy(const Model& m) { return m.policy; }
+
+}  // namespace ada

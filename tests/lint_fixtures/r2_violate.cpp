@@ -1,0 +1,17 @@
+// R2 violating fixture: reads/writes of the global GEMM backend outside the
+// seam files.  lint_test copies this to src/adascale/... and expects R2 to
+// fire on all three call sites; it ALSO copies the same file under tests/
+// and expects silence (tests are exempt — they save/restore the global).
+#include "tensor/gemm.h"
+
+namespace ada {
+
+void sneaky_backend_switch() {
+  const GemmBackend saved = gemm_backend();     // R2: global read
+  set_gemm_backend(GemmBackend::kReference);    // R2: global write
+  const char* name = gemm_backend_name();       // R2: global read
+  (void)saved;
+  (void)name;
+}
+
+}  // namespace ada

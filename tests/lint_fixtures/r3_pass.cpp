@@ -1,0 +1,30 @@
+// R3 passing fixture: seeded engines and the project Rng only.
+#include <cstdint>
+#include <random>
+
+namespace ada {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint32_t next_u32() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint32_t>(state_ >> 32);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+int good_engine(unsigned seed) {
+  std::mt19937 gen(seed);  // seeded: fine
+  return static_cast<int>(gen());
+}
+
+float good_draw(Rng& rng) {
+  // An identifier containing "rand" (operand) must not match the rand token.
+  float operand = static_cast<float>(rng.next_u32() & 0xffff);
+  return operand / 65536.0f;
+}
+
+}  // namespace ada

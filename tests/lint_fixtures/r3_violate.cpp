@@ -1,0 +1,24 @@
+// R3 violating fixture: non-deterministic randomness.  Expects R3 on the
+// rand() call, the random_device, and both unseeded engine declarations.
+#include <cstdlib>
+#include <random>
+
+namespace ada {
+
+int bad_jitter() { return rand() % 100; }  // R3: libc rand()
+
+unsigned bad_seed() {
+  std::random_device rd;  // R3: hardware entropy, unreproducible
+  return rd();
+}
+
+int bad_engine() {
+  std::mt19937 gen;  // R3: default-constructed (unseeded)
+  return static_cast<int>(gen());
+}
+
+struct Sampler {
+  std::mt19937 engine_;  // R3: member default-constructs unseeded
+};
+
+}  // namespace ada

@@ -1,0 +1,27 @@
+// R4 passing fixture: the config defines validate() and the same tree
+// carries a call site (here, the component that accepts the config).
+#pragma once
+
+namespace ada {
+
+struct TunedConfig {
+  int capacity = 8;
+  double deadline_ms = 50.0;
+  void validate() const;
+};
+
+class Admitter {
+ public:
+  explicit Admitter(const TunedConfig& cfg) : cfg_(cfg) { cfg_.validate(); }
+
+ private:
+  TunedConfig cfg_;
+};
+
+// A struct that merely *mentions* Config in the middle of its name is out of
+// scope: the rule keys on the "...Config" suffix.
+struct ConfigurationTable {
+  int entries = 0;
+};
+
+}  // namespace ada

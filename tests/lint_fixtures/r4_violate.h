@@ -1,0 +1,19 @@
+// R4 violating fixture: *Config structs under src/runtime/ must define AND
+// call validate().  lint_test copies this to src/runtime/... and expects two
+// R4 diagnostics: one struct with no validate() at all, one whose validate()
+// is never called anywhere in the tree.
+#pragma once
+
+namespace ada {
+
+struct TimeoutConfig {  // R4: declares no validate()
+  double wait_ms = 25.0;
+  int retries = 3;
+};
+
+struct UncalledConfig {  // R4: defines validate() but nothing calls it
+  int capacity = 8;
+  void validate() const;
+};
+
+}  // namespace ada

@@ -1,0 +1,27 @@
+// R5 passing fixture: unordered containers used for lookup only; anything
+// iterated is ordered (std::map, std::vector).
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ada {
+
+float good_lookup(const std::unordered_map<int, float>& weights, int key) {
+  auto it = weights.find(key);  // point lookup: order never observed
+  return it != weights.end() ? it->second : 0.0f;
+}
+
+float good_accumulate(const std::map<int, float>& ordered) {
+  float sum = 0.0f;
+  for (const auto& kv : ordered) sum += kv.second;  // std::map: sorted, fine
+  return sum;
+}
+
+float good_sum(const std::vector<float>& v) {
+  float sum = 0.0f;
+  for (float x : v) sum += x;
+  return sum;
+}
+
+}  // namespace ada

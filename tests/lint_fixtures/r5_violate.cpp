@@ -1,0 +1,24 @@
+// R5 violating fixture: iteration over unordered containers in a hot-path
+// file (copied to src/tensor/...).  Expects two R5 diagnostics: the
+// range-for and the explicit .begin() walk.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ada {
+
+float bad_accumulate(const std::unordered_map<int, float>& weights) {
+  float sum = 0.0f;
+  for (const auto& kv : weights) sum += kv.second;  // R5: order leaks into sum
+  return sum;
+}
+
+int bad_walk(const std::unordered_set<int>& ids) {
+  int first = -1;
+  auto it = ids.begin();  // R5: "first" depends on hash layout
+  if (it != ids.end()) first = *it;
+  return first;
+}
+
+}  // namespace ada

@@ -1,0 +1,40 @@
+// R6 passing fixture: containers and the arena own memory; a *member* named
+// free (pool.free) is not libc free.
+#include <cstddef>
+#include <vector>
+
+namespace ada {
+
+class ScratchArena {
+ public:
+  float* alloc(std::size_t n) {
+    storage_.resize(n);
+    return storage_.data();
+  }
+
+ private:
+  std::vector<float> storage_;
+};
+
+class HandlePool {
+ public:
+  void free(int handle) { recycled_.push_back(handle); }
+
+ private:
+  std::vector<int> recycled_;
+};
+
+float sum_scratch(ScratchArena& arena, std::size_t n) {
+  float* buf = arena.alloc(n);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) sum += buf[i];
+  return sum;
+}
+
+void recycle(HandlePool& pool, int h) { pool.free(h); }
+
+// "renewal" and "newline" contain the letters of new; token matching must
+// not care.
+int renewal_count(int newline_total) { return newline_total; }
+
+}  // namespace ada

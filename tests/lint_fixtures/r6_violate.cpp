@@ -1,0 +1,21 @@
+// R6 violating fixture: raw allocation outside ScratchArena /
+// AlignedAllocator (copied to src/nn/...).  Expects three R6 diagnostics:
+// new[], malloc, and the paired free.
+#include <cstdlib>
+
+namespace ada {
+
+float* bad_buffer(int n) {
+  return new float[n];  // R6: raw array new
+}
+
+void* bad_raw(std::size_t bytes) {
+  void* p = malloc(bytes);  // R6: libc allocation
+  return p;
+}
+
+void bad_release(void* p) {
+  free(p);  // R6: pairs with the malloc above
+}
+
+}  // namespace ada

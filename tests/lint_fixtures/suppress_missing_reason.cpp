@@ -1,0 +1,13 @@
+// Suppression fixture: a lint:allow WITHOUT a reason is itself a violation
+// (rule LINT) and does NOT silence the underlying diagnostic.  Expects both
+// a LINT and an R3 report.
+#include <random>
+
+namespace ada {
+
+int unjustified() {
+  std::mt19937 gen;  // lint:allow(R3)
+  return static_cast<int>(gen());
+}
+
+}  // namespace ada

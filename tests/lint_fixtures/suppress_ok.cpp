@@ -1,0 +1,22 @@
+// Suppression fixture: violations carrying a lint:allow WITH a reason are
+// silenced — same-line form and comment-line-above form.  Expects a clean
+// run (exit 0) even though this file is copied into src/.
+#include <chrono>
+#include <random>
+
+namespace ada {
+
+double bench_only_now_ms() {
+  // lint:allow(R1) benchmark harness needs real wall time; never on the
+  // serving path, which injects Clock.
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t.time_since_epoch())
+      .count();
+}
+
+int fixture_entropy() {
+  std::mt19937 gen;  // lint:allow(R3) exercises the unseeded-engine API shape
+  return static_cast<int>(gen());
+}
+
+}  // namespace ada

@@ -1,0 +1,220 @@
+// Fixture-driven tests for tools/invariant_lint — the linter that enforces
+// the project's determinism/layering contracts (R1-R6).
+//
+// Each rule gets a violating fixture (must fire, with the exact rule id) and
+// a passing fixture (must stay quiet); suppression fixtures prove that a
+// lint:allow with a reason silences and one without a reason is itself a
+// violation.  Because several rules are *path-scoped* (R2 exempts tests/,
+// R4 applies only under src/runtime/, R5 only to hot-path dirs), fixtures
+// are staged into a temporary tree at the path the scenario needs — which
+// also tests the path scoping itself.  Finally, the suite runs the linter
+// over the real repository and requires a clean bill: the tree must never
+// regress its own invariants.
+//
+// LINT_BINARY / LINT_FIXTURES / LINT_REPO_ROOT are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs the linter with `args` appended, capturing stdout+stderr.
+LintRun run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string("\"") + LINT_BINARY + "\" " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  LintRun r;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+/// Counts diagnostics per rule id ("R1".."R6", "LINT") in linter output.
+std::map<std::string, int> rule_counts(const std::string& output) {
+  std::map<std::string, int> counts;
+  std::size_t pos = 0;
+  while ((pos = output.find(": [", pos)) != std::string::npos) {
+    const std::size_t open = pos + 2;
+    const std::size_t close = output.find(']', open);
+    if (close == std::string::npos) break;
+    ++counts[output.substr(open + 1, close - open - 1)];
+    pos = close;
+  }
+  return counts;
+}
+
+/// Stages one fixture at a chosen relative path inside a fresh temp tree and
+/// lints the tree.  The destination path is the point: rule scoping keys on
+/// src/runtime/, src/tensor/, tests/, ...
+class FixtureTree {
+ public:
+  FixtureTree() {
+    static int counter = 0;
+    root_ = fs::temp_directory_path() /
+            ("adascale_lint_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    fs::create_directories(root_);
+  }
+  ~FixtureTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void stage(const std::string& fixture, const std::string& dest_rel) {
+    const fs::path src = fs::path(LINT_FIXTURES) / fixture;
+    const fs::path dst = root_ / dest_rel;
+    fs::create_directories(dst.parent_path());
+    fs::copy_file(src, dst, fs::copy_options::overwrite_existing);
+  }
+
+  LintRun lint() const { return run_lint("--root \"" + root_.string() + "\""); }
+
+ private:
+  fs::path root_;
+};
+
+/// One staged fixture scenario: expected exit code and exact per-rule
+/// diagnostic counts (empty map = must be clean).
+void expect_fixture(const std::string& fixture, const std::string& dest_rel,
+                    int want_exit, std::map<std::string, int> want_rules) {
+  FixtureTree tree;
+  tree.stage(fixture, dest_rel);
+  const LintRun r = tree.lint();
+  EXPECT_EQ(r.exit_code, want_exit)
+      << fixture << " @ " << dest_rel << "\n" << r.output;
+  EXPECT_EQ(rule_counts(r.output), want_rules)
+      << fixture << " @ " << dest_rel << "\n" << r.output;
+  if (want_rules.empty())
+    EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+  else
+    // Diagnostics must carry file:line anchored at the staged path.
+    EXPECT_NE(r.output.find(dest_rel), std::string::npos) << r.output;
+}
+
+// --------------------------------------------------------------- R1: clocks
+
+TEST(LintR1, FiresOnWallClockReadsAndSleeps) {
+  expect_fixture("r1_violate.cpp", "src/video/r1_violate.cpp", 1,
+                 {{"R1", 3}});
+}
+
+TEST(LintR1, QuietOnInjectedClock) {
+  expect_fixture("r1_pass.cpp", "src/video/r1_pass.cpp", 0, {});
+}
+
+// -------------------------------------------------------------- R2: backend
+
+TEST(LintR2, FiresOnGlobalBackendTrafficInSrc) {
+  expect_fixture("r2_violate.cpp", "src/adascale/r2_violate.cpp", 1,
+                 {{"R2", 3}});
+}
+
+TEST(LintR2, TestsAreExempt) {
+  // The identical file under tests/ is fine: suites save/restore the global.
+  expect_fixture("r2_violate.cpp", "tests/r2_violate.cpp", 0, {});
+}
+
+TEST(LintR2, QuietOnExecutionPolicy) {
+  expect_fixture("r2_pass.cpp", "src/adascale/r2_pass.cpp", 0, {});
+}
+
+// ----------------------------------------------------------- R3: randomness
+
+TEST(LintR3, FiresOnUnseededRandomness) {
+  expect_fixture("r3_violate.cpp", "src/data/r3_violate.cpp", 1, {{"R3", 4}});
+}
+
+TEST(LintR3, QuietOnSeededEngines) {
+  expect_fixture("r3_pass.cpp", "src/data/r3_pass.cpp", 0, {});
+}
+
+// ------------------------------------------------------- R4: config structs
+
+TEST(LintR4, FiresOnUnvalidatedRuntimeConfigs) {
+  expect_fixture("r4_violate.h", "src/runtime/r4_violate.h", 1, {{"R4", 2}});
+}
+
+TEST(LintR4, QuietOnValidatedConfig) {
+  expect_fixture("r4_pass.h", "src/runtime/r4_pass.h", 0, {});
+}
+
+TEST(LintR4, OnlyRuntimeDirIsInScope) {
+  // The same unvalidated structs outside src/runtime/ are out of scope.
+  expect_fixture("r4_violate.h", "src/detection/r4_violate.h", 0, {});
+}
+
+// ------------------------------------------------- R5: unordered iteration
+
+TEST(LintR5, FiresOnUnorderedIterationInHotPath) {
+  expect_fixture("r5_violate.cpp", "src/tensor/r5_violate.cpp", 1,
+                 {{"R5", 2}});
+}
+
+TEST(LintR5, QuietOnLookupsAndOrderedIteration) {
+  expect_fixture("r5_pass.cpp", "src/tensor/r5_pass.cpp", 0, {});
+}
+
+TEST(LintR5, ColdPathIsOutOfScope) {
+  // Iteration order in cold reporting code is a non-issue; the rule guards
+  // the tensor/nn/runtime hot path only.
+  expect_fixture("r5_violate.cpp", "src/eval/r5_violate.cpp", 0, {});
+}
+
+// ------------------------------------------------------ R6: raw allocation
+
+TEST(LintR6, FiresOnRawAllocation) {
+  expect_fixture("r6_violate.cpp", "src/nn/r6_violate.cpp", 1, {{"R6", 3}});
+}
+
+TEST(LintR6, QuietOnArenaAndContainers) {
+  expect_fixture("r6_pass.cpp", "src/nn/r6_pass.cpp", 0, {});
+}
+
+// --------------------------------------------------------------- suppression
+
+TEST(LintSuppression, ReasonedAllowSilences) {
+  expect_fixture("suppress_ok.cpp", "src/video/suppress_ok.cpp", 0, {});
+}
+
+TEST(LintSuppression, MissingReasonIsItselfAViolation) {
+  // The bare lint:allow is reported (LINT) and does NOT suppress: the
+  // underlying R3 still fires.
+  expect_fixture("suppress_missing_reason.cpp",
+                 "src/video/suppress_missing_reason.cpp", 1,
+                 {{"LINT", 1}, {"R3", 1}});
+}
+
+// -------------------------------------------------------------- tree health
+
+TEST(LintTree, RepositoryIsClean) {
+  // The real tree must hold its own invariants — this is the same check CI
+  // runs via the ADASCALE_LINT target, wired into the default test suite so
+  // a violating PR fails even if its author never ran the lint target.
+  const LintRun r =
+      run_lint(std::string("--root \"") + LINT_REPO_ROOT + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST(LintCli, MissingFileIsAUsageError) {
+  const LintRun r = run_lint("/nonexistent/no_such_file.cpp");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+}  // namespace

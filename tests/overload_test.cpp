@@ -55,6 +55,16 @@ TEST(ConfigValidationDeathTest, ControllerRejectsInvertedWatermarks) {
   EXPECT_DEATH(neg_scale.validate(), "scale_cap");
 }
 
+TEST(ConfigValidationDeathTest, TimedRunConfigRejectsNonsense) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  TimedRunConfig no_service;
+  no_service.run_inference = false;  // and no service_model
+  EXPECT_DEATH(no_service.validate(), "service_model");
+  TimedRunConfig bad_admission;
+  bad_admission.admission.capacity = 0;  // validate() recurses into admission
+  EXPECT_DEATH(bad_admission.validate(), "capacity");
+}
+
 TEST(ConfigValidationDeathTest, BatchSchedulerRejectsNonsense) {
   GTEST_FLAG_SET(death_test_style, "threadsafe");
   BatchSchedulerConfig zero_batch;
@@ -188,7 +198,9 @@ TEST_F(ScheduleTest, PoissonScheduleIsSortedSeededAndComplete) {
     EXPECT_EQ(a[i].ms, b[i].ms);  // same seed: bit-identical schedule
     EXPECT_EQ(a[i].scene, b[i].scene);
     EXPECT_EQ(a[i].snippet_start, b[i].snippet_start);
-    if (i > 0) EXPECT_GE(a[i].ms, a[i - 1].ms);  // sorted by arrival
+    if (i > 0) {
+      EXPECT_GE(a[i].ms, a[i - 1].ms);  // sorted by arrival
+    }
   }
   // Different seed: a genuinely different trace.
   bool any_diff = false;
@@ -497,8 +509,9 @@ TEST_F(TimedRunTest, StalledStreamDegradesThenRecovers) {
   // While capped, served scales obey the cap (snapped onto the set).
   const int cap_scale = ScaleSet::reg_default().nearest(ccfg.scale_cap);
   for (const TimedFrameRecord& f : r.frames) {
-    if (!f.dropped && f.level >= DegradeLevel::kScaleCap)
+    if (!f.dropped && f.level >= DegradeLevel::kScaleCap) {
       EXPECT_LE(f.scale_used, cap_scale);
+    }
   }
   // Recovery: the run ends back at normal with the cap lifted.
   EXPECT_EQ(r.final_level, DegradeLevel::kNormal);

@@ -69,9 +69,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(ScalePair{600, 480}, ScalePair{600, 360},
                       ScalePair{600, 240}, ScalePair{600, 128},
                       ScalePair{480, 240}, ScalePair{360, 128}),
-    [](const ::testing::TestParamInfo<ScalePair>& info) {
-      return std::to_string(info.param.hi) + "to" +
-             std::to_string(info.param.lo);
+    [](const ::testing::TestParamInfo<ScalePair>& tpi) {
+      return std::to_string(tpi.param.hi) + "to" +
+             std::to_string(tpi.param.lo);
     });
 
 // High-frequency background detail must lose contrast as scale shrinks (the

@@ -33,8 +33,8 @@ TEST_P(PolicyAtScale, MonotoneInNominalScale) {
 
 INSTANTIATE_TEST_SUITE_P(NominalScales, PolicyAtScale,
                          ::testing::Values(128, 240, 360, 480, 600),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& tpi) {
+                           return "n" + std::to_string(tpi.param);
                          });
 
 TEST(ScalePolicy, TinyScalesAreFlooredToUsableResolution) {
