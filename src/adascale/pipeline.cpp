@@ -11,6 +11,49 @@
 
 namespace ada {
 
+/// Scoped model access for one frame.  With no pool bound, det()/reg()
+/// pass through to the constructor-supplied models.  With a pool, the
+/// first det()/reg() call acquires a lease and every later call within the
+/// hold returns the SAME context (process() relies on detect() and the
+/// following features() read hitting one instance); drop() releases it —
+/// mandatory before a blocking DetectBackend call, after which the next
+/// det()/reg() transparently re-acquires (possibly a different, but
+/// bit-equivalent, context).
+struct AdaScalePipeline::ModelLease {
+  explicit ModelLease(AdaScalePipeline* p) : p_(p) {}
+  ~ModelLease() { drop(); }
+  ModelLease(const ModelLease&) = delete;
+  ModelLease& operator=(const ModelLease&) = delete;
+
+  Detector* det() {
+    ensure();
+    return p_->pool_ != nullptr ? lease_.detector : p_->detector_;
+  }
+  ScaleRegressor* reg() {
+    ensure();
+    return p_->pool_ != nullptr ? lease_.regressor : p_->regressor_;
+  }
+  void drop() {
+    if (held_) {
+      p_->pool_->release(lease_);
+      lease_ = ModelPool::Lease{};
+      held_ = false;
+    }
+  }
+
+ private:
+  void ensure() {
+    if (p_->pool_ != nullptr && !held_) {
+      lease_ = p_->pool_->acquire();
+      held_ = true;
+    }
+  }
+
+  AdaScalePipeline* p_;
+  ModelPool::Lease lease_;
+  bool held_ = false;
+};
+
 int AdaScalePipeline::capped(int s) const {
   if (scale_cap_ <= 0) return s;
   return sreg_.nearest(std::min(s, scale_cap_));
@@ -26,12 +69,15 @@ AdaFrameOutput AdaScalePipeline::process(const Scene& frame) {
 
   const Tensor image =
       renderer_->render_at_scale(frame, ctx_.target_scale, policy_);
-  out.detections = detector_->detect(image);
+  ModelLease m(this);
+  out.detections = m.det()->detect(image);
   out.detect_ms = out.detections.forward_ms;
 
   // Regress t on the deep features of *this* frame; apply to the next.
-  out.regressed_t = regressor_->predict(detector_->features());
-  out.regressor_ms = regressor_->last_predict_ms();
+  // Within one lease hold det() is stable, so features() reads the same
+  // context detect() just ran on.
+  out.regressed_t = m.reg()->predict(m.det()->features());
+  out.regressor_ms = m.reg()->last_predict_ms();
   out.next_scale =
       decode_scale_target(out.regressed_t, ctx_.target_scale, sreg_);
   if (snap_to_set_) out.next_scale = sreg_.nearest(out.next_scale);
@@ -90,7 +136,7 @@ Tensor AdaScalePipeline::flow_gray(const Scene& frame,
 
 void AdaScalePipeline::refresh_key(const Scene& frame, Tensor image,
                                    const DetectBackend* backend,
-                                   AdaFrameOutput* out) {
+                                   AdaFrameOutput* out, ModelLease* m) {
   DffStreamState& st = ctx_.dff;
   const int img_h = image.h(), img_w = image.w();
   // The grayscale flow source is taken before the image is handed to the
@@ -99,6 +145,11 @@ void AdaScalePipeline::refresh_key(const Scene& frame, Tensor image,
   Tensor gray = flow_gray(frame, &image);
 
   if (backend != nullptr) {
+    // The backend may park this thread in a BatchScheduler queue waiting
+    // for batch-mates; holding a pooled context across that wait could
+    // starve the very streams the batch needs (leader deadlock), so the
+    // lease is released first and re-acquired for the head pass below.
+    m->drop();
     DetectResult r = (*backend)(std::move(image));
     if (r.features.size() == 0) {
       std::fprintf(stderr,
@@ -116,12 +167,12 @@ void AdaScalePipeline::refresh_key(const Scene& frame, Tensor image,
     }
   } else {
     Timer backbone_timer;
-    const Tensor& features = detector_->forward(image);
+    const Tensor& features = m->det()->forward(image);
     out->detect_ms = backbone_timer.elapsed_ms();
     st.key_features = features;
     if (dff_.adascale) {
-      out->regressed_t = regressor_->predict(st.key_features);
-      out->regressor_ms = regressor_->last_predict_ms();
+      out->regressed_t = m->reg()->predict(st.key_features);
+      out->regressor_ms = m->reg()->last_predict_ms();
     }
   }
 
@@ -139,7 +190,7 @@ void AdaScalePipeline::refresh_key(const Scene& frame, Tensor image,
   // bit-identical to serial regardless of batch composition.
   Timer head_timer;
   out->detections =
-      detector_->detect_from_features(st.key_features, img_h, img_w);
+      m->det()->detect_from_features(st.key_features, img_h, img_w);
   out->detect_ms += head_timer.elapsed_ms();
 
   if (dff_.adascale) {
@@ -159,6 +210,7 @@ AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
   DffStreamState& st = ctx_.dff;
   AdaFrameOutput out;
   out.dff = true;
+  ModelLease m(this);  // lazy: flow-only warp frames never acquire
 
   const bool fixed = dff_.policy == DffServingConfig::Keyframe::kFixedInterval;
   const int key_interval = std::max(dff_.key_interval, 1);
@@ -228,8 +280,8 @@ AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
       // the scene no longer resembles the cached key — refresh at the
       // freshly regressed scale instead of serving stale features.
       if (!fixed && dff_.adascale && dff_.scale_jump_frac > 0.0f) {
-        out.regressed_t = regressor_->predict(warped);
-        out.regressor_ms = regressor_->last_predict_ms();
+        out.regressed_t = m.reg()->predict(warped);
+        out.regressor_ms = m.reg()->last_predict_ms();
         int decoded =
             decode_scale_target(out.regressed_t, st.current_scale, sreg_);
         if (snap_to_set_) decoded = sreg_.nearest(decoded);
@@ -250,7 +302,7 @@ AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
         st.acc_flow_y = std::move(flow_y);
         st.acc_flow_x = std::move(flow_x);
         Timer head_timer;
-        out.detections = detector_->detect_from_features(warped, img_h, img_w);
+        out.detections = m.det()->detect_from_features(warped, img_h, img_w);
         out.detect_ms = head_timer.elapsed_ms();
         ++st.since_key;
         ++st.frame_index;
@@ -268,7 +320,7 @@ AdaFrameOutput AdaScalePipeline::process_dff(const Scene& frame,
   }
 
   Tensor image = renderer_->render_at_scale(frame, st.current_scale, policy_);
-  refresh_key(frame, std::move(image), backend, &out);
+  refresh_key(frame, std::move(image), backend, &out, &m);
   ++st.frame_index;
   ++st.frames;
   out.next_scale = st.pending_scale;

@@ -53,6 +53,29 @@ struct AdaFrameOutput {
   double total_ms() const { return detect_ms + regressor_ms + flow_ms; }
 };
 
+/// A pool of interchangeable detector/regressor compute contexts the
+/// pipeline can borrow per model touch instead of owning a dedicated pair.
+/// Contexts are weight-aliased clones (clone_detector_shared /
+/// clone_regressor_shared) of one master copy, so WHICH context serves a
+/// frame cannot affect the bits — only the per-context scratch
+/// (activations, cached features) differs, and the pipeline never reads
+/// scratch across leases.  acquire() may block until a context frees up;
+/// release() must be called with the exact Lease acquire() returned.  The
+/// stream-state table (runtime/stream_table.h) implements this to serve
+/// 1k+ streams from a handful of resident contexts.
+class ModelPool {
+ public:
+  struct Lease {
+    Detector* detector = nullptr;
+    ScaleRegressor* regressor = nullptr;
+    int slot = -1;  ///< pool-private identifier, opaque to the pipeline
+  };
+
+  virtual ~ModelPool() = default;
+  virtual Lease acquire() = 0;
+  virtual void release(const Lease& lease) = 0;
+};
+
 /// Stateful Algorithm-1 runner.  Call reset() at each new video snippet.
 ///
 /// With snap_to_set the decoded target scale is quantized to the nearest
@@ -155,17 +178,33 @@ class AdaScalePipeline {
   /// stream: flow, warp, and heads all run on the stream's own models.
   AdaFrameOutput process_via(const Scene& frame, const DetectBackend& backend);
 
+  /// Routes all model access through `pool` from the next frame on (null
+  /// unbinds, restoring the constructor-supplied models).  Leases are
+  /// acquired lazily per frame at the first model touch and released before
+  /// any blocking backend call, so a pipeline never holds a pooled context
+  /// while parked in a BatchScheduler queue.  The constructor-supplied
+  /// detector/regressor are untouched while a pool is bound — they can be
+  /// the master weight copies the pool's contexts alias.
+  void bind_pool(ModelPool* pool) { pool_ = pool; }
+  ModelPool* pool() const { return pool_; }
+
  private:
+  /// One frame's scoped model access; defined in pipeline.cpp.  Lazily
+  /// acquires from pool_ (or passes through to the owned models) and
+  /// releases on destruction or explicitly around blocking calls.
+  struct ModelLease;
+
   /// The keyframe/warp branch shared by process() / process_via().
   /// `backend` is null for owned-model execution.
   AdaFrameOutput process_dff(const Scene& frame, const DetectBackend* backend);
 
-  /// Runs the full backbone on `image` (owned detector or backend), caches
+  /// Runs the full backbone on `image` (leased detector or backend), caches
   /// key features + grayscale into the context, detects on the cached
   /// features, and (when dff_.adascale) regresses the next key's scale.
   /// `frame` supplies the grayscale flow source (tiny render).
   void refresh_key(const Scene& frame, Tensor image,
-                   const DetectBackend* backend, AdaFrameOutput* out);
+                   const DetectBackend* backend, AdaFrameOutput* out,
+                   ModelLease* m);
 
   /// Grayscale flow source for `frame`: a tiny dedicated render
   /// (dff_.flow_render_scale > 0) or the given full-scale render (legacy;
@@ -181,6 +220,7 @@ class AdaScalePipeline {
 
   Detector* detector_;
   ScaleRegressor* regressor_;
+  ModelPool* pool_ = nullptr;  ///< when set, frames lease contexts instead
   const Renderer* renderer_;
   ScalePolicy policy_;
   ScaleSet sreg_;

@@ -51,8 +51,10 @@ void ScaleRegressor::set_execution_policy(const ExecutionPolicy& policy) {
 const ExecutionPlan& ScaleRegressor::plan_for(int n, int fh, int fw) {
   const GemmBackend be = policy_.resolve();
   const auto key = std::make_tuple(n, fh, fw, static_cast<int>(be));
-  auto it = plans_.find(key);
-  if (it == plans_.end()) {
+  // Shared with weight-aliased clones; see Detector::plan_for.
+  std::lock_guard<std::mutex> lk(plans_->mu);
+  auto it = plans_->plans.find(key);
+  if (it == plans_->plans.end()) {
     ExecutionPlan plan;
     plan.input = PlanShape{n, cfg_.in_channels, fh, fw};
     plan.policy = policy_.name();
@@ -68,7 +70,7 @@ const ExecutionPlan& ScaleRegressor::plan_for(int n, int fh, int fw) {
         n, static_cast<int>(streams_.size()) * cfg_.stream_channels, 1, 1};
     fc_.plan_forward(&concat_shape, &plan);
     plan.finalize();
-    it = plans_.emplace(key, std::move(plan)).first;
+    it = plans_->plans.emplace(key, std::move(plan)).first;
   }
   return it->second;
 }
@@ -243,6 +245,28 @@ std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src) {
   copy_param_values(src->parameters(), dst->parameters());
   if (src->quantized()) dst->quantize_like(src);
   dst->set_execution_policy(src->execution_policy());
+  return dst;
+}
+
+void ScaleRegressor::share_storage_with(ScaleRegressor* src) {
+  if (streams_.size() != src->streams_.size()) {
+    std::fprintf(stderr,
+                 "ScaleRegressor::share_storage_with: stream count mismatch "
+                 "(%zu vs %zu)\n",
+                 streams_.size(), src->streams_.size());
+    std::abort();
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i)
+    streams_[i].conv->share_params_with(src->streams_[i].conv.get());
+  fc_.share_params_with(&src->fc_);
+  plans_ = src->plans_;
+}
+
+std::unique_ptr<ScaleRegressor> clone_regressor_shared(ScaleRegressor* src) {
+  // Full clone first (per-instance INT8 tables frozen from own fp32 copy),
+  // then alias the fp32/grad storage; see clone_detector_shared.
+  auto dst = clone_regressor(src);
+  dst->share_storage_with(src);
   return dst;
 }
 

@@ -78,7 +78,11 @@ class ScaleRegressor {
   const ExecutionPlan& plan_for(int n, int fh, int fw);
 
   /// Number of plans currently cached (test seam).
-  std::size_t cached_plan_count() const { return plans_.size(); }
+  std::size_t cached_plan_count() const { return plans_->size(); }
+
+  /// Aliases parameter storage and the plan cache to `src`'s; see
+  /// Detector::share_storage_with.  Used by clone_regressor_shared.
+  void share_storage_with(ScaleRegressor* src);
 
   /// Clone-side quantization transfer; see Detector::quantize_like.
   void quantize_like(ScaleRegressor* src);
@@ -121,15 +125,16 @@ class ScaleRegressor {
   /// Forward through streams; fills pooled concat vector.
   void forward(const Tensor& features);
 
-  void invalidate_plans() { plans_.clear(); }
+  void invalidate_plans() { plans_->clear(); }
 
   RegressorConfig cfg_;
   std::vector<Stream> streams_;
   LinearLayer fc_;
   ExecutionPolicy policy_;  ///< unpinned by default (env-following)
   bool use_plans_ = true;   ///< off during training/calibration forwards
-  /// Plans keyed by (n, fh, fw, resolved backend); see Detector.
-  std::map<std::tuple<int, int, int, int>, ExecutionPlan> plans_;
+  /// Plans keyed by (n, fh, fw, resolved backend); shared with
+  /// weight-aliased clones.  See Detector.
+  std::shared_ptr<PlanCache> plans_ = std::make_shared<PlanCache>();
   Tensor concat_;   ///< pooled streams, (N, streams*stream_channels, 1, 1)
   Tensor fc_out_;   ///< (N,1,1,1)
   double last_predict_ms_ = 0.0;
@@ -138,5 +143,9 @@ class ScaleRegressor {
 /// Deep-copies a scale regressor (same reason as clone_detector: per-predict
 /// scratch state makes instances single-user).
 std::unique_ptr<ScaleRegressor> clone_regressor(ScaleRegressor* src);
+
+/// Clones a regressor with parameter storage and plan cache aliased to
+/// `src`'s; see clone_detector_shared.  Sharers must not train.
+std::unique_ptr<ScaleRegressor> clone_regressor_shared(ScaleRegressor* src);
 
 }  // namespace ada

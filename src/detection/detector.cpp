@@ -81,8 +81,12 @@ void Detector::set_execution_policy(const ExecutionPolicy& policy) {
 const ExecutionPlan& Detector::plan_for(int n, int img_h, int img_w) {
   const GemmBackend be = policy_.resolve();
   const auto key = std::make_tuple(n, img_h, img_w, static_cast<int>(be));
-  auto it = plans_.find(key);
-  if (it == plans_.end()) {
+  // The cache may be shared with weight-aliased clones serving on other
+  // threads; the returned reference stays valid outside the lock because
+  // std::map nodes never relocate and clear() only runs at setup time.
+  std::lock_guard<std::mutex> lk(plans_->mu);
+  auto it = plans_->plans.find(key);
+  if (it == plans_->plans.end()) {
     ExecutionPlan plan;
     plan.input = PlanShape{n, 3, img_h, img_w};
     plan.policy = policy_.name();
@@ -95,7 +99,7 @@ const ExecutionPlan& Detector::plan_for(int n, int img_h, int img_w) {
     PlanShape reg_in = shape;
     reg_head_.plan_forward(&reg_in, &plan);
     plan.finalize();
-    it = plans_.emplace(key, std::move(plan)).first;
+    it = plans_->plans.emplace(key, std::move(plan)).first;
   }
   return it->second;
 }
@@ -451,6 +455,22 @@ std::unique_ptr<Detector> clone_detector(Detector* src) {
   // The execution policy rides along too — a mixed-precision serving
   // config survives cloning into streams and scheduler contexts.
   dst->set_execution_policy(src->execution_policy());
+  return dst;
+}
+
+void Detector::share_storage_with(Detector* src) {
+  backbone_.share_params_with(&src->backbone_);
+  cls_head_.share_params_with(&src->cls_head_);
+  reg_head_.share_params_with(&src->reg_head_);
+  plans_ = src->plans_;
+}
+
+std::unique_ptr<Detector> clone_detector_shared(Detector* src) {
+  // Build a full clone first (quantize_like freezes per-instance INT8
+  // tables from its own copied fp32 weights — bit-identical to src's),
+  // then drop the duplicated fp32/grad storage by aliasing to src's.
+  auto dst = clone_detector(src);
+  dst->share_storage_with(src);
   return dst;
 }
 

@@ -130,7 +130,16 @@ class Detector {
 
   /// Number of plans currently cached (tests assert build-once/reuse and
   /// invalidation through this).
-  std::size_t cached_plan_count() const { return plans_.size(); }
+  std::size_t cached_plan_count() const { return plans_->size(); }
+
+  /// Re-points this detector's parameter storage and plan cache at `src`'s
+  /// (the shared-immutable-weights serving split): parameters() returns
+  /// the SAME Param objects as src's afterwards, and plans built by either
+  /// instance serve both.  Per-instance state (quantized tables,
+  /// activation caches, execution policy) stays per-detector, so sharers
+  /// may pin different policies.  Used by clone_detector_shared; sharers
+  /// must not train.
+  void share_storage_with(Detector* src);
 
   /// Per-layer calibration summaries of the quantized layers, in forward
   /// order (empty before quantize()).  Reporting only — tools/calibrate.
@@ -200,7 +209,7 @@ class Detector {
   DetectionOutput decode_image(int n, int image_h, int image_w,
                                const std::vector<Box>& anchors) const;
 
-  void invalidate_plans() { plans_.clear(); }
+  void invalidate_plans() { plans_->clear(); }
 
   DetectorConfig cfg_;
   Sequential backbone_;
@@ -210,8 +219,9 @@ class Detector {
   bool use_plans_ = true;   ///< off during training/calibration forwards
   /// Plans keyed by (n, h, w, resolved backend) — the backend key is what
   /// lets an *unpinned* policy keep following env-default flips without
-  /// serving stale kernel choices.
-  std::map<std::tuple<int, int, int, int>, ExecutionPlan> plans_;
+  /// serving stale kernel choices.  shared_ptr-owned so weight-aliased
+  /// clones share one cache (runtime/exec_plan.h PlanCache).
+  std::shared_ptr<PlanCache> plans_ = std::make_shared<PlanCache>();
   Tensor features_;  ///< last backbone output
   HeadOutputs heads_;
 };
@@ -221,5 +231,11 @@ class Detector {
 /// BatchScheduler context) needs its own copy because Detector caches
 /// activations between forward and detect.
 std::unique_ptr<Detector> clone_detector(Detector* src);
+
+/// Clones a detector for pooled serving: per-instance state (activation
+/// caches, quantized tables, policy) is its own, but parameter storage and
+/// the plan cache are ALIASED to `src`'s via share_storage_with — N serving
+/// contexts hold one resident fp32 weight copy.  Sharers must not train.
+std::unique_ptr<Detector> clone_detector_shared(Detector* src);
 
 }  // namespace ada

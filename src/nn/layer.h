@@ -77,6 +77,17 @@ class Layer {
   /// eager forward.
   virtual void forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc);
 
+  /// Re-points this layer's parameter storage at `src`'s (same concrete
+  /// type, same architecture): after the call both layers' Params are the
+  /// SAME objects — the shared-immutable-weights half of the serving
+  /// split, where one resident fp32 weight copy serves every pooled
+  /// compute context (clone_detector_shared / clone_regressor_shared).
+  /// Gradients are shared too, so sharers must not train concurrently;
+  /// per-instance state (quantized tables, cached activations) stays
+  /// per-layer.  Layers without parameters ignore the call; containers
+  /// recurse pairwise and abort loudly on a structure mismatch.
+  virtual void share_params_with(Layer* src) { (void)src; }
+
   /// Freezes INT8 inference state from the current weights and the
   /// calibrated activation range: per-output-channel symmetric s8 weights
   /// + per-tensor u8 activation qparams (tensor/qgemm.h).  Returns true if

@@ -48,19 +48,19 @@ Conv2dLayer::Conv2dLayer(int in_c, int out_c, int kernel, int stride, int pad,
                          int dilation, bool fuse_relu)
     : fuse_relu_(fuse_relu) {
   spec_ = ConvSpec{in_c, out_c, kernel, stride, pad, dilation};
-  w_.value = Tensor(out_c, in_c, kernel, kernel);
-  w_.grad = Tensor(out_c, in_c, kernel, kernel);
-  b_.value = Tensor(1, out_c, 1, 1);
-  b_.grad = Tensor(1, out_c, 1, 1);
+  w_->value = Tensor(out_c, in_c, kernel, kernel);
+  w_->grad = Tensor(out_c, in_c, kernel, kernel);
+  b_->value = Tensor(1, out_c, 1, 1);
+  b_->grad = Tensor(1, out_c, 1, 1);
 }
 
 void Conv2dLayer::init_he(Rng* rng) {
   const float fan_in =
       static_cast<float>(spec_.in_channels * spec_.kernel * spec_.kernel);
   const float std = std::sqrt(2.0f / fan_in);
-  for (std::size_t i = 0; i < w_.value.size(); ++i)
-    w_.value[i] = rng->normal(0.0f, std);
-  b_.value.fill(0.0f);
+  for (std::size_t i = 0; i < w_->value.size(); ++i)
+    w_->value[i] = rng->normal(0.0f, std);
+  b_->value.fill(0.0f);
 }
 
 KernelKind Conv2dLayer::resolve_kernel() const {
@@ -76,14 +76,14 @@ KernelKind Conv2dLayer::resolve_kernel() const {
 void Conv2dLayer::run_kernel(KernelKind k, const Tensor& x, Tensor* y) {
   switch (k) {
     case KernelKind::kInt8:
-      conv2d_forward_int8(spec_, x, quant_.qw, b_.value, y, fuse_relu_);
+      conv2d_forward_int8(spec_, x, quant_.qw, b_->value, y, fuse_relu_);
       return;
     case KernelKind::kGemmReference:
-      conv2d_forward(spec_, x, w_.value, b_.value, y, fuse_relu_,
+      conv2d_forward(spec_, x, w_->value, b_->value, y, fuse_relu_,
                      GemmBackend::kReference);
       return;
     default:
-      conv2d_forward(spec_, x, w_.value, b_.value, y, fuse_relu_,
+      conv2d_forward(spec_, x, w_->value, b_->value, y, fuse_relu_,
                      GemmBackend::kPacked);
       return;
   }
@@ -129,12 +129,12 @@ void Conv2dLayer::forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) {
 void Conv2dLayer::set_calibration(bool on) { quant_.calibrating = on; }
 
 bool Conv2dLayer::quantize() {
-  return quant_.freeze(w_.value.data(), spec_.out_channels,
+  return quant_.freeze(w_->value.data(), spec_.out_channels,
                        spec_.in_channels * spec_.kernel * spec_.kernel);
 }
 
 void Conv2dLayer::quantize_with_range(float lo, float hi) {
-  quant_.freeze_with_range(w_.value.data(), spec_.out_channels,
+  quant_.freeze_with_range(w_->value.data(), spec_.out_channels,
                            spec_.in_channels * spec_.kernel * spec_.kernel,
                            lo, hi);
 }
@@ -166,12 +166,25 @@ void Conv2dLayer::backward(const Tensor& dy, Tensor* dx) {
       masked_dy_[i] = cached_y_[i] > 0.0f ? dy[i] : 0.0f;
     dconv = &masked_dy_;
   }
-  conv2d_backward(spec_, cached_x_, w_.value, *dconv, dx, &w_.grad, &b_.grad);
+  conv2d_backward(spec_, cached_x_, w_->value, *dconv, dx, &w_->grad, &b_->grad);
 }
 
 void Conv2dLayer::collect_params(std::vector<Param*>* out) {
-  out->push_back(&w_);
-  out->push_back(&b_);
+  out->push_back(w_.get());
+  out->push_back(b_.get());
+}
+
+void Conv2dLayer::share_params_with(Layer* src) {
+  auto* o = dynamic_cast<Conv2dLayer*>(src);
+  if (o == nullptr || !o->w_->value.same_shape(w_->value) ||
+      !o->b_->value.same_shape(b_->value)) {
+    std::fprintf(stderr,
+                 "Conv2dLayer::share_params_with: source is not a Conv2dLayer "
+                 "of identical geometry\n");
+    std::abort();
+  }
+  w_ = o->w_;
+  b_ = o->b_;
 }
 
 void Conv2dLayer::set_training(bool training) {
@@ -249,17 +262,17 @@ void GlobalAvgPoolLayer::backward(const Tensor& dy, Tensor* dx) {
 
 // ---------------------------------------------------------------- Linear
 LinearLayer::LinearLayer(int in, int out) {
-  w_.value = Tensor(out, in, 1, 1);
-  w_.grad = Tensor(out, in, 1, 1);
-  b_.value = Tensor(1, out, 1, 1);
-  b_.grad = Tensor(1, out, 1, 1);
+  w_->value = Tensor(out, in, 1, 1);
+  w_->grad = Tensor(out, in, 1, 1);
+  b_->value = Tensor(1, out, 1, 1);
+  b_->grad = Tensor(1, out, 1, 1);
 }
 
 void LinearLayer::init_he(Rng* rng) {
-  const float std = std::sqrt(2.0f / static_cast<float>(w_.value.c()));
-  for (std::size_t i = 0; i < w_.value.size(); ++i)
-    w_.value[i] = rng->normal(0.0f, std);
-  b_.value.fill(0.0f);
+  const float std = std::sqrt(2.0f / static_cast<float>(w_->value.c()));
+  for (std::size_t i = 0; i < w_->value.size(); ++i)
+    w_->value[i] = rng->normal(0.0f, std);
+  b_->value.fill(0.0f);
 }
 
 KernelKind LinearLayer::resolve_kernel() const {
@@ -272,13 +285,13 @@ KernelKind LinearLayer::resolve_kernel() const {
 void LinearLayer::run_kernel(KernelKind k, const Tensor& x, Tensor* y) {
   switch (k) {
     case KernelKind::kInt8:
-      linear_forward_int8(x, quant_.qw, b_.value, y);
+      linear_forward_int8(x, quant_.qw, b_->value, y);
       return;
     case KernelKind::kGemmReference:
-      linear_forward(x, w_.value, b_.value, y, GemmBackend::kReference);
+      linear_forward(x, w_->value, b_->value, y, GemmBackend::kReference);
       return;
     default:
-      linear_forward(x, w_.value, b_.value, y, GemmBackend::kPacked);
+      linear_forward(x, w_->value, b_->value, y, GemmBackend::kPacked);
       return;
   }
 }
@@ -295,10 +308,10 @@ void LinearLayer::plan_forward(PlanShape* shape, ExecutionPlan* plan) const {
   step.layer = name();
   step.kernel = resolve_kernel();
   step.in = *shape;
-  step.out = PlanShape{shape->n, w_.value.n(), 1, 1};
+  step.out = PlanShape{shape->n, w_->value.n(), 1, 1};
   step.workspace_floats = linear_forward_workspace_floats(
-      shape->n, w_.value.c(), w_.value.n(), step.kernel);
-  step.macs = static_cast<long long>(shape->n) * w_.value.n() * w_.value.c();
+      shape->n, w_->value.c(), w_->value.n(), step.kernel);
+  step.macs = static_cast<long long>(shape->n) * w_->value.n() * w_->value.c();
   plan->steps.push_back(std::move(step));
   *shape = plan->steps.back().out;
 }
@@ -318,11 +331,11 @@ void LinearLayer::forward_planned(const Tensor& x, Tensor* y, PlanCursor* pc) {
 void LinearLayer::set_calibration(bool on) { quant_.calibrating = on; }
 
 bool LinearLayer::quantize() {
-  return quant_.freeze(w_.value.data(), w_.value.n(), w_.value.c());
+  return quant_.freeze(w_->value.data(), w_->value.n(), w_->value.c());
 }
 
 void LinearLayer::quantize_with_range(float lo, float hi) {
-  quant_.freeze_with_range(w_.value.data(), w_.value.n(), w_.value.c(), lo,
+  quant_.freeze_with_range(w_->value.data(), w_->value.n(), w_->value.c(), lo,
                            hi);
 }
 
@@ -337,12 +350,25 @@ void LinearLayer::backward(const Tensor& dy, Tensor* dx) {
   }
   if (dx != nullptr && !dx->same_shape(cached_x_))
     *dx = Tensor(cached_x_.n(), cached_x_.c(), cached_x_.h(), cached_x_.w());
-  linear_backward(cached_x_, w_.value, dy, dx, &w_.grad, &b_.grad);
+  linear_backward(cached_x_, w_->value, dy, dx, &w_->grad, &b_->grad);
 }
 
 void LinearLayer::collect_params(std::vector<Param*>* out) {
-  out->push_back(&w_);
-  out->push_back(&b_);
+  out->push_back(w_.get());
+  out->push_back(b_.get());
+}
+
+void LinearLayer::share_params_with(Layer* src) {
+  auto* o = dynamic_cast<LinearLayer*>(src);
+  if (o == nullptr || !o->w_->value.same_shape(w_->value) ||
+      !o->b_->value.same_shape(b_->value)) {
+    std::fprintf(stderr,
+                 "LinearLayer::share_params_with: source is not a LinearLayer "
+                 "of identical geometry\n");
+    std::abort();
+  }
+  w_ = o->w_;
+  b_ = o->b_;
 }
 
 // ------------------------------------------------------------ Sequential
@@ -384,6 +410,18 @@ void Sequential::backward(const Tensor& dy, Tensor* dx) {
 
 void Sequential::collect_params(std::vector<Param*>* out) {
   for (auto& l : layers_) l->collect_params(out);
+}
+
+void Sequential::share_params_with(Layer* src) {
+  auto* o = dynamic_cast<Sequential*>(src);
+  if (o == nullptr || o->layers_.size() != layers_.size()) {
+    std::fprintf(stderr,
+                 "Sequential::share_params_with: source is not a Sequential "
+                 "of the same length\n");
+    std::abort();
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i]->share_params_with(o->layers_[i].get());
 }
 
 }  // namespace ada

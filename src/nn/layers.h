@@ -126,10 +126,15 @@ class Conv2dLayer : public Layer {
   /// Frozen INT8 state (empty until quantize()).
   const QuantizedWeights& quantized_weights() const { return quant_.qw; }
 
+  /// Aliases this layer's weight/bias storage to `src`'s (see
+  /// Layer::share_params_with); aborts unless `src` is a Conv2dLayer of
+  /// identical geometry.
+  void share_params_with(Layer* src) override;
+
   const ConvSpec& spec() const { return spec_; }
   bool fused_relu() const { return fuse_relu_; }
-  Param& weight() { return w_; }
-  Param& bias() { return b_; }
+  Param& weight() { return *w_; }
+  Param& bias() { return *b_; }
 
  private:
   /// Dispatches to the conv kernel `k` names (shared by the eager and
@@ -142,8 +147,11 @@ class Conv2dLayer : public Layer {
   bool backward_ready_ = false; ///< last forward ran in training mode
   ExecutionPolicy policy_;      ///< unpinned by default (env-following)
   LayerQuantState quant_;
-  Param w_;
-  Param b_;
+  // shared_ptr-owned so weight-aliased clones (share_params_with) hold the
+  // same Param objects: &weight() is identical across sharers, which is
+  // what the aliasing tests assert pointer identity on.
+  std::shared_ptr<Param> w_ = std::make_shared<Param>();
+  std::shared_ptr<Param> b_ = std::make_shared<Param>();
   Tensor cached_x_;  ///< training only: input, for dW / dX
   Tensor cached_y_;  ///< fused training only: output, for the ReLU mask
   Tensor masked_dy_; ///< fused training only: dy ⊙ [y > 0] workspace
@@ -225,8 +233,11 @@ class LinearLayer : public Layer {
   float act_hi() const { return quant_.hi; }
   const QuantizedWeights& quantized_weights() const { return quant_.qw; }
 
-  Param& weight() { return w_; }
-  Param& bias() { return b_; }
+  /// See Conv2dLayer::share_params_with.
+  void share_params_with(Layer* src) override;
+
+  Param& weight() { return *w_; }
+  Param& bias() { return *b_; }
 
  private:
   /// Shared kernel dispatch for the eager and planned forwards.
@@ -236,8 +247,9 @@ class LinearLayer : public Layer {
   bool backward_ready_ = false;  ///< last forward cached its input (eager)
   ExecutionPolicy policy_;  ///< unpinned by default (env-following)
   LayerQuantState quant_;
-  Param w_;
-  Param b_;
+  // shared_ptr-owned for weight aliasing; see Conv2dLayer.
+  std::shared_ptr<Param> w_ = std::make_shared<Param>();
+  std::shared_ptr<Param> b_ = std::make_shared<Param>();
   Tensor cached_x_;
 };
 
@@ -267,6 +279,9 @@ class Sequential : public Layer {
   void set_policy(const ExecutionPolicy& policy) override {
     for (auto& l : layers_) l->set_policy(policy);
   }
+  /// Pairwise recursion; aborts unless `src` is a Sequential of the same
+  /// length (children check their own types/shapes).
+  void share_params_with(Layer* src) override;
   void plan_forward(PlanShape* shape, ExecutionPlan* plan) const override {
     for (const auto& l : layers_) l->plan_forward(shape, plan);
   }

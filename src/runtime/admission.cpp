@@ -111,6 +111,31 @@ StreamSchedule build_schedule(const std::vector<const Snippet*>& jobs,
 
 }  // namespace
 
+std::vector<StreamSchedule> schedules_from_jobs(
+    const std::vector<const Snippet*>& jobs, int num_streams,
+    double frame_interval_ms, double start_ms) {
+  if (num_streams <= 0)
+    config_fail("schedules_from_jobs: num_streams must be >= 1");
+  if (frame_interval_ms < 0.0 || !std::isfinite(frame_interval_ms))
+    config_fail("schedules_from_jobs: frame_interval_ms must be finite, >= 0");
+  std::vector<StreamSchedule> schedules(
+      static_cast<std::size_t>(num_streams));
+  std::vector<long> k(static_cast<std::size_t>(num_streams), 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::size_t s = j % static_cast<std::size_t>(num_streams);
+    bool first = true;
+    for (const Scene& frame : jobs[j]->frames) {
+      FrameArrival a;
+      a.ms = start_ms + static_cast<double>(k[s]++) * frame_interval_ms;
+      a.scene = &frame;
+      a.snippet_start = first;
+      first = false;
+      schedules[s].push_back(a);
+    }
+  }
+  return schedules;
+}
+
 StreamSchedule poisson_schedule(const std::vector<const Snippet*>& jobs,
                                 double rate_hz, double start_ms, Rng* rng) {
   if (!(rate_hz > 0.0)) config_fail("poisson_schedule: rate_hz must be > 0");

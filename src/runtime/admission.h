@@ -130,6 +130,18 @@ class ArrivalQueue {
 // Load-schedule generation (shared by tools/loadgen and bench_report).
 // ---------------------------------------------------------------------------
 
+/// Deterministic round-robin fan-out of a job list into per-stream arrival
+/// schedules: job j goes to stream j % num_streams (the MultiStreamRunner
+/// assignment contract), each stream's frames arrive in job order at
+/// start_ms + k * frame_interval_ms (per-stream frame counter k), and the
+/// first frame of every snippet carries snippet_start.  With the default
+/// zero interval everything is due immediately — the backlog-drain schedule
+/// the stream-state table (run_table) serves; a positive interval makes a
+/// fixed-rate trace for run_timed.
+std::vector<StreamSchedule> schedules_from_jobs(
+    const std::vector<const Snippet*>& jobs, int num_streams,
+    double frame_interval_ms = 0.0, double start_ms = 0.0);
+
 /// Flattens `jobs` into per-frame arrivals with exponential (Poisson
 /// process) inter-arrival times at `rate_hz`, starting at `start_ms`.
 /// Deterministic given the Rng.

@@ -55,8 +55,13 @@ BatchScheduler::BatchScheduler(Detector* prototype_detector,
                                 0);
   for (int i = 0; i < cfg_.contexts; ++i) {
     auto ctx = std::make_unique<Context>();
-    ctx->detector = clone_detector(prototype_detector);
-    ctx->regressor = clone_regressor(prototype_regressor);
+    if (cfg_.share_context_weights) {
+      ctx->detector = clone_detector_shared(prototype_detector);
+      ctx->regressor = clone_regressor_shared(prototype_regressor);
+    } else {
+      ctx->detector = clone_detector(prototype_detector);
+      ctx->regressor = clone_regressor(prototype_regressor);
+    }
     free_contexts_.push_back(ctx.get());
     contexts_.push_back(std::move(ctx));
   }
@@ -215,6 +220,17 @@ BatchSubmitResult BatchScheduler::submit(const Tensor& image) {
 void BatchScheduler::poke() {
   std::lock_guard<std::mutex> lk(mu_);
   cv_.notify_all();
+}
+
+double BatchScheduler::next_flush_deadline_ms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double earliest = -1.0;
+  for (const auto& kv : buckets_) {
+    if (kv.second.pending.empty()) continue;
+    const double deadline = kv.second.opened_ms + cfg_.max_wait_ms;
+    if (earliest < 0.0 || deadline < earliest) earliest = deadline;
+  }
+  return earliest;
 }
 
 BatchSchedulerStats BatchScheduler::stats() const {

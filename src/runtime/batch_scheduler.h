@@ -59,6 +59,14 @@ struct BatchSchedulerConfig {
   /// own models, which is what makes batched DFF bit-identical to serial
   /// (MultiStreamRunner::run_batched flips this on when DFF is enabled).
   bool features_only = false;
+  /// Build the context pool with weight-ALIASED clones
+  /// (clone_detector_shared) instead of deep copies: every context shares
+  /// the prototypes' parameter storage and plan cache, so the scheduler
+  /// adds zero resident weight bytes.  Bit-identical either way (contexts
+  /// are interchangeable); default off to preserve the legacy deep-copy
+  /// behavior for direct constructions.  The prototypes must then outlive
+  /// the scheduler and must not train while it serves.
+  bool share_context_weights = false;
 
   /// Aborts loudly on nonsensical values (non-positive max_batch or
   /// context pool, negative/non-finite max_wait_ms) instead of a silent
@@ -130,6 +138,16 @@ class BatchScheduler {
   /// Wakes every blocked leader/follower so deadlines are re-evaluated.
   /// Required after advancing an injected ManualClock; harmless otherwise.
   void poke();
+
+  /// Earliest max_wait_ms flush deadline over all open (non-empty) buckets,
+  /// or a negative value when nothing is pending.  This is the clock-driver
+  /// seam for manual-clock serving: a leader whose peers are attached but
+  /// idle (e.g. a stream between snippets, or freshly re-attached churn)
+  /// blocks with no timed wait, so whoever owns the ManualClock must
+  /// advance_to(next_flush_deadline_ms()) and poke() to guarantee progress
+  /// instead of deadlocking on an arrival that never comes
+  /// (tests/batch_scheduler_test.cpp exercises exactly that).
+  double next_flush_deadline_ms() const;
 
   BatchSchedulerStats stats() const;
 

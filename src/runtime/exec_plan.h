@@ -24,7 +24,10 @@
 
 #include <cassert>
 #include <cstddef>
+#include <map>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace ada {
@@ -70,6 +73,30 @@ struct ExecutionPlan {
   /// Pretty-printed table (per-layer kernel, shapes, workspace bytes,
   /// MACs) — what tools/plan_dump shows.
   std::string to_string() const;
+};
+
+/// A model's lazily-built plan store, keyed by (n, h, w, resolved backend).
+/// shared_ptr-owned by each model so weight-aliased clones
+/// (clone_detector_shared / clone_regressor_shared) share ONE cache: a plan
+/// built by any pooled serving context is reused by every other context of
+/// the same policy, and different-policy sharers coexist because the
+/// resolved backend is part of the key.  The mutex makes concurrent lookups
+/// and first-use builds safe; returned ExecutionPlan references stay valid
+/// outside the lock because std::map never relocates nodes on insert, and
+/// clear() only happens at setup time (quantize / policy change / training
+/// re-entry), never while serving.
+struct PlanCache {
+  mutable std::mutex mu;
+  std::map<std::tuple<int, int, int, int>, ExecutionPlan> plans;
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu);
+    return plans.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu);
+    plans.clear();
+  }
 };
 
 /// Walking cursor over a plan during a planned forward.  Each leaf layer

@@ -2,18 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <mutex>
 #include <thread>
 
 #include "util/timer.h"
 
 namespace ada {
 
+/// One stream-state-table entry: pure per-stream state.  The pipeline's
+/// StreamContext carries all cross-frame mutable state; the policy pair
+/// records which ModelTable pool this stream's frames lease compute from.
+/// No models and no thread live here — that is the point.
 struct MultiStreamRunner::Stream {
-  std::unique_ptr<Detector> detector;
-  std::unique_ptr<ScaleRegressor> regressor;
   std::unique_ptr<AdaScalePipeline> pipeline;
+  ExecutionPolicy det_policy;
+  ExecutionPolicy reg_policy;
 };
 
 MultiStreamRunner::MultiStreamRunner(Detector* prototype_detector,
@@ -21,23 +28,36 @@ MultiStreamRunner::MultiStreamRunner(Detector* prototype_detector,
                                      const Renderer* renderer,
                                      const ScalePolicy& policy,
                                      const ScaleSet& sreg, int num_streams,
-                                     int init_scale, bool snap_scales) {
+                                     int init_scale, bool snap_scales,
+                                     int contexts_per_policy) {
   if (num_streams <= 0) {
     std::fprintf(stderr,
                  "MultiStreamRunner: num_streams must be >= 1 (got %d)\n",
                  num_streams);
     std::abort();
   }
-  // Null models/renderer, non-positive init_scale and an empty scale set
-  // abort loudly inside the AdaScalePipeline constructor below.
+  if (prototype_detector == nullptr || prototype_regressor == nullptr) {
+    std::fprintf(stderr, "MultiStreamRunner: null prototype models\n");
+    std::abort();
+  }
+  table_ = std::make_unique<ModelTable>(prototype_detector,
+                                        prototype_regressor,
+                                        contexts_per_policy);
+  const ExecutionPolicy det_policy = prototype_detector->execution_policy();
+  const ExecutionPolicy reg_policy = prototype_regressor->execution_policy();
+  // Null renderer, non-positive init_scale and an empty scale set abort
+  // loudly inside the AdaScalePipeline constructor below.
   streams_.reserve(static_cast<std::size_t>(num_streams));
   for (int s = 0; s < num_streams; ++s) {
     auto stream = std::make_unique<Stream>();
-    stream->detector = clone_detector(prototype_detector);
-    stream->regressor = clone_regressor(prototype_regressor);
+    stream->det_policy = det_policy;
+    stream->reg_policy = reg_policy;
+    // The masters satisfy the pipeline's non-null model contract but are
+    // never touched while a pool is bound — all frames lease contexts.
     stream->pipeline = std::make_unique<AdaScalePipeline>(
-        stream->detector.get(), stream->regressor.get(), renderer, policy,
-        sreg, init_scale, snap_scales);
+        table_->master_detector(), table_->master_regressor(), renderer,
+        policy, sreg, init_scale, snap_scales);
+    stream->pipeline->bind_pool(table_->pool_for(det_policy, reg_policy));
     streams_.push_back(std::move(stream));
   }
 }
@@ -52,8 +72,9 @@ void MultiStreamRunner::set_stream_policy(
     int stream, const ExecutionPolicy& detector_policy,
     const ExecutionPolicy& regressor_policy) {
   Stream& s = *streams_.at(static_cast<std::size_t>(stream));
-  s.detector->set_execution_policy(detector_policy);
-  s.regressor->set_execution_policy(regressor_policy);
+  s.det_policy = detector_policy;
+  s.reg_policy = regressor_policy;
+  s.pipeline->bind_pool(table_->pool_for(detector_policy, regressor_policy));
 }
 
 void MultiStreamRunner::set_dff(const DffServingConfig& cfg) {
@@ -66,52 +87,140 @@ void MultiStreamRunner::set_scale_cap(int cap) {
 }
 
 MultiStreamResult MultiStreamRunner::run_impl(
-    const std::vector<const Snippet*>& jobs, bool concurrent,
-    BatchScheduler* scheduler) {
+    const std::vector<const Snippet*>& jobs, BatchScheduler* scheduler) {
   MultiStreamResult result;
   result.streams.resize(streams_.size());
-  result.batched = scheduler != nullptr;
+  result.batched = true;
 
   auto stream_main = [&](int sid) {
     Stream& stream = *streams_[static_cast<std::size_t>(sid)];
     StreamOutput& out = result.streams[static_cast<std::size_t>(sid)];
     out.stream_id = sid;
-    AdaScalePipeline::DetectBackend backend;
-    if (scheduler != nullptr) {
-      backend = [scheduler](Tensor image) {
-        BatchSubmitResult r = scheduler->submit(image);
-        AdaScalePipeline::DetectResult d;
-        d.detections = std::move(r.detections);
-        d.regressed_t = r.regressed_t;
-        d.detect_ms = r.detect_ms;
-        d.regressor_ms = r.regressor_ms;
-        d.features = std::move(r.features);
-        return d;
-      };
-      scheduler->attach();
-    }
+    AdaScalePipeline::DetectBackend backend = [scheduler](Tensor image) {
+      BatchSubmitResult r = scheduler->submit(image);
+      AdaScalePipeline::DetectResult d;
+      d.detections = std::move(r.detections);
+      d.regressed_t = r.regressed_t;
+      d.detect_ms = r.detect_ms;
+      d.regressor_ms = r.regressor_ms;
+      d.features = std::move(r.features);
+      return d;
+    };
+    scheduler->attach();
     Timer busy;
     for (std::size_t j = static_cast<std::size_t>(sid); j < jobs.size();
          j += streams_.size()) {
       stream.pipeline->reset();
       for (const Scene& frame : jobs[j]->frames)
-        out.frames.push_back(scheduler != nullptr
-                                 ? stream.pipeline->process_via(frame, backend)
-                                 : stream.pipeline->process(frame));
+        out.frames.push_back(stream.pipeline->process_via(frame, backend));
     }
     out.busy_ms = busy.elapsed_ms();
-    if (scheduler != nullptr) scheduler->detach();
+    scheduler->detach();
   };
 
   Timer wall;
-  if (concurrent) {
-    std::vector<std::thread> threads;
-    threads.reserve(streams_.size());
-    for (int s = 0; s < num_streams(); ++s)
-      threads.emplace_back(stream_main, s);
-    for (std::thread& t : threads) t.join();
+  std::vector<std::thread> threads;
+  threads.reserve(streams_.size());
+  for (int s = 0; s < num_streams(); ++s) threads.emplace_back(stream_main, s);
+  for (std::thread& t : threads) t.join();
+  result.wall_ms = wall.elapsed_ms();
+
+  for (const StreamOutput& s : result.streams)
+    result.total_frames += static_cast<long>(s.frames.size());
+  result.aggregate_fps = result.wall_ms > 0.0
+                             ? 1000.0 * static_cast<double>(result.total_frames)
+                                   / result.wall_ms
+                             : 0.0;
+  result.batch_stats = scheduler->stats();
+  return result;
+}
+
+MultiStreamResult MultiStreamRunner::run_table(
+    const std::vector<const Snippet*>& jobs, const StreamTableConfig& cfg) {
+  cfg.validate();
+  const std::size_t n = streams_.size();
+  MultiStreamResult result;
+  result.streams.resize(n);
+  for (std::size_t s = 0; s < n; ++s)
+    result.streams[s].stream_id = static_cast<int>(s);
+
+  // Stream-state-table entries: every frame of every job lands in its
+  // stream's ArrivalQueue up front (a backlog-drain schedule — all due at
+  // time zero against a clock that never advances), so "has queued frames"
+  // is the only readiness condition the dispatch loop needs.
+  const std::vector<StreamSchedule> schedules =
+      schedules_from_jobs(jobs, static_cast<int>(n));
+  ManualClock clock(0.0);
+  AdmissionConfig acfg;
+  std::size_t max_frames = 1;
+  for (const StreamSchedule& sch : schedules)
+    max_frames = std::max(max_frames, sch.size());
+  acfg.capacity = static_cast<int>(max_frames);
+  acfg.deadline_ms = 1e15;  // throughput mode: nothing can expire
+  std::vector<ArrivalQueue> queues;
+  queues.reserve(n);
+  long remaining = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    queues.emplace_back(acfg, &clock);
+    for (const FrameArrival& a : schedules[s])
+      queues[s].offer(a.scene, a.snippet_start, a.ms);
+    remaining += static_cast<long>(schedules[s].size());
+  }
+
+  int workers = cfg.workers;
+  if (workers == 0)
+    workers = std::max(
+        1, std::min(static_cast<int>(n),
+                    static_cast<int>(std::thread::hardware_concurrency())));
+
+  // Dispatch: a ready deque of stream ids.  A stream id is either in the
+  // deque or owned by exactly one worker, never both — within-stream frame
+  // order (and thus bit-identical output) holds for any worker count.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  for (std::size_t s = 0; s < n; ++s)
+    if (!queues[s].empty()) ready.push_back(static_cast<int>(s));
+
+  auto worker_main = [&]() {
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      while (ready.empty() && remaining > 0) cv.wait(lk);
+      if (remaining <= 0) {
+        cv.notify_all();
+        return;
+      }
+      const int sid = ready.front();
+      ready.pop_front();
+      // This worker now exclusively owns stream `sid`: its queue, pipeline
+      // and output slot are untouched by anyone else until it is returned
+      // to the deque (the mutex hand-off orders the memory).
+      ArrivalQueue& q = queues[static_cast<std::size_t>(sid)];
+      Stream& stream = *streams_[static_cast<std::size_t>(sid)];
+      StreamOutput& out = result.streams[static_cast<std::size_t>(sid)];
+      lk.unlock();
+      const AdmittedFrame f = q.pop();
+      if (f.snippet_start) stream.pipeline->reset();
+      Timer frame_timer;
+      AdaFrameOutput frame_out = stream.pipeline->process(*f.scene);
+      out.busy_ms += frame_timer.elapsed_ms();
+      out.frames.push_back(std::move(frame_out));
+      lk.lock();
+      --remaining;
+      if (!q.empty()) ready.push_back(sid);
+      // Wake peers: a stream became ready again, or the run just drained.
+      cv.notify_all();
+    }
+  };
+
+  Timer wall;
+  if (workers <= 1) {
+    worker_main();
   } else {
-    for (int s = 0; s < num_streams(); ++s) stream_main(s);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main);
+    for (std::thread& t : threads) t.join();
   }
   result.wall_ms = wall.elapsed_ms();
 
@@ -121,38 +230,37 @@ MultiStreamResult MultiStreamRunner::run_impl(
                              ? 1000.0 * static_cast<double>(result.total_frames)
                                    / result.wall_ms
                              : 0.0;
-  if (scheduler != nullptr) result.batch_stats = scheduler->stats();
   return result;
 }
 
 MultiStreamResult MultiStreamRunner::run(
     const std::vector<const Snippet*>& jobs) {
-  return run_impl(jobs, /*concurrent=*/true, /*scheduler=*/nullptr);
+  return run_table(jobs, StreamTableConfig{});
 }
 
 MultiStreamResult MultiStreamRunner::run_serial(
     const std::vector<const Snippet*>& jobs) {
-  return run_impl(jobs, /*concurrent=*/false, /*scheduler=*/nullptr);
+  StreamTableConfig cfg;
+  cfg.workers = 1;
+  return run_table(jobs, cfg);
 }
 
 MultiStreamResult MultiStreamRunner::run_batched(
     const std::vector<const Snippet*>& jobs, const BatchSchedulerConfig& cfg) {
-  // The scheduler's contexts are cloned from stream 0's models, which carry
-  // the same parameter values as every other stream — any batch composition
-  // therefore produces the same bits as per-stream execution.  That only
-  // holds when every stream resolves the same policies as stream 0;
-  // heterogeneous per-stream policies (set_stream_policy) would be served
-  // silently at stream 0's precision, so fail loudly instead.
+  // The scheduler's contexts are built from stream 0's policy pool, whose
+  // contexts alias the same master weights as every other pool — any batch
+  // composition therefore produces the same bits as per-stream execution.
+  // That only holds when every stream resolves the same policies as stream
+  // 0; heterogeneous per-stream policies (set_stream_policy) would be
+  // served silently at stream 0's precision, so fail loudly instead.
   for (const auto& s : streams_) {
-    if (s->detector->execution_policy().resolve() !=
-            streams_[0]->detector->execution_policy().resolve() ||
-        s->regressor->execution_policy().resolve() !=
-            streams_[0]->regressor->execution_policy().resolve()) {
+    if (s->det_policy.resolve() != streams_[0]->det_policy.resolve() ||
+        s->reg_policy.resolve() != streams_[0]->reg_policy.resolve()) {
       std::fprintf(stderr,
                    "MultiStreamRunner::run_batched: streams have "
                    "heterogeneous execution policies — batching shares "
-                   "contexts cloned from stream 0 and cannot honor them; "
-                   "use run()/run_serial() for mixed-policy streams\n");
+                   "contexts cloned from stream 0's pool and cannot honor "
+                   "them; use run()/run_table() for mixed-policy streams\n");
       std::abort();
     }
   }
@@ -160,9 +268,14 @@ MultiStreamResult MultiStreamRunner::run_batched(
   // copy); warp frames never reach the scheduler at all.
   BatchSchedulerConfig scfg = cfg;
   if (dff_enabled_) scfg.features_only = true;
-  BatchScheduler scheduler(streams_[0]->detector.get(),
-                           streams_[0]->regressor.get(), scfg);
-  return run_impl(jobs, /*concurrent=*/true, &scheduler);
+  // Scheduler contexts join the shared-weights regime: cloned (weight-
+  // aliased) from a stream-0-policy pool context, so batching adds scratch
+  // state but no resident weight bytes.
+  scfg.share_context_weights = true;
+  ContextPool* pool =
+      table_->pool_for(streams_[0]->det_policy, streams_[0]->reg_policy);
+  BatchScheduler scheduler(pool->detector_at(0), pool->regressor_at(0), scfg);
+  return run_impl(jobs, &scheduler);
 }
 
 void TimedRunConfig::validate() const {
@@ -280,8 +393,11 @@ TimedRunResult MultiStreamRunner::run_timed(
       // ...degraded execution policies (saved once, restored on recovery)...
       if (controller->policy_switch_active() && !policies_switched) {
         for (std::size_t s = 0; s < n; ++s) {
-          saved_det[s] = streams_[s]->detector->execution_policy();
-          saved_reg[s] = streams_[s]->regressor->execution_policy();
+          saved_det[s] = streams_[s]->det_policy;
+          saved_reg[s] = streams_[s]->reg_policy;
+          // Re-pools the stream onto the degraded-policy contexts (built on
+          // first switch); safe mid-run because this event loop is the only
+          // thread touching the table.
           set_stream_policy(static_cast<int>(s), cfg.degraded_detector_policy,
                             cfg.degraded_regressor_policy);
         }

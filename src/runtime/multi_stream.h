@@ -3,14 +3,22 @@
 // Production video analytics serves many independent camera/user streams at
 // once.  Algorithm 1 is inherently sequential *within* a stream (frame t's
 // deep features pick frame t+1's scale), but streams share nothing — so the
-// scaling axis is across streams.  MultiStreamRunner owns one complete
-// pipeline (detector + regressor clones) per stream and drives them on
-// dedicated threads, with the shared runtime pool (runtime/thread_pool.h)
-// parallelizing the per-frame kernels underneath.
+// scaling axis is across streams.
+//
+// MultiStreamRunner keeps streams as STATE, not threads: each stream is a
+// stream-state-table entry (an AdaScalePipeline wrapping a StreamContext,
+// plus an ArrivalQueue when frames are scheduled) and all model compute
+// flows through a shared ModelTable (runtime/stream_table.h) — one resident
+// master weight copy, leased per frame by a small pool of weight-aliased
+// contexts.  run()/run_serial()/run_table() drain the table with a worker
+// pool that dispatches one ready stream at a time; run_timed() drives the
+// same entries from a virtual-time event loop; run_batched() routes frames
+// through a cross-stream BatchScheduler.  1k+ streams therefore cost 1k
+// contexts-worth of kilobyte state, not 1k model clones.
 //
 // Job assignment is static round-robin (stream s takes jobs s, s+N, ...), so
 // per-stream outputs are bit-identical to running the same jobs serially —
-// the multi_stream test asserts exactly that.
+// the multi_stream and stream_table tests assert exactly that.
 #pragma once
 
 #include <functional>
@@ -23,6 +31,7 @@
 #include "runtime/batch_scheduler.h"
 #include "runtime/fault_injection.h"
 #include "runtime/overload_controller.h"
+#include "runtime/stream_table.h"
 #include "util/latency_histogram.h"
 
 namespace ada {
@@ -126,23 +135,28 @@ struct TimedRunResult {
   }
 };
 
-/// Drives N independent AdaScalePipeline instances concurrently.
-/// (clone_detector / clone_regressor live with their classes:
-/// detection/detector.h and adascale/scale_regressor.h.)
+/// Drives N independent AdaScalePipeline instances over a shared
+/// ModelTable.  (clone_detector_shared / clone_regressor_shared live with
+/// their classes: detection/detector.h and adascale/scale_regressor.h.)
 class MultiStreamRunner {
  public:
-  /// Builds `num_streams` pipelines, each with its own detector/regressor
-  /// clone.  The prototypes are only read during construction.  `renderer`
-  /// is stateless and shared by all streams.  With snap_scales each
-  /// pipeline quantizes its target scale to the nearest member of `sreg`
-  /// (see AdaScalePipeline) — in every execution mode, so run(),
-  /// run_serial() and run_batched() always process identical work; dense
-  /// scale buckets are what lets run_batched() actually form batches.
+  /// Builds `num_streams` stream-state entries over ONE master weight copy
+  /// (cloned from the prototypes, which are only read during construction)
+  /// and per-policy pools of weight-aliased serving contexts.
+  /// `contexts_per_policy` bounds how many frames of one policy pair can
+  /// be in flight at once (<= 0 auto-sizes to hardware concurrency; see
+  /// ModelTable).  `renderer` is stateless and shared by all streams.
+  /// With snap_scales each pipeline quantizes its target scale to the
+  /// nearest member of `sreg` (see AdaScalePipeline) — in every execution
+  /// mode, so run(), run_serial() and run_batched() always process
+  /// identical work; dense scale buckets are what lets run_batched()
+  /// actually form batches.
   MultiStreamRunner(Detector* prototype_detector,
                     ScaleRegressor* prototype_regressor,
                     const Renderer* renderer, const ScalePolicy& policy,
                     const ScaleSet& sreg, int num_streams,
-                    int init_scale = 600, bool snap_scales = false);
+                    int init_scale = 600, bool snap_scales = false,
+                    int contexts_per_policy = 0);
   ~MultiStreamRunner();
 
   MultiStreamRunner(const MultiStreamRunner&) = delete;
@@ -150,16 +164,23 @@ class MultiStreamRunner {
 
   int num_streams() const;
 
-  /// Overrides the execution policy of one stream's detector and regressor
-  /// clones (runtime/exec_policy.h) — heterogeneous serving, e.g. an int8
-  /// stream next to an fp32 stream with no shared backend state to race
-  /// on.  By default every stream inherits the prototypes' policies via
-  /// cloning.  run() and run_serial() honor per-stream policies;
+  /// The shared-weights model table backing every stream (inspection:
+  /// resident_weight_bytes vs the cloned baseline, pool counts).  Owned by
+  /// the runner; do not build pools while a run is in flight.
+  ModelTable* model_table() { return table_.get(); }
+
+  /// Overrides the execution policy of one stream (runtime/exec_policy.h)
+  /// — heterogeneous serving, e.g. an int8 stream next to an fp32 stream
+  /// with no shared backend state to race on.  A stream's policy pair
+  /// selects which ModelTable context pool its frames lease from (pools
+  /// are built on first use; the weights underneath stay one shared copy).
+  /// By default every stream uses the prototypes' policies.  run(),
+  /// run_serial(), run_table() and run_timed() honor per-stream policies;
   /// run_batched() coalesces frames from *different* streams onto shared
-  /// contexts cloned from stream 0, so it requires all streams to resolve
-  /// identical policies and aborts loudly otherwise (per-model mixed
-  /// precision — int8 detector + fp32 regressor — is fine: it rides the
-  /// models, not the streams).
+  /// contexts, so it requires all streams to resolve identical policies
+  /// and aborts loudly otherwise (per-model mixed precision — int8
+  /// detector + fp32 regressor — is fine: it rides the models, not the
+  /// streams).  Setup-time only: must not race a running table.
   void set_stream_policy(int stream, const ExecutionPolicy& detector_policy,
                          const ExecutionPolicy& regressor_policy);
 
@@ -181,14 +202,24 @@ class MultiStreamRunner {
   /// operators (or tests) can impose a cap directly.
   void set_scale_cap(int cap);
 
-  /// Processes every snippet: job j goes to stream j % num_streams, streams
-  /// run concurrently on dedicated threads.  Pipelines reset() at each
+  /// Processes every snippet through the stream-state table: job j goes to
+  /// stream j % num_streams, each stream's frames land in its ArrivalQueue
+  /// (all due immediately), and cfg.workers pooled threads repeatedly pick
+  /// a ready stream, serve exactly ONE frame on a leased context, and
+  /// return the stream to the ready set.  A stream is owned by at most one
+  /// worker at a time, so Algorithm 1's within-stream ordering — and
+  /// therefore bit-identical per-stream output regardless of worker count
+  /// or interleaving — holds by construction.  Pipelines reset() at each
   /// snippet boundary (Algorithm 1 restarts per video).
+  MultiStreamResult run_table(const std::vector<const Snippet*>& jobs,
+                              const StreamTableConfig& cfg = {});
+
+  /// run_table with auto worker count — the default concurrent mode.
   MultiStreamResult run(const std::vector<const Snippet*>& jobs);
 
-  /// Same jobs, same per-stream pipelines, but executed one stream after
-  /// another on the calling thread.  Baseline for the throughput comparison;
-  /// produces identical per-stream outputs to run().
+  /// run_table with ONE worker: fully sequential on the calling thread's
+  /// pool.  Baseline for the throughput comparison; produces identical
+  /// per-stream outputs to run().
   MultiStreamResult run_serial(const std::vector<const Snippet*>& jobs);
 
   /// Same jobs and static round-robin assignment, but every stream routes
@@ -227,14 +258,16 @@ class MultiStreamRunner {
 
  private:
   struct Stream;
-  /// Shared orchestration for all three modes: round-robin job assignment,
-  /// per-stream timing, aggregate accounting.  With a scheduler, frames
-  /// route through it via process_via (run_batched); otherwise each stream
-  /// detects on its own models (run / run_serial).
+  /// Thread-per-stream orchestration, kept ONLY for run_batched: the
+  /// scheduler's leader election needs every live stream blocked inside
+  /// submit() for its all-blocked flush trigger, which a one-frame-at-a-
+  /// time table worker cannot provide.  Frames route through the scheduler
+  /// via process_via.
   MultiStreamResult run_impl(const std::vector<const Snippet*>& jobs,
-                             bool concurrent, BatchScheduler* scheduler);
+                             BatchScheduler* scheduler);
 
   std::vector<std::unique_ptr<Stream>> streams_;
+  std::unique_ptr<ModelTable> table_;  ///< shared weights + context pools
   bool dff_enabled_ = false;
 };
 

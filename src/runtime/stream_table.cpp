@@ -1,0 +1,129 @@
+#include "runtime/stream_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+namespace ada {
+
+void StreamTableConfig::validate() const {
+  if (workers < 0) {
+    std::fprintf(stderr, "StreamTableConfig: workers must be >= 0 (got %d)\n",
+                 workers);
+    std::abort();
+  }
+}
+
+ContextPool::ContextPool(Detector* master_detector,
+                         ScaleRegressor* master_regressor,
+                         const ExecutionPolicy& detector_policy,
+                         const ExecutionPolicy& regressor_policy,
+                         int contexts) {
+  if (contexts < 1) {
+    std::fprintf(stderr, "ContextPool: contexts must be >= 1 (got %d)\n",
+                 contexts);
+    std::abort();
+  }
+  slots_.reserve(static_cast<std::size_t>(contexts));
+  free_.reserve(static_cast<std::size_t>(contexts));
+  for (int i = 0; i < contexts; ++i) {
+    Slot slot;
+    slot.detector = clone_detector_shared(master_detector);
+    slot.regressor = clone_regressor_shared(master_regressor);
+    // Pinning a policy invalidates plans in the SHARED cache only when the
+    // policy actually changes resolution — and the cache is keyed by
+    // resolved backend anyway, so contexts of different pools coexist.
+    slot.detector->set_execution_policy(detector_policy);
+    slot.regressor->set_execution_policy(regressor_policy);
+    slots_.push_back(std::move(slot));
+    free_.push_back(i);
+  }
+}
+
+ContextPool::~ContextPool() = default;
+
+ModelPool::Lease ContextPool::acquire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (free_.empty()) cv_.wait(lk);
+  const int slot = free_.back();
+  free_.pop_back();
+  Lease lease;
+  lease.detector = slots_[static_cast<std::size_t>(slot)].detector.get();
+  lease.regressor = slots_[static_cast<std::size_t>(slot)].regressor.get();
+  lease.slot = slot;
+  return lease;
+}
+
+void ContextPool::release(const Lease& lease) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (lease.slot < 0 || lease.slot >= static_cast<int>(slots_.size())) {
+    std::fprintf(stderr, "ContextPool::release: bad slot %d\n", lease.slot);
+    std::abort();
+  }
+  free_.push_back(lease.slot);
+  cv_.notify_one();
+}
+
+ModelTable::ModelTable(Detector* prototype_detector,
+                       ScaleRegressor* prototype_regressor,
+                       int contexts_per_pool)
+    : master_det_(clone_detector(prototype_detector)),
+      master_reg_(clone_regressor(prototype_regressor)),
+      contexts_per_pool_(contexts_per_pool) {
+  if (contexts_per_pool_ <= 0) {
+    contexts_per_pool_ =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+}
+
+ModelTable::~ModelTable() = default;
+
+ContextPool* ModelTable::pool_for(const ExecutionPolicy& detector_policy,
+                                  const ExecutionPolicy& regressor_policy) {
+  const std::pair<int, int> key{static_cast<int>(detector_policy.backend),
+                                static_cast<int>(regressor_policy.backend)};
+  auto it = pools_.find(key);
+  if (it == pools_.end()) {
+    it = pools_
+             .emplace(key, std::make_unique<ContextPool>(
+                               master_det_.get(), master_reg_.get(),
+                               detector_policy, regressor_policy,
+                               contexts_per_pool_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::size_t ModelTable::resident_weight_bytes() const {
+  // Count each distinct Param object once: the masters plus every pool
+  // context contribute pointers, but aliased storage collapses in the set.
+  std::set<const Param*> unique;
+  auto add = [&unique](const std::vector<Param*>& params) {
+    for (const Param* p : params) unique.insert(p);
+  };
+  add(master_det_->parameters());
+  add(master_reg_->parameters());
+  for (const auto& kv : pools_) {
+    ContextPool* pool = kv.second.get();
+    for (int i = 0; i < pool->size(); ++i) {
+      add(pool->detector_at(i)->parameters());
+      add(pool->regressor_at(i)->parameters());
+    }
+  }
+  std::size_t floats = 0;
+  for (const Param* p : unique) floats += p->value.size() + p->grad.size();
+  return floats * sizeof(float);
+}
+
+std::size_t ModelTable::cloned_weight_bytes(int num_streams) const {
+  std::size_t floats = 0;
+  for (const Param* p : master_det_->parameters())
+    floats += p->value.size() + p->grad.size();
+  for (const Param* p : master_reg_->parameters())
+    floats += p->value.size() + p->grad.size();
+  return floats * sizeof(float) * static_cast<std::size_t>(num_streams);
+}
+
+}  // namespace ada

@@ -256,5 +256,190 @@ TEST_F(BatchSchedulerTest, DirectSubmitMatchesDetectorOutput) {
   }
 }
 
+TEST_F(BatchSchedulerTest, DetachDuringOpenBatchFlushesWithoutLoss) {
+  // Stream churn against an OPEN batch: two streams are queued in the same
+  // bucket while a third is attached but idle, so the leader cannot close
+  // (not full, all-blocked needs 3, and the deadline is effectively
+  // infinite).  When the idle stream detaches mid-batch, the all-blocked
+  // trigger must re-evaluate against the NEW attached count and flush the
+  // batch-of-two — detaching must never strand or drop frames already
+  // queued by other streams.  Every interleaving of the detach with the two
+  // enqueues is legal; none may deadlock.
+  ManualClock clock;
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_ms = 1e9;  // the timeout valve must play no part here
+  BatchScheduler sched(detector_.get(), regressor_.get(), cfg, &clock);
+  sched.attach();
+  sched.attach();
+  sched.attach();  // the idle peer that will churn out
+
+  const Scene& s0 = dataset_.val_snippets()[0].frames[0];
+  const Scene& s1 = dataset_.val_snippets()[0].frames[1];
+  const Tensor img0 =
+      renderer_.render_at_scale(s0, 240, dataset_.scale_policy());
+  const Tensor img1 =
+      renderer_.render_at_scale(s1, 240, dataset_.scale_policy());
+
+  BatchSubmitResult r0, r1;
+  std::thread t0([&] { r0 = sched.submit(img0); });
+  std::thread t1([&] { r1 = sched.submit(img1); });
+  // Wait until the bucket is actually open (>= 1 request pending) so the
+  // detach usually lands mid-batch; correctness does not depend on it.
+  while (sched.next_flush_deadline_ms() < 0.0) std::this_thread::yield();
+  sched.detach();  // idle peer leaves -> all-blocked becomes 2 >= 2
+  t0.join();
+  t1.join();
+  sched.detach();
+  sched.detach();
+
+  const BatchSchedulerStats st = sched.stats();
+  EXPECT_EQ(st.frames, 2);  // nothing dropped
+  EXPECT_EQ(st.single_fallbacks, 0);
+  EXPECT_EQ(st.batches, 1);
+  ASSERT_GT(st.batch_size_hist.size(), 2u);
+  EXPECT_EQ(st.batch_size_hist[2], 1) << "churn should flush one batch of 2";
+
+  // Both stranded-then-flushed frames carry real, correct model output.
+  const DetectionOutput d0 = detector_->detect(img0);
+  const DetectionOutput d1 = detector_->detect(img1);
+  ASSERT_EQ(r0.detections.detections.size(), d0.detections.size());
+  ASSERT_EQ(r1.detections.detections.size(), d1.detections.size());
+  for (std::size_t d = 0; d < d0.detections.size(); ++d)
+    EXPECT_EQ(r0.detections.detections[d].score, d0.detections[d].score);
+  for (std::size_t d = 0; d < d1.detections.size(); ++d)
+    EXPECT_EQ(r1.detections.detections[d].score, d1.detections[d].score);
+}
+
+TEST_F(BatchSchedulerTest, NextFlushDeadlineDrivesIdleAttachedPeer) {
+  // The manual-clock churn deadlock, fixed by the next_flush_deadline_ms()
+  // seam: with a peer attached but idle, a lone leader blocks with NO timed
+  // wait (injected clocks cannot drive one), so a clock driver that does
+  // not know the bucket's deadline would advance time forever without ever
+  // crossing it.  The seam exposes exactly the instant to advance_to();
+  // after a detach/re-attach churn cycle the second generation must be
+  // driven the same way.
+  ManualClock clock;
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_ms = 25.0;
+  BatchScheduler sched(detector_.get(), regressor_.get(), cfg, &clock);
+  sched.attach();
+  sched.attach();  // idle peer: blocks the all-blocked trigger
+
+  const Scene& scene = dataset_.val_snippets()[0].frames[0];
+  const Tensor img =
+      renderer_.render_at_scale(scene, 240, dataset_.scale_policy());
+  EXPECT_LT(sched.next_flush_deadline_ms(), 0.0)
+      << "no pending frames -> no deadline";
+
+  const DetectionOutput direct = detector_->detect(img);
+  for (int generation = 0; generation < 2; ++generation) {
+    std::atomic<bool> done{false};
+    BatchSubmitResult result;
+    std::thread stream([&] {
+      result = sched.submit(img);
+      done.store(true);
+    });
+    while (!done.load()) {
+      const double deadline = sched.next_flush_deadline_ms();
+      if (deadline >= 0.0) {
+        clock.advance_to(deadline);
+        sched.poke();
+      }
+      std::this_thread::yield();
+    }
+    stream.join();
+    EXPECT_EQ(result.batch_size, 1);
+    ASSERT_EQ(result.detections.detections.size(), direct.detections.size());
+    for (std::size_t d = 0; d < direct.detections.size(); ++d)
+      EXPECT_EQ(result.detections.detections[d].score,
+                direct.detections[d].score);
+    // Churn between generations: the submitting stream leaves and a fresh
+    // one replaces it; the idle peer stays attached throughout.
+    sched.detach();
+    sched.attach();
+  }
+  sched.detach();
+  sched.detach();
+
+  const BatchSchedulerStats st = sched.stats();
+  EXPECT_EQ(st.frames, 2);
+  EXPECT_EQ(st.batches, 2);
+  ASSERT_GT(st.batch_size_hist.size(), 1u);
+  EXPECT_EQ(st.batch_size_hist[1], 2);
+}
+
+TEST_F(BatchSchedulerTest, RandomChurnKeepsBitsAndAccountingIntact) {
+  // Seeded random attach/submit/detach churn through ONE long-lived
+  // scheduler: varying numbers of streams join, submit a few frames at
+  // mixed scales, and leave, across several rounds (so the attached count
+  // swings 0 -> k -> 0 repeatedly while batches form).  Every single
+  // result must be bit-equal to a direct detector call on the same image,
+  // and the final accounting must show every submission served.
+  const Scene& s0 = dataset_.val_snippets()[0].frames[0];
+  const Scene& s1 = dataset_.val_snippets()[0].frames[1];
+  std::vector<Tensor> images;
+  images.push_back(renderer_.render_at_scale(s0, 240, dataset_.scale_policy()));
+  images.push_back(renderer_.render_at_scale(s1, 240, dataset_.scale_policy()));
+  images.push_back(renderer_.render_at_scale(s0, 360, dataset_.scale_policy()));
+  images.push_back(renderer_.render_at_scale(s1, 360, dataset_.scale_policy()));
+  std::vector<DetectionOutput> direct;
+  direct.reserve(images.size());
+  for (const Tensor& img : images) direct.push_back(detector_->detect(img));
+
+  BatchSchedulerConfig cfg;
+  cfg.max_batch = 3;
+  cfg.contexts = 2;
+  cfg.max_wait_ms = 2.0;  // wall clock: short valve so idle peers can't stall
+  BatchScheduler sched(detector_.get(), regressor_.get(), cfg);
+
+  Rng rng(4242);
+  long total = 0;
+  std::atomic<long> mismatches{0};
+  for (int round = 0; round < 4; ++round) {
+    const int k = rng.uniform_int(1, 4);
+    // Precompute each thread's image sequence on the main thread (R3: one
+    // seeded Rng, no sharing across threads).
+    std::vector<std::vector<int>> picks(static_cast<std::size_t>(k));
+    for (auto& p : picks) {
+      const int m = rng.uniform_int(1, 3);
+      for (int f = 0; f < m; ++f)
+        p.push_back(rng.uniform_int(0, static_cast<int>(images.size()) - 1));
+      total += m;
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < k; ++t) {
+      threads.emplace_back([&, t] {
+        sched.attach();
+        for (int idx : picks[static_cast<std::size_t>(t)]) {
+          const BatchSubmitResult r =
+              sched.submit(images[static_cast<std::size_t>(idx)]);
+          const DetectionOutput& want = direct[static_cast<std::size_t>(idx)];
+          bool ok = r.detections.detections.size() == want.detections.size();
+          for (std::size_t d = 0; ok && d < want.detections.size(); ++d) {
+            const Detection& a = r.detections.detections[d];
+            const Detection& b = want.detections[d];
+            ok = a.class_id == b.class_id && a.score == b.score &&
+                 a.box.x1 == b.box.x1 && a.box.y1 == b.box.y1 &&
+                 a.box.x2 == b.box.x2 && a.box.y2 == b.box.y2;
+          }
+          if (!ok) mismatches.fetch_add(1);
+        }
+        sched.detach();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const BatchSchedulerStats st = sched.stats();
+  EXPECT_EQ(st.frames, total) << "churn must not drop or duplicate frames";
+  long hist_frames = 0;
+  for (std::size_t b = 0; b < st.batch_size_hist.size(); ++b)
+    hist_frames += st.batch_size_hist[b] * static_cast<long>(b);
+  EXPECT_EQ(hist_frames + st.single_fallbacks, st.frames);
+}
+
 }  // namespace
 }  // namespace ada

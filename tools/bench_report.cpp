@@ -1,6 +1,6 @@
 // bench_report — machine-readable kernel/perf trajectory for the repo.
 //
-// Emits BENCH_kernels.json (schema v5): per-conv-shape GFLOP/s and ns/call
+// Emits BENCH_kernels.json (schema v7): per-conv-shape GFLOP/s and ns/call
 // for all three GEMM backends (packed / reference / int8), end-to-end
 // detector forward latency / fps at each nominal scale, multi-stream
 // serving throughput — unbatched vs the cross-stream batch scheduler — the
@@ -16,6 +16,11 @@
 // graceful-degradation controller — with p50/p95/p99 latency, drop
 // accounting, deadline compliance, the degradation timeline, and the mAP
 // cost of degrading.
+// Since v7 the `stream_table` section records serving density: a
+// 1000-stream stream-state table over ONE shared weight copy — resident
+// parameter bytes vs the 1000-dedicated-clones baseline, plus a
+// deterministic service-model-only timed pass proving every stream is
+// actually served at that density.
 // Since v4 every section records the execution policy its rows ran under
 // (per-column for multi-backend sections), and backends are selected with
 // pinned per-model ExecutionPolicy values / explicit kernel arguments —
@@ -230,6 +235,74 @@ void emit_multi_stream(JsonWriter* jw, Detector* det, const Dataset& dataset) {
     jw->end_object();
   }
   jw->end_array();
+  jw->end_object();
+}
+
+/// Stream-state-table density (schema v7): a 1000-stream runner over ONE
+/// shared weight copy — resident parameter bytes vs what 1000 dedicated
+/// clones would hold, plus a service-model-only run_timed pass over all
+/// 1000 streams proving the table actually serves at that density (every
+/// offered frame, no drops).  The queueing pass models service cost (no
+/// inference), so this section is timing-free and deterministic.
+void emit_stream_table(JsonWriter* jw, Detector* det, const Dataset& dataset) {
+  const Renderer renderer = dataset.make_renderer();
+  RegressorConfig rcfg;
+  rcfg.in_channels = det->feature_channels();
+  Rng rng(18);
+  ScaleRegressor regressor(rcfg, &rng);
+
+  const int streams = 1000;
+  const int contexts_per_policy = 4;
+  MultiStreamRunner runner(det, &regressor, &renderer, dataset.scale_policy(),
+                           ScaleSet::reg_default(), streams,
+                           /*init_scale=*/600, /*snap_scales=*/true,
+                           contexts_per_policy);
+  ModelTable* table = runner.model_table();
+
+  // Three frames per stream, arrivals staggered so queues never overflow.
+  const std::vector<Snippet>& snips = dataset.val_snippets();
+  std::vector<StreamSchedule> schedules(streams);
+  for (int s = 0; s < streams; ++s) {
+    const Snippet& snip = snips[static_cast<std::size_t>(s) % snips.size()];
+    double t = static_cast<double>(s) * 0.25;
+    bool first = true;
+    for (std::size_t f = 0; f < snip.frames.size() && f < 3; ++f) {
+      schedules[static_cast<std::size_t>(s)].push_back(
+          {t, &snip.frames[f], first});
+      first = false;
+      t += 40.0;
+    }
+  }
+  TimedRunConfig cfg;
+  cfg.admission.capacity = 8;
+  cfg.admission.deadline_ms = 1e12;
+  cfg.run_inference = false;
+  cfg.service_model = [](int, long, int, DegradeLevel) { return 2.0; };
+  ManualClock clock;
+  const TimedRunResult r = runner.run_timed(schedules, cfg, &clock);
+
+  const std::size_t resident = table->resident_weight_bytes();
+  const std::size_t cloned = table->cloned_weight_bytes(streams);
+  jw->key("stream_table");
+  jw->begin_object();
+  jw->key("streams").value(streams);
+  jw->key("contexts_per_policy").value(contexts_per_policy);
+  jw->key("policy_pools").value(static_cast<long long>(table->pool_count()));
+  jw->key("resident_weight_bytes").value(static_cast<long long>(resident));
+  jw->key("cloned_baseline_bytes").value(static_cast<long long>(cloned));
+  jw->key("weight_bytes_saved_ratio")
+      .value(resident > 0 ? static_cast<double>(cloned) /
+                                static_cast<double>(resident)
+                          : 0.0);
+  long streams_served = 0;
+  for (const AdmissionStats& st : r.stream_stats)
+    if (st.served > 0) ++streams_served;
+  jw->key("streams_served").value(static_cast<long long>(streams_served));
+  jw->key("frames_served").value(static_cast<long long>(r.served));
+  jw->key("frames_offered").value(static_cast<long long>(r.offered));
+  jw->key("frames_dropped")
+      .value(static_cast<long long>(r.dropped_queue_full + r.dropped_deadline));
+  jw->key("virtual_makespan_ms").value(r.makespan_ms);
   jw->end_object();
 }
 
@@ -575,7 +648,7 @@ int main(int argc, char** argv) {
 
   JsonWriter jw;
   jw.begin_object();
-  jw.key("schema").value("adascale-bench-kernels-v6");
+  jw.key("schema").value("adascale-bench-kernels-v7");
   jw.key("gemm_kernel_isa").value(gemm_kernel_isa());
   // lint:allow(R2) reporting the env-selected default in the JSON header —
   // a diagnostic read for humans; execution below pins ExecutionPolicy.
@@ -599,6 +672,10 @@ int main(int argc, char** argv) {
   // batching acceptance bar reads.
   Dataset stream_dataset = Dataset::synth_vid(1, 8, 99);
   emit_multi_stream(&jw, &detector, stream_dataset);
+
+  // Stream-state-table density: 1000 streams over one resident weight copy
+  // (schema v7).
+  emit_stream_table(&jw, &detector, stream_dataset);
 
   // INT8 accuracy cost on the trained detector (schema v3).
   emit_quantized(&jw);
