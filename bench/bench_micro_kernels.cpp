@@ -8,8 +8,10 @@
 #include "data/dataset.h"
 #include "detection/detector.h"
 #include "detection/nms.h"
+#include "runtime/exec_plan.h"
 #include "tensor/gemm.h"
 #include "tensor/image_ops.h"
+#include "tensor/qgemm.h"
 #include "video/optical_flow.h"
 #include "video/seq_nms.h"
 
@@ -90,7 +92,7 @@ BENCHMARK(BM_BackboneForward600_Reference);
 // backends are directly comparable.  Calibrates on the bench image itself
 // (weights are random here — this row measures kernel speed, not accuracy;
 // the accuracy cost lives in bench_report's `quantized` section).
-void BM_BackboneForward600_Int8(benchmark::State& state) {
+void quantize_fixture_detector() {
   Fixture& f = fixture();
   if (!f.detector->quantized()) {
     const Renderer renderer = f.dataset.make_renderer();
@@ -98,9 +100,51 @@ void BM_BackboneForward600_Int8(benchmark::State& state) {
         *f.dataset.val_frames()[0], 600, f.dataset.scale_policy());
     f.detector->quantize({img});
   }
+}
+
+void BM_BackboneForward600_Int8(benchmark::State& state) {
+  quantize_fixture_detector();
   backbone_forward_600(state, GemmBackend::kInt8);
 }
 BENCHMARK(BM_BackboneForward600_Int8);
+
+// The two vectorized int8 micro-kernel bodies side by side on the same
+// machine (tensor/qgemm.h): _Int8Vnni runs the vpdpbusd quad kernel,
+// _Int8Maddwd the vpmaddwd s16-pair kernel an AVX-512 CPU without VNNI
+// would dispatch.  The autotuner is pinned to int8 (deterministic fake
+// bench, first candidate wins) so each row times the kernel it names
+// rather than a measured fallback; rows the CPU cannot execute are
+// skipped.  Same nominal-MAC gflops counter as the other backbone rows.
+double pin_int8_bench(const std::function<void()>& run) {
+  run();
+  static int calls = 0;
+  return static_cast<double>(++calls);  // increasing: int8 (first) wins
+}
+
+void backbone_int8_at_isa(benchmark::State& state, KernelIsa isa) {
+  if (static_cast<int>(kernel_isa_native()) < static_cast<int>(isa)) {
+    state.SkipWithError("CPU lacks this ISA level");
+    return;
+  }
+  quantize_fixture_detector();
+  set_qgemm_isa(isa);
+  set_autotune_bench(pin_int8_bench);
+  clear_autotune_cache();
+  backbone_forward_600(state, GemmBackend::kInt8);
+  set_autotune_bench(nullptr);
+  clear_autotune_cache();
+  clear_qgemm_isa();
+}
+
+void BM_BackboneForward600_Int8Vnni(benchmark::State& state) {
+  backbone_int8_at_isa(state, KernelIsa::kVnni);
+}
+BENCHMARK(BM_BackboneForward600_Int8Vnni);
+
+void BM_BackboneForward600_Int8Maddwd(benchmark::State& state) {
+  backbone_int8_at_isa(state, KernelIsa::kAvx512);
+}
+BENCHMARK(BM_BackboneForward600_Int8Maddwd);
 
 void BM_RegressorPredict(benchmark::State& state) {
   Fixture& f = fixture();

@@ -13,8 +13,21 @@
 // peak instead of growing through warm-up.
 //
 // Plans are also the inspection/auto-tuning seam: tools/plan_dump prints
-// them (per-layer kernel, workspace bytes, MACs), and a future per-layer
-// tuner only has to write a different KernelKind into a step.
+// them (per-layer kernel, workspace bytes, MACs), and the per-layer
+// autotuner below writes the *measured* winner into each step — when a
+// quantized layer plans at kInt8, plan construction races the int8 kernel
+// against packed fp32 on that exact geometry and falls back per layer
+// where int8 is slower (the tiny head GEMMs), so quantization is a speed
+// lever only where it actually is one.
+//
+// Autotune determinism: measured choices are memoized in a PROCESS-GLOBAL
+// cache keyed by layer geometry with the batch size excluded, probed once
+// at n=1 (GEMM cost is shape-, not value-dependent).  Every plan in the
+// process — batched or per-image, master model or weight-aliased clone or
+// independent instance with the same architecture — therefore runs the
+// same kernel for the same layer geometry, which keeps the
+// batched-vs-serial and master-vs-clone bit-identity contracts intact.
+// Within one process, outputs never depend on which plan got built first.
 //
 // Contract: every leaf layer contributes exactly ONE PlanStep, in forward
 // execution order; containers contribute their children's steps.  A planned
@@ -24,6 +37,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -53,6 +67,14 @@ struct PlanStep {
   PlanShape out;                         ///< output shape
   std::size_t workspace_floats = 0;      ///< scratch-arena peak of this step
   long long macs = 0;                    ///< multiply-accumulates
+
+  // Filled when `kernel` came out of the measured int8-vs-fp32 race (the
+  // layer resolved to kInt8 and the autotuner picked the winner, possibly
+  // falling this step back to kGemmPacked).  Timings are ns per forward of
+  // the n=1 probe; plan_dump / bench_report / calibrate report them.
+  bool autotuned = false;
+  double tuned_int8_ns = 0.0;
+  double tuned_fp32_ns = 0.0;
 };
 
 /// The full per-(model, shape, backend) plan; see file comment.
@@ -98,6 +120,45 @@ struct PlanCache {
     plans.clear();
   }
 };
+
+// ------------------------------------------------------------- autotuner
+
+/// Outcome of one measured int8-vs-fp32 kernel race for a layer geometry.
+struct AutotuneChoice {
+  KernelKind kernel = KernelKind::kInt8;  ///< the faster candidate
+  double int8_ns = 0.0;                   ///< measured int8 ns per forward
+  double fp32_ns = 0.0;                   ///< measured packed fp32 ns
+};
+
+/// Bench seam: times one already-constructed candidate closure and
+/// returns ns per run.  The default implementation runs a warmup call and
+/// then repeats the closure inside a Timer window long enough to trust
+/// millisecond-resolution wall time (util/timer.h — timing flows through
+/// the clock seam).  Tests inject a deterministic fake so fallback
+/// decisions are reproducible on any machine.
+using AutotuneBenchFn = double (*)(const std::function<void()>& run);
+
+/// Installs a bench override (nullptr restores the default).  Setup-time
+/// only: concurrent plan builds read it racily but benignly.
+void set_autotune_bench(AutotuneBenchFn fn);
+
+/// The memoized measured winner for `key` (layer type + geometry, batch
+/// size EXCLUDED — see file comment).  On a cache miss, times run_int8
+/// then run_fp32 under the bench seam and records the faster kernel; on a
+/// hit, the closures are not invoked.  Thread-safe; the returned reference
+/// stays valid for the process lifetime (map nodes never relocate and
+/// clear_autotune_cache is a test/setup-time operation).
+const AutotuneChoice& autotune_choice(const std::string& key,
+                                      const std::function<void()>& run_int8,
+                                      const std::function<void()>& run_fp32);
+
+/// Drops all memoized choices so the next plan build re-measures.  Tests
+/// and benches only — serving processes keep the cache for life, which is
+/// what makes every plan in the process agree on kernel choices.
+void clear_autotune_cache();
+
+/// Number of memoized (layer, geometry) choices.
+std::size_t autotune_cache_size();
 
 /// Walking cursor over a plan during a planned forward.  Each leaf layer
 /// takes exactly one step; the order-by-construction contract makes this a

@@ -32,6 +32,55 @@ GemmBackend read_backend_env() {
 
 std::atomic<GemmBackend> g_backend{read_backend_env()};
 
+// ------------------------------------------------------------ ISA override
+
+/// Highest KernelIsa level this CPU can actually run.  kAvx512 requires
+/// both F and BW (the quantized kernels use byte shuffles/converts);
+/// kVnni additionally requires the vpdpbusd extension.
+KernelIsa native_isa() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    if (__builtin_cpu_supports("avx512vnni")) return KernelIsa::kVnni;
+    return KernelIsa::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return KernelIsa::kAvx2;
+#endif
+  return KernelIsa::kGeneric;
+}
+
+KernelIsa read_isa_env(KernelIsa native) {
+  const char* env = std::getenv("ADASCALE_ISA");
+  if (env == nullptr) return native;
+  KernelIsa want;
+  if (std::strcmp(env, "generic") == 0) {
+    want = KernelIsa::kGeneric;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    want = KernelIsa::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    want = KernelIsa::kAvx512;
+  } else if (std::strcmp(env, "vnni") == 0) {
+    want = KernelIsa::kVnni;
+  } else {
+    // A typo must not silently re-test the native dispatch.
+    std::fprintf(stderr,
+                 "ADASCALE_ISA=%s is not an ISA level (want \"generic\", "
+                 "\"avx2\", \"avx512\", or \"vnni\"); using native %s\n",
+                 env, kernel_isa_name(native));
+    return native;
+  }
+  if (want > native) {
+    // Running a *different* kernel than the one requested would make an
+    // oracle-verification run vacuous — fail loudly instead.
+    std::fprintf(stderr,
+                 "ADASCALE_ISA=%s requested but this CPU caps at %s; "
+                 "aborting\n",
+                 env, kernel_isa_name(native));
+    std::abort();
+  }
+  return want;
+}
+
 // -------------------------------------------------------------- micro-kernel
 //
 // Register blocking: MR x NR accumulator tile.  6x16 fills 12 YMM (AVX2) or
@@ -174,8 +223,15 @@ struct MicroDispatch {
 
 MicroDispatch pick_micro() {
 #ifdef ADA_GEMM_X86_DISPATCH
-  if (__builtin_cpu_supports("avx512f")) return {micro_avx512, "avx512"};
-  if (__builtin_cpu_supports("avx2")) return {micro_avx2, "avx2"};
+  switch (kernel_isa_cap()) {
+    case KernelIsa::kVnni:  // fp32 has no VNNI kernel; vpdpbusd is int-only
+    case KernelIsa::kAvx512:
+      return {micro_avx512, "avx512"};
+    case KernelIsa::kAvx2:
+      return {micro_avx2, "avx2"};
+    default:
+      break;
+  }
 #endif
   return {micro_generic, "generic"};
 }
@@ -397,6 +453,23 @@ const char* gemm_backend_name() {
 }
 
 const char* gemm_kernel_isa() { return micro_dispatch().isa; }
+
+KernelIsa kernel_isa_cap() {
+  static const KernelIsa cap = read_isa_env(native_isa());
+  return cap;
+}
+
+KernelIsa kernel_isa_native() { return native_isa(); }
+
+const char* kernel_isa_name(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kVnni: return "vnni";
+    case KernelIsa::kAvx512: return "avx512";
+    case KernelIsa::kAvx2: return "avx2";
+    default: break;
+  }
+  return "generic";
+}
 
 void sgemm(int M, int N, int K, const GemmMat& A, const GemmMat& B, float* C,
            int ldc, bool accumulate, const GemmEpilogue& epi,

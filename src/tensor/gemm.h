@@ -66,6 +66,27 @@ const char* gemm_backend_name();
 /// machine: "avx512" | "avx2" | "generic".
 const char* gemm_kernel_isa();
 
+/// Micro-kernel ISA levels, ordered: each level implies all lower ones.
+/// kAvx512 means AVX-512F + AVX-512BW (the quantized kernels need the byte
+/// ops); kVnni additionally means AVX-512 VNNI (vpdpbusd).  The fp32
+/// dispatcher has no VNNI kernel, so kVnni selects its avx512 body.
+enum class KernelIsa { kGeneric = 0, kAvx2 = 1, kAvx512 = 2, kVnni = 3 };
+
+/// The ISA level kernels dispatch at: the CPU's native capability, capped
+/// by the ADASCALE_ISA environment variable ("generic" | "avx2" | "avx512"
+/// | "vnni", read once at first use) so lower ISA paths are testable on any
+/// machine.  A level the CPU cannot satisfy is a hard error (abort with a
+/// message) — silently running a different kernel than the one under test
+/// would make an oracle run vacuous.  Unknown values warn and use native.
+KernelIsa kernel_isa_cap();
+
+/// The CPU's native ISA level, ignoring ADASCALE_ISA — what the hardware
+/// can actually run.  Benches use this to decide which kernel rows exist.
+KernelIsa kernel_isa_native();
+
+/// "generic" | "avx2" | "avx512" | "vnni".
+const char* kernel_isa_name(KernelIsa isa);
+
 /// Read-only strided matrix view.  Element (i, j) lives at p[i*rs + j*cs],
 /// which lets callers hand in transposed operands (e.g. W^T for the conv
 /// input gradient) without materializing them — packing absorbs the stride.

@@ -1,11 +1,16 @@
 #include "tensor/qgemm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "runtime/scratch.h"
 #include "runtime/thread_pool.h"
@@ -167,36 +172,52 @@ QuantizedWeights quantize_weights(const float* w, int rows, int cols,
 namespace {
 
 // Register blocking mirrors the fp32 packed kernel (tensor/gemm.cpp): a
-// kMR x kNR int32 accumulator tile, B panels of kNR u8 lanes per k step,
-// A panels widened to int32 (kMR lanes per k step) so the broadcast is a
-// plain 4-byte load.  Integer accumulation is exact, so unlike the fp32
-// kernel there is no K-blocking / accumulation-order subtlety: any
-// schedule produces identical bits.
+// kMR x kNR int32 accumulator tile.  The reduction axis is processed in
+// *k-groups* — pairs for the vpmaddwd kernels (u8/s8 widened to s16,
+// adjacent-k multiply-add straight into s32) and quads for the AVX-512
+// VNNI kernel (vpdpbusd: a u8 x s8 four-element dot product per lane).
+// A panels hold one k-group per output row as a single 32-bit word
+// (2 x s16 or 4 x s8) so the kernel broadcast is a plain dword splat;
+// B panels group-interleave the quantized u8 columns so one vector load
+// feeds the multiply-add directly.  Integer accumulation is exact and
+// addition is associative, so every grouping and every ISA produces
+// identical bits — the portable pair body below uses the same k-pairing
+// as vpmaddwd and matches the SIMD kernels bit for bit.
+//
+// Intermediate bounds (nothing saturates): one u8 x s8 product is at most
+// 255 * 127 = 32385.  The vpmaddwd s16 inputs are the raw u8/s8 values
+// (never rescaled), so a pair sum is ≤ 64770 — s16 * s16 pair sums only
+// saturate at -32768 * -32768 * 2, unreachable from this operand range.
+// A vpdpbusd quad sum is ≤ 129540, and vpdpbusd accumulates modulo 2^32
+// without saturating (only VPDPBUSDS saturates); the full-K chain fits
+// s32 by the bound qgemm asserts.
 constexpr int kMR = 6;
 constexpr int kNR = 16;
 constexpr int kNC = 1024;  ///< column-stripe width, the unit of parallelism
 
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
 #if defined(__GNUC__) || defined(__clang__)
 #define ADA_QGEMM_VECTOR_EXT 1
-// Explicit SIMD via vector extensions at a fixed 16-lane width (one ZMM,
-// two YMM, or four XMM — the compiler splits wider-than-native vectors
-// automatically, so a single body serves every dispatched ISA).  The
-// auto-vectorizer cannot handle the u8 -> s32 widening multiply-accumulate
-// pattern, so the conversions are explicit __builtin_convertvector.
+// Vector-extension types for the quantize-and-pack path: one body serves
+// every dispatched ISA (the compiler splits wider-than-native vectors).
 typedef std::int32_t v16s32 __attribute__((vector_size(64), may_alias));
 typedef std::uint8_t v16u8
     __attribute__((vector_size(16), may_alias, aligned(1)));
 typedef float v16f __attribute__((vector_size(64), may_alias));
 typedef float v16f_u __attribute__((vector_size(64), may_alias, aligned(4)));
-typedef float v4f_u __attribute__((vector_size(16), may_alias, aligned(4)));
 #endif
 
-struct QMicroTile {
-  const std::int32_t* pa;  ///< packed A panel: kc steps of kMR s32 (from s8)
-  const std::uint8_t* pb;  ///< packed B panel: kc steps of kNR u8
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ADA_QGEMM_X86_DISPATCH 1
+#endif
+
+struct QTile {
+  const void* pa;          ///< packed A panel: kg steps of kMR k-group dwords
+  const std::uint8_t* pb;  ///< packed B panel: kg steps of kNR u8 k-groups
   float* c;                ///< top-left of the fp32 output tile
   int ldc;
-  int kc;
+  int kg;                  ///< k-group steps: ceil(K / G), G = 2 or 4
   int mv, nv;              ///< valid rows/cols (edge tiles < kMR/kNR)
   const float* row_scale;  ///< act.scale * weight scale, per tile row
   const std::int32_t* row_sum;  ///< weight row sums, per tile row
@@ -205,167 +226,297 @@ struct QMicroTile {
   bool relu;
 };
 
-#ifdef ADA_QGEMM_VECTOR_EXT
-
-inline __attribute__((always_inline)) void qmicro_body(const QMicroTile& t) {
-  v16s32 acc[kMR];
-  for (int m = 0; m < kMR; ++m) acc[m] = v16s32{};
-
-  const std::int32_t* pa = t.pa;
-  const std::uint8_t* pb = t.pb;
-  for (int k = 0; k < t.kc; ++k, pa += kMR, pb += kNR) {
-    const v16s32 b =
-        __builtin_convertvector(*reinterpret_cast<const v16u8*>(pb), v16s32);
-    for (int m = 0; m < kMR; ++m) acc[m] += (v16s32{} + pa[m]) * b;
-  }
-
-  // Dequant epilogue, vectorized per row: fp32 = (acc - azp * row_sum[m])
-  // * row_scale[m] + bias[m], then ReLU.  Full tiles store straight to C;
-  // edge tiles spill to an aligned row buffer and copy the valid prefix.
-  for (int m = 0; m < t.mv; ++m) {
-    const v16s32 corr = v16s32{} + t.azp * t.row_sum[m];
-    v16f v = __builtin_convertvector(acc[m] - corr, v16f);
-    v = v * (v16f{} + t.row_scale[m]);
-    if (t.row_bias != nullptr) v = v + (v16f{} + t.row_bias[m]);
-    if (t.relu) {
-      const v16f zero = v16f{};
-      v = v > zero ? v : zero;
-    }
-    float* crow = t.c + static_cast<std::ptrdiff_t>(m) * t.ldc;
-    if (t.nv == kNR) {
-      *reinterpret_cast<v16f_u*>(crow) = v;
-    } else {
-      alignas(64) float row[kNR];
-      *reinterpret_cast<v16f*>(row) = v;
-      for (int j = 0; j < t.nv; ++j) crow[j] = row[j];
-    }
+/// Dequant epilogue for one spilled accumulator row: fp32 = (acc - azp *
+/// row_sum[m]) * row_scale[m] + bias[m], then ReLU.  Plain per-element
+/// fp32 mul/add (this file builds with -ffp-contract=off) is exactly
+/// rounded, so the stored bytes are identical no matter which ISA body
+/// produced `acc` — the cross-ISA determinism contract reduces to the
+/// integer accumulators matching, which exactness guarantees.
+inline __attribute__((always_inline)) void qepilogue_row(
+    const std::int32_t* acc, int m, const QTile& t) {
+  float* crow = t.c + static_cast<std::ptrdiff_t>(m) * t.ldc;
+  const std::int32_t corr = t.azp * t.row_sum[m];
+  const float scale = t.row_scale[m];
+  const float bias = t.row_bias != nullptr ? t.row_bias[m] : 0.0f;
+  for (int j = 0; j < t.nv; ++j) {
+    float v = static_cast<float>(acc[j] - corr) * scale + bias;
+    if (t.relu) v = std::max(v, 0.0f);
+    crow[j] = v;
   }
 }
 
-#else  // no vector extensions: plain scalar body, still bit-identical
-
-inline void qmicro_body(const QMicroTile& t) {
+/// Portable pair kernel: the same k-pair grouping as vpmaddwd, in plain
+/// s32 arithmetic.  This is the body the SIMD kernels must match bit for
+/// bit (they do: integer sums re-associate freely), and the dispatch
+/// target for KernelIsa::kGeneric.
+void qmicro_pair_generic(const QTile& t) {
   std::int32_t acc[kMR][kNR] = {};
-  const std::int32_t* pa = t.pa;
+  const std::int16_t* pa = static_cast<const std::int16_t*>(t.pa);
   const std::uint8_t* pb = t.pb;
-  for (int k = 0; k < t.kc; ++k, pa += kMR, pb += kNR)
+  for (int p = 0; p < t.kg; ++p, pa += kMR * 2, pb += kNR * 2)
     for (int m = 0; m < kMR; ++m) {
-      const std::int32_t a = pa[m];
+      const std::int32_t a0 = pa[2 * m];
+      const std::int32_t a1 = pa[2 * m + 1];
       for (int j = 0; j < kNR; ++j)
-        acc[m][j] += a * static_cast<std::int32_t>(pb[j]);
+        acc[m][j] += a0 * static_cast<std::int32_t>(pb[2 * j]) +
+                     a1 * static_cast<std::int32_t>(pb[2 * j + 1]);
     }
+  for (int m = 0; m < t.mv; ++m) qepilogue_row(acc[m], m, t);
+}
+
+#ifdef ADA_QGEMM_X86_DISPATCH
+
+/// vpmaddwd pair kernel, AVX2: per k-pair step, zero-extend 16 u8 column
+/// pairs to s16 (two ymm), broadcast each row's s16 pair as a dword, and
+/// fold the vpmaddwd pair sums into two ymm s32 accumulators per row —
+/// 12 accumulator registers, same budget as the fp32 6x16 tile.
+__attribute__((target("avx2"))) void qmicro_pair_avx2(const QTile& t) {
+  const std::int16_t* pa = static_cast<const std::int16_t*>(t.pa);
+  const std::uint8_t* pb = t.pb;
+  __m256i acc_lo[kMR], acc_hi[kMR];
+  for (int m = 0; m < kMR; ++m) {
+    acc_lo[m] = _mm256_setzero_si256();
+    acc_hi[m] = _mm256_setzero_si256();
+  }
+  for (int p = 0; p < t.kg; ++p, pa += kMR * 2, pb += kNR * 2) {
+    const __m256i blo = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb)));
+    const __m256i bhi = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + 16)));
+    for (int m = 0; m < kMR; ++m) {
+      std::int32_t aw;
+      std::memcpy(&aw, pa + 2 * m, sizeof(aw));
+      const __m256i a = _mm256_set1_epi32(aw);
+      acc_lo[m] = _mm256_add_epi32(acc_lo[m], _mm256_madd_epi16(a, blo));
+      acc_hi[m] = _mm256_add_epi32(acc_hi[m], _mm256_madd_epi16(a, bhi));
+    }
+  }
+  alignas(64) std::int32_t acc[kNR];
   for (int m = 0; m < t.mv; ++m) {
-    float* crow = t.c + static_cast<std::ptrdiff_t>(m) * t.ldc;
-    const std::int32_t corr = t.azp * t.row_sum[m];
-    const float scale = t.row_scale[m];
-    const float bias = t.row_bias != nullptr ? t.row_bias[m] : 0.0f;
-    for (int j = 0; j < t.nv; ++j) {
-      float v = static_cast<float>(acc[m][j] - corr) * scale + bias;
-      if (t.relu) v = std::max(v, 0.0f);
-      crow[j] = v;
-    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc), acc_lo[m]);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(acc + 8), acc_hi[m]);
+    qepilogue_row(acc, m, t);
   }
 }
 
-#endif  // ADA_QGEMM_VECTOR_EXT
+/// vpmaddwd pair kernel, AVX-512: the full 16-column tile row is one zmm
+/// of 16 s32 lanes; each k-pair step is one cvtepu8 widen + vpmaddwd +
+/// vpaddd per row.
+__attribute__((target("avx512f,avx512bw"))) void qmicro_pair_avx512(
+    const QTile& t) {
+  const std::int16_t* pa = static_cast<const std::int16_t*>(t.pa);
+  const std::uint8_t* pb = t.pb;
+  __m512i acc[kMR];
+  for (int m = 0; m < kMR; ++m) acc[m] = _mm512_setzero_si512();
+  for (int p = 0; p < t.kg; ++p, pa += kMR * 2, pb += kNR * 2) {
+    const __m512i b = _mm512_cvtepu8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb)));
+    for (int m = 0; m < kMR; ++m) {
+      std::int32_t aw;
+      std::memcpy(&aw, pa + 2 * m, sizeof(aw));
+      acc[m] = _mm512_add_epi32(
+          acc[m], _mm512_madd_epi16(_mm512_set1_epi32(aw), b));
+    }
+  }
+  alignas(64) std::int32_t row[kNR];
+  for (int m = 0; m < t.mv; ++m) {
+    _mm512_store_si512(row, acc[m]);
+    qepilogue_row(row, m, t);
+  }
+}
 
-int ceil_div(int a, int b) { return (a + b - 1) / b; }
+/// vpdpbusd quad kernel, AVX-512 VNNI: one 64-byte load covers a whole
+/// k-quad step of the B panel; each row is a single dpbusd (u8 panel x
+/// broadcast s8 quad, four products summed into the s32 accumulator) —
+/// 4x the multiplies per instruction of the vpmulld kernel this replaces.
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void qmicro_quad_vnni(
+    const QTile& t) {
+  const std::int8_t* pa = static_cast<const std::int8_t*>(t.pa);
+  const std::uint8_t* pb = t.pb;
+  __m512i acc[kMR];
+  for (int m = 0; m < kMR; ++m) acc[m] = _mm512_setzero_si512();
+  for (int p = 0; p < t.kg; ++p, pa += kMR * 4, pb += kNR * 4) {
+    const __m512i b = _mm512_loadu_si512(pb);
+    for (int m = 0; m < kMR; ++m) {
+      std::int32_t aw;
+      std::memcpy(&aw, pa + 4 * m, sizeof(aw));
+      acc[m] = _mm512_dpbusd_epi32(acc[m], b, _mm512_set1_epi32(aw));
+    }
+  }
+  alignas(64) std::int32_t row[kNR];
+  for (int m = 0; m < t.mv; ++m) {
+    _mm512_store_si512(row, acc[m]);
+    qepilogue_row(row, m, t);
+  }
+}
 
-/// Packs rows [0, M) x cols [0, K) of the s8 weight matrix into
-/// ceil(M/kMR) panels of K x kMR int32, k-major (widened once here so the
-/// kernel's broadcast is a plain dword load), zero-padding rows past M.
-void pack_a_s8(const std::int8_t* A, int M, int K, std::int32_t* pa) {
+#endif  // ADA_QGEMM_X86_DISPATCH
+
+/// Packs the s8 weight matrix into ceil(M/kMR) panels of ceil(K/2) pair
+/// steps x kMR s16 pairs — each (step, row) is one dword the kernels
+/// broadcast whole.  An odd-K tail pads the second pair element with 0
+/// (zero product no matter which B byte it meets), and rows past M pad
+/// whole pairs with 0, exactly like the fp32 packer pads rows.
+void pack_a_pairs(const std::int8_t* A, int M, int K, std::int16_t* pa) {
+  const int kg = ceil_div(std::max(K, 1), 2);
   for (int i0 = 0; i0 < M; i0 += kMR) {
     const int mv = std::min(kMR, M - i0);
-    for (int k = 0; k < K; ++k, pa += kMR) {
-      int m = 0;
-      for (; m < mv; ++m)
-        pa[m] = A[static_cast<std::size_t>(i0 + m) * K + k];
-      for (; m < kMR; ++m) pa[m] = 0;
+    for (int p = 0; p < kg; ++p, pa += kMR * 2) {
+      const int k0 = 2 * p;
+      const int k1 = k0 + 1;
+      for (int m = 0; m < kMR; ++m) {
+        if (m < mv) {
+          const std::int8_t* row = A + static_cast<std::size_t>(i0 + m) * K;
+          pa[2 * m] = row[k0];
+          pa[2 * m + 1] = k1 < K ? row[k1] : std::int16_t{0};
+        } else {
+          pa[2 * m] = 0;
+          pa[2 * m + 1] = 0;
+        }
+      }
+    }
+  }
+}
+
+/// VNNI layout: panels of ceil(K/4) quad steps x kMR s8 quads (again one
+/// dword per step and row).  K-tail quad elements pad with 0.
+void pack_a_quads(const std::int8_t* A, int M, int K, std::int8_t* pa) {
+  const int kg = ceil_div(std::max(K, 1), 4);
+  for (int i0 = 0; i0 < M; i0 += kMR) {
+    const int mv = std::min(kMR, M - i0);
+    for (int q = 0; q < kg; ++q, pa += kMR * 4) {
+      for (int m = 0; m < kMR; ++m) {
+        for (int u = 0; u < 4; ++u) {
+          const int k = 4 * q + u;
+          pa[4 * m + u] =
+              (m < mv && k < K)
+                  ? A[static_cast<std::size_t>(i0 + m) * K + k]
+                  : std::int8_t{0};
+        }
+      }
     }
   }
 }
 
 /// Packs rows [0, K) x cols [j0, j0+nc) of the fp32 B view into
-/// ceil(nc/kNR) panels of K x kNR u8, k-major, quantizing each element
-/// with `qp` on the way in (multiply by 1/scale, magic round, add zero
-/// point, clamp — the exact quantize_u8 recipe).  Cols past nc pad with
-/// the zero point, which dequantizes to 0 and is exactly cancelled by the
-/// epilogue's zero-point correction.
-inline __attribute__((always_inline)) void pack_b_quant_u8(
+/// ceil(nc/kNR) panels of ceil(K/G) group steps x (kNR x G) u8, k-groups
+/// innermost (column j's group bytes adjacent), quantizing each element
+/// with `qp` on the way in — multiply by 1/scale, magic round, add zero
+/// point, clamp: the exact quantize_u8 recipe, so fake-quantized fp32
+/// references stay bit-level oracles.  Cols past nc and k positions past
+/// K pad with the zero point; the k-tail pad meets a zero A pad (product
+/// 0) and padded columns are never stored, so neither affects output.
+template <int G>
+inline __attribute__((always_inline)) void pack_b_quant_groups(
     const GemmMat& B, int K, int j0, int nc, const QuantParams& qp,
     std::uint8_t* pb) {
+  static_assert(G == 2 || G == 4, "k-group size is pairs or quads");
+  const int kg = ceil_div(std::max(K, 1), G);
   const float inv = 1.0f / qp.scale;
   const float fzp = static_cast<float>(qp.zero_point);
-#ifdef ADA_QGEMM_VECTOR_EXT
-  if (B.cs == 1) {
-    const v16f vinv = v16f{} + inv;
-    const v16f vzp = v16f{} + fzp;
-    const v16f vzero = v16f{};
-    const v16f vmax = v16f{} + 255.0f;
-    const v16f vmagic = v16f{} + kRoundMagic;
-    for (int jr = 0; jr < nc; jr += kNR) {
-      const int nv = std::min(kNR, nc - jr);
-      if (nv == kNR) {
-        for (int k = 0; k < K; ++k, pb += kNR) {
-          const float* src =
-              B.p + static_cast<std::ptrdiff_t>(k) * B.rs + (j0 + jr);
-          v16f q = *reinterpret_cast<const v16f_u*>(src) * vinv;
-          q = (q + vmagic) - vmagic;  // round_ne, lane-wise
-          q = q + vzp;
-          q = q > vzero ? q : vzero;
-          q = q < vmax ? q : vmax;
-          const v16s32 qi = __builtin_convertvector(q, v16s32);
-          *reinterpret_cast<v16u8*>(pb) = __builtin_convertvector(qi, v16u8);
-        }
-        continue;
-      }
-      // Edge panel: scalar lanes, identical arithmetic.
-      for (int k = 0; k < K; ++k, pb += kNR) {
-        const float* src =
-            B.p + static_cast<std::ptrdiff_t>(k) * B.rs + (j0 + jr);
-        int j = 0;
-        for (; j < nv; ++j) {
-          const float q = round_ne(src[j] * inv) + fzp;
-          pb[j] = static_cast<std::uint8_t>(
-              std::min(255.0f, std::max(0.0f, q)));
-        }
-        for (; j < kNR; ++j)
-          pb[j] = static_cast<std::uint8_t>(qp.zero_point);
-      }
-    }
-    return;
-  }
-#endif
+  const std::uint8_t zp8 = static_cast<std::uint8_t>(qp.zero_point);
   for (int jr = 0; jr < nc; jr += kNR) {
     const int nv = std::min(kNR, nc - jr);
-    for (int k = 0; k < K; ++k, pb += kNR) {
-      const float* src = B.p + static_cast<std::ptrdiff_t>(k) * B.rs +
-                         static_cast<std::ptrdiff_t>(j0 + jr) * B.cs;
-      int j = 0;
-      for (; j < nv; ++j) {
-        const float q =
-            round_ne(src[static_cast<std::ptrdiff_t>(j) * B.cs] * inv) + fzp;
-        pb[j] = static_cast<std::uint8_t>(
-            std::min(255.0f, std::max(0.0f, q)));
+#ifdef ADA_QGEMM_VECTOR_EXT
+    if (B.cs == 1 && nv == kNR) {
+      // Full unit-stride panel: quantize each k row of the group to 16 u8
+      // lanes with the SIMD recipe, then byte-shuffle the group rows into
+      // the interleaved layout (arithmetic is identical to the scalar
+      // path; the shuffles only move bytes).
+      const v16f vinv = v16f{} + inv;
+      const v16f vzp = v16f{} + fzp;
+      const v16f vzero = v16f{};
+      const v16f vmax = v16f{} + 255.0f;
+      const v16f vmagic = v16f{} + kRoundMagic;
+      const v16u8 vpad = v16u8{} + zp8;
+      for (int g = 0; g < kg; ++g, pb += kNR * G) {
+        v16u8 rows[G];
+        for (int u = 0; u < G; ++u) {
+          const int k = g * G + u;
+          if (k < K) {
+            const float* src =
+                B.p + static_cast<std::ptrdiff_t>(k) * B.rs + (j0 + jr);
+            v16f q = *reinterpret_cast<const v16f_u*>(src) * vinv;
+            q = (q + vmagic) - vmagic;  // round_ne, lane-wise
+            q = q + vzp;
+            q = q > vzero ? q : vzero;
+            q = q < vmax ? q : vmax;
+            rows[u] = __builtin_convertvector(
+                __builtin_convertvector(q, v16s32), v16u8);
+          } else {
+            rows[u] = vpad;
+          }
+        }
+        if constexpr (G == 2) {
+          *reinterpret_cast<v16u8*>(pb) = __builtin_shufflevector(
+              rows[0], rows[1], 0, 16, 1, 17, 2, 18, 3, 19, 4, 20, 5, 21, 6,
+              22, 7, 23);
+          *reinterpret_cast<v16u8*>(pb + 16) = __builtin_shufflevector(
+              rows[0], rows[1], 8, 24, 9, 25, 10, 26, 11, 27, 12, 28, 13, 29,
+              14, 30, 15, 31);
+        } else {
+          const v16u8 p01_lo = __builtin_shufflevector(
+              rows[0], rows[1], 0, 16, 1, 17, 2, 18, 3, 19, 4, 20, 5, 21, 6,
+              22, 7, 23);
+          const v16u8 p01_hi = __builtin_shufflevector(
+              rows[0], rows[1], 8, 24, 9, 25, 10, 26, 11, 27, 12, 28, 13, 29,
+              14, 30, 15, 31);
+          const v16u8 p23_lo = __builtin_shufflevector(
+              rows[2], rows[3], 0, 16, 1, 17, 2, 18, 3, 19, 4, 20, 5, 21, 6,
+              22, 7, 23);
+          const v16u8 p23_hi = __builtin_shufflevector(
+              rows[2], rows[3], 8, 24, 9, 25, 10, 26, 11, 27, 12, 28, 13, 29,
+              14, 30, 15, 31);
+          *reinterpret_cast<v16u8*>(pb) = __builtin_shufflevector(
+              p01_lo, p23_lo, 0, 1, 16, 17, 2, 3, 18, 19, 4, 5, 20, 21, 6, 7,
+              22, 23);
+          *reinterpret_cast<v16u8*>(pb + 16) = __builtin_shufflevector(
+              p01_lo, p23_lo, 8, 9, 24, 25, 10, 11, 26, 27, 12, 13, 28, 29,
+              14, 15, 30, 31);
+          *reinterpret_cast<v16u8*>(pb + 32) = __builtin_shufflevector(
+              p01_hi, p23_hi, 0, 1, 16, 17, 2, 3, 18, 19, 4, 5, 20, 21, 6, 7,
+              22, 23);
+          *reinterpret_cast<v16u8*>(pb + 48) = __builtin_shufflevector(
+              p01_hi, p23_hi, 8, 9, 24, 25, 10, 11, 26, 27, 12, 13, 28, 29,
+              14, 15, 30, 31);
+        }
       }
-      for (; j < kNR; ++j) pb[j] = static_cast<std::uint8_t>(qp.zero_point);
+      continue;
+    }
+#endif
+    // Edge / strided panels: scalar lanes, identical arithmetic.
+    for (int g = 0; g < kg; ++g, pb += kNR * G) {
+      for (int j = 0; j < kNR; ++j) {
+        for (int u = 0; u < G; ++u) {
+          const int k = g * G + u;
+          std::uint8_t qv = zp8;
+          if (j < nv && k < K) {
+            const float x =
+                B.p[static_cast<std::ptrdiff_t>(k) * B.rs +
+                    static_cast<std::ptrdiff_t>(j0 + jr + j) * B.cs];
+            const float q = round_ne(x * inv) + fzp;
+            qv = static_cast<std::uint8_t>(
+                std::min(255.0f, std::max(0.0f, q)));
+          }
+          pb[j * G + u] = qv;
+        }
+      }
     }
   }
 }
 
 // One column stripe end to end: quantize-and-pack its B panels, then run
-// every micro-tile.  The whole body is compiled once per ISA and
-// dispatched from CPUID, so BOTH the packing (rounding + u8 saturation)
-// and the micro-kernel (widening multiply-accumulate) run at the widest
-// vector width present.  Integer math is exact and the fp32 lane
-// arithmetic is contraction-free (-ffp-contract=off, CMakeLists.txt), so
-// every ISA produces identical bytes.
+// every micro-tile.  Each stripe body is compiled for one ISA level and
+// dispatched once (native CPUID capped by ADASCALE_ISA — tensor/gemm.h),
+// so BOTH the packing (rounding + u8 saturation) and the micro-kernel run
+// at that level.  Integer math is exact and the fp32 lane arithmetic is
+// contraction-free (-ffp-contract=off, CMakeLists.txt), so every ISA
+// produces identical bytes.
 struct QStripeArgs {
   const GemmMat* B;
   int M, K;
   int j0, nc;
-  const std::int32_t* pa;
+  const void* pa;    ///< packed A panels (s16 pairs or s8 quads)
   std::uint8_t* pb;  ///< this stripe's panel buffer (thread-local)
   float* C;
   int ldc;
@@ -377,22 +528,29 @@ struct QStripeArgs {
 };
 
 using QStripeFn = void (*)(const QStripeArgs&, const QuantParams&);
+using QMicroFn = void (*)(const QTile&);
 
+template <int G, QMicroFn Micro>
 inline __attribute__((always_inline)) void qstripe_run(
     const QStripeArgs& a, const QuantParams& qp) {
-  pack_b_quant_u8(*a.B, a.K, a.j0, a.nc, qp, a.pb);
-  const std::size_t a_panel = static_cast<std::size_t>(kMR) * a.K;
-  const std::size_t b_panel = static_cast<std::size_t>(kNR) * a.K;
+  pack_b_quant_groups<G>(*a.B, a.K, a.j0, a.nc, qp, a.pb);
+  const int kg = ceil_div(std::max(a.K, 1), G);
+  // Both A layouts spend 4 bytes per (row, k-group): 2 s16 or 4 s8.
+  const std::size_t a_panel = static_cast<std::size_t>(kMR) * 4 *
+                              static_cast<std::size_t>(kg);
+  const std::size_t b_panel = static_cast<std::size_t>(kNR) * G *
+                              static_cast<std::size_t>(kg);
   for (int jr = 0; jr < a.nc; jr += kNR) {
     const std::uint8_t* panel_b =
         a.pb + static_cast<std::size_t>(jr / kNR) * b_panel;
     for (int i0 = 0; i0 < a.M; i0 += kMR) {
-      QMicroTile t;
-      t.pa = a.pa + static_cast<std::size_t>(i0 / kMR) * a_panel;
+      QTile t;
+      t.pa = static_cast<const std::uint8_t*>(a.pa) +
+             static_cast<std::size_t>(i0 / kMR) * a_panel;
       t.pb = panel_b;
       t.c = a.C + static_cast<std::ptrdiff_t>(i0) * a.ldc + a.j0 + jr;
       t.ldc = a.ldc;
-      t.kc = a.K;
+      t.kg = kg;
       t.mv = std::min(kMR, a.M - i0);
       t.nv = std::min(kNR, a.nc - jr);
       t.row_scale = a.row_scale + i0;
@@ -400,53 +558,97 @@ inline __attribute__((always_inline)) void qstripe_run(
       t.azp = a.azp;
       t.row_bias = a.row_bias != nullptr ? a.row_bias + i0 : nullptr;
       t.relu = a.relu;
-      qmicro_body(t);
+      Micro(t);
     }
   }
 }
 
 void qstripe_generic(const QStripeArgs& a, const QuantParams& qp) {
-  qstripe_run(a, qp);
+  qstripe_run<2, qmicro_pair_generic>(a, qp);
 }
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define ADA_QGEMM_X86_DISPATCH 1
+#ifdef ADA_QGEMM_X86_DISPATCH
 __attribute__((target("avx2"))) void qstripe_avx2(const QStripeArgs& a,
                                                   const QuantParams& qp) {
-  qstripe_run(a, qp);
+  qstripe_run<2, qmicro_pair_avx2>(a, qp);
 }
 __attribute__((target("avx512f,avx512bw"))) void qstripe_avx512(
     const QStripeArgs& a, const QuantParams& qp) {
-  qstripe_run(a, qp);
+  qstripe_run<2, qmicro_pair_avx512>(a, qp);
+}
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void qstripe_vnni(
+    const QStripeArgs& a, const QuantParams& qp) {
+  qstripe_run<4, qmicro_quad_vnni>(a, qp);
 }
 #endif
 
-QStripeFn pick_qstripe() {
+struct QDispatch {
+  QStripeFn fn;
+  KernelIsa isa;
+  int group;  ///< reduction k-group size: 2 (pairs) or 4 (VNNI quads)
+};
+
+QDispatch dispatch_for(KernelIsa isa) {
 #ifdef ADA_QGEMM_X86_DISPATCH
-  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw"))
-    return qstripe_avx512;
-  if (__builtin_cpu_supports("avx2")) return qstripe_avx2;
+  switch (isa) {
+    case KernelIsa::kVnni:
+      return {qstripe_vnni, KernelIsa::kVnni, 4};
+    case KernelIsa::kAvx512:
+      return {qstripe_avx512, KernelIsa::kAvx512, 2};
+    case KernelIsa::kAvx2:
+      return {qstripe_avx2, KernelIsa::kAvx2, 2};
+    default:
+      break;
+  }
+#else
+  (void)isa;
 #endif
-  return qstripe_generic;
+  return {qstripe_generic, KernelIsa::kGeneric, 2};
 }
 
-QStripeFn qstripe_dispatch() {
-  static const QStripeFn fn = pick_qstripe();
-  return fn;
+/// Test/bench override (set_qgemm_isa); -1 means "use the capped
+/// dispatch".  Relaxed atomics: the seam is for single-threaded setup.
+std::atomic<int> g_qisa_override{-1};
+
+QDispatch qstripe_dispatch() {
+  static const QDispatch d = dispatch_for(kernel_isa_cap());
+  const int ov = g_qisa_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return dispatch_for(static_cast<KernelIsa>(ov));
+  return d;
 }
 
 }  // namespace
+
+const char* qgemm_kernel_isa() {
+  return kernel_isa_name(qstripe_dispatch().isa);
+}
+
+void set_qgemm_isa(KernelIsa isa) {
+  if (isa > kernel_isa_native()) {
+    std::fprintf(stderr,
+                 "set_qgemm_isa(%s) requested but this CPU caps at %s; "
+                 "aborting\n",
+                 kernel_isa_name(isa), kernel_isa_name(kernel_isa_native()));
+    std::abort();
+  }
+  g_qisa_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_qgemm_isa() {
+  g_qisa_override.store(-1, std::memory_order_relaxed);
+}
 
 void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
            float* C, int ldc, const float* bias, bool relu) {
   if (M <= 0 || N <= 0) return;
   assert(M == W.rows && K == W.cols);
-  // u8 x s8 products are ≤ 255 * 127; the ascending-K int32 chain is exact
+  // u8 x s8 products are ≤ 255 * 127; the full-K int32 chain is exact
   // below this bound (header comment).  Every shape in this codebase is
   // orders of magnitude smaller.
   assert(static_cast<long long>(K) * 255 * 127 < 2147483647LL);
 
-  const QStripeFn stripe_fn = qstripe_dispatch();
+  const QDispatch& qd = qstripe_dispatch();
+  const int kg = ceil_div(std::max(K, 1), qd.group);
 
   // The epilogue scale folds the per-tensor activation scale into the
   // per-channel weight scale once, outside the tile loops.
@@ -457,11 +659,14 @@ void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
 
   // Pack A once up front (shared, read-only); stripes own disjoint C
   // columns and quantize-and-pack their own B panels thread-locally.
-  const std::size_t a_packed =
-      static_cast<std::size_t>(ceil_div(M, kMR)) * kMR *
-      static_cast<std::size_t>(std::max(K, 1));
-  std::int32_t* pa = frame.alloc_as<std::int32_t>(a_packed);
-  pack_a_s8(W.q.data(), M, K, pa);
+  // A panels spend one dword per (row, k-group) in both layouts.
+  const std::size_t a_words = static_cast<std::size_t>(ceil_div(M, kMR)) *
+                              kMR * static_cast<std::size_t>(kg);
+  std::int32_t* pa = frame.alloc_as<std::int32_t>(a_words);
+  if (qd.group == 4)
+    pack_a_quads(W.q.data(), M, K, reinterpret_cast<std::int8_t*>(pa));
+  else
+    pack_a_pairs(W.q.data(), M, K, reinterpret_cast<std::int16_t*>(pa));
 
   const int stripes = ceil_div(N, kNC);
   parallel_for(stripes, 1, [&](std::int64_t sb, std::int64_t se) {
@@ -478,7 +683,7 @@ void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
       a.pa = pa;
       a.pb = f.alloc_as<std::uint8_t>(
           static_cast<std::size_t>(ceil_div(nc, kNR)) * kNR *
-          static_cast<std::size_t>(std::max(K, 1)));
+          static_cast<std::size_t>(qd.group) * static_cast<std::size_t>(kg));
       a.C = C;
       a.ldc = ldc;
       a.row_scale = row_scale;
@@ -486,28 +691,33 @@ void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
       a.azp = W.act.zero_point;
       a.row_bias = bias;
       a.relu = relu;
-      stripe_fn(a, W.act);
+      qd.fn(a, W.act);
     }
   });
 }
 
 std::size_t qgemm_workspace_floats(int M, int N, int K) {
   // Mirrors qgemm's ScratchFrame allocations: row_scale (M floats), the
-  // widened s8→s32 A panels, and one u8 B stripe panel on the calling
-  // thread.  Byte requests ride the float arena rounded up to cache lines.
+  // k-grouped A panels (one dword per row and k-group), and one u8 B
+  // stripe panel on the calling thread.  Byte requests ride the float
+  // arena rounded up to cache lines.  The k-group size follows the
+  // dispatched kernel (pairs, or quads under VNNI).
   const auto lines = [](std::size_t bytes) {
     constexpr std::size_t kLine = 64;
     return (std::max<std::size_t>(bytes, 1) + kLine - 1) / kLine * kLine /
            sizeof(float);
   };
-  const std::size_t a_packed = static_cast<std::size_t>(ceil_div(M, kMR)) *
-                               kMR * static_cast<std::size_t>(std::max(K, 1));
+  const QDispatch& qd = qstripe_dispatch();
+  const int kg = ceil_div(std::max(K, 1), qd.group);
+  const std::size_t a_bytes = static_cast<std::size_t>(ceil_div(M, kMR)) *
+                              kMR * static_cast<std::size_t>(kg) *
+                              sizeof(std::int32_t);
   const int nc = std::min(std::max(N, 1), kNC);
-  const std::size_t b_panel = static_cast<std::size_t>(ceil_div(nc, kNR)) *
-                              kNR * static_cast<std::size_t>(std::max(K, 1));
+  const std::size_t b_bytes = static_cast<std::size_t>(ceil_div(nc, kNR)) *
+                              kNR * static_cast<std::size_t>(qd.group) *
+                              static_cast<std::size_t>(kg);
   return lines(static_cast<std::size_t>(M) * sizeof(float)) +
-         lines(a_packed * sizeof(std::int32_t)) +
-         lines(b_panel * sizeof(std::uint8_t));
+         lines(a_bytes) + lines(b_bytes);
 }
 
 }  // namespace ada

@@ -11,12 +11,22 @@
 // fp32 bias, and the optional ReLU into the tile write-out, so the rest
 // of the network never sees an integer tensor.
 //
-// Determinism: integer accumulation is exact (no rounding), so the result
-// is independent of blocking, stripe scheduling, thread count, and the
-// dispatched SIMD width; the fp32 epilogue applies a fixed per-element
-// expression.  INT8 outputs are therefore bit-identical run-to-run, across
-// ADASCALE_THREADS values, and across machines — a stronger guarantee than
-// the fp32 packed kernel, which is bit-stable only per compile.
+// The micro-kernel processes the reduction axis in k-groups: a vpmaddwd
+// pair-wise s16 kernel on AVX2/AVX-512 (u8/s8 widened to s16, adjacent-k
+// multiply-add straight into s32 — two multiplies per lane-instruction)
+// and a vpdpbusd quad kernel where AVX-512 VNNI exists (four u8 x s8
+// products per lane-instruction); the portable fallback applies the same
+// k-pairing in plain s32.  Dispatch is CPUID-gated like the fp32 kernel
+// and capped by ADASCALE_ISA (tensor/gemm.h: kernel_isa_cap).
+//
+// Determinism: integer accumulation is exact (no rounding, and nothing
+// saturates: pair/quad partial sums are bounded far inside s32 by the u8
+// x s8 operand range), so the result is independent of blocking, k-group
+// size, stripe scheduling, thread count, and the dispatched SIMD width;
+// the fp32 epilogue applies a fixed per-element expression.  INT8 outputs
+// are therefore bit-identical run-to-run, across ADASCALE_THREADS values,
+// across ADASCALE_ISA levels, and across machines — a stronger guarantee
+// than the fp32 packed kernel, which is bit-stable only per compile.
 //
 // Overflow: one u8 x s8 product is at most 255 * 127 = 32385, so a full
 // ascending-K chain fits int32 for K < 2^31 / 32385 ≈ 66k.  Every GEMM in
@@ -127,9 +137,26 @@ void qgemm(int M, int N, int K, const QuantizedWeights& W, const GemmMat& B,
            float* C, int ldc, const float* bias, bool relu);
 
 /// Scratch-arena floats one qgemm call with these shapes claims on the
-/// calling thread (epilogue row scales, widened A panels, one quantized B
-/// stripe panel), rounded the way the arena rounds — the qgemm counterpart
-/// of sgemm_workspace_floats, recorded by execution plans.
+/// calling thread (epilogue row scales, k-grouped A panels, one quantized
+/// B stripe panel), rounded the way the arena rounds — the qgemm
+/// counterpart of sgemm_workspace_floats, recorded by execution plans.
 std::size_t qgemm_workspace_floats(int M, int N, int K);
+
+/// Name of the quantized micro-kernel the dispatcher picked on this
+/// machine: "vnni" | "avx512" | "avx2" | "generic" (native capability
+/// capped by ADASCALE_ISA — see kernel_isa_cap in tensor/gemm.h), or the
+/// active set_qgemm_isa override.
+const char* qgemm_kernel_isa();
+
+/// Test/bench seam: forces the quantized kernel onto a specific ISA body
+/// so one process can compare the vpmaddwd and vpdpbusd kernels side by
+/// side (the ADASCALE_ISA env can only cap a whole process).  Requests
+/// above the CPU's *native* capability abort loudly; requests above the
+/// env cap are allowed (a capped process may still measure everything the
+/// hardware has).  Process-global — not for serving paths.
+void set_qgemm_isa(KernelIsa isa);
+
+/// Restores the normal (env-capped) quantized-kernel dispatch.
+void clear_qgemm_isa();
 
 }  // namespace ada

@@ -24,6 +24,52 @@ struct BackendGuard {
   ~BackendGuard() { set_gemm_backend(saved); }
 };
 
+// ---------------------------------------------------------------- autotune
+//
+// The per-layer autotuner times int8 first, then packed fp32, for each
+// geometry (runtime/exec_plan.h).  These deterministic fakes exploit that
+// ordering so fallback decisions are reproducible on any machine.  Each one
+// still invokes the closure once, proving the n=1 probe forward really runs.
+int g_bench_calls = 0;
+
+/// Strictly increasing readings: the first candidate (int8) always wins.
+double bench_int8_wins(const std::function<void()>& run) {
+  run();
+  return static_cast<double>(++g_bench_calls);
+}
+
+/// Strictly decreasing readings: the second candidate (fp32) always wins.
+double bench_fp32_wins(const std::function<void()>& run) {
+  run();
+  return 1.0e6 - static_cast<double>(++g_bench_calls);
+}
+
+/// Winner alternates per geometry (each cache miss = one int8 + one fp32
+/// call, so the pair index selects): even geometries keep int8, odd ones
+/// fall back — a forced per-layer mixed plan.
+double bench_alternating(const std::function<void()>& run) {
+  run();
+  const int call = g_bench_calls++;
+  const bool int8_wins = (call / 2) % 2 == 0;
+  const bool is_int8_call = call % 2 == 0;
+  return (int8_wins == is_int8_call) ? 1.0 : 2.0;
+}
+
+/// Installs a fake bench and isolates the process-global choice cache for
+/// one test (clears on entry AND exit so neighbouring tests never see
+/// fake-measured winners).
+struct AutotuneGuard {
+  explicit AutotuneGuard(AutotuneBenchFn fn) {
+    g_bench_calls = 0;
+    clear_autotune_cache();
+    set_autotune_bench(fn);
+  }
+  ~AutotuneGuard() {
+    set_autotune_bench(nullptr);
+    clear_autotune_cache();
+  }
+};
+
 class ExecPlanTest : public ::testing::Test {
  protected:
   ExecPlanTest()
@@ -116,6 +162,7 @@ TEST_F(ExecPlanTest, PlanContentMatchesArchitecture) {
 
 TEST_F(ExecPlanTest, QuantizeInvalidatesAndReplansToInt8) {
   BackendGuard guard;
+  AutotuneGuard tune(bench_int8_wins);  // deterministic: int8 keeps every layer
   set_gemm_backend(GemmBackend::kPacked);
   const Tensor img = render(240);
   detector_->detect(img);
@@ -131,7 +178,106 @@ TEST_F(ExecPlanTest, QuantizeInvalidatesAndReplansToInt8) {
   for (const PlanStep& s : plan.steps)
     if (s.kernel != KernelKind::kNone) {
       EXPECT_EQ(s.kernel, KernelKind::kInt8) << s.layer;
+      // Every kernel-bearing step went through the measured race and
+      // carries its timings for plan_dump / bench_report.
+      EXPECT_TRUE(s.autotuned) << s.layer;
+      EXPECT_GT(s.tuned_int8_ns, 0.0) << s.layer;
+      EXPECT_LE(s.tuned_int8_ns, s.tuned_fp32_ns) << s.layer;
     }
+  // The printed plan surfaces the race results.
+  EXPECT_NE(plan.to_string().find("tuned int8="), std::string::npos);
+}
+
+TEST_F(ExecPlanTest, AutotunePerLayerFallbackToFp32) {
+  BackendGuard guard;
+  AutotuneGuard tune(bench_fp32_wins);  // deterministic: fp32 wins everywhere
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  detector_->quantize({img});
+  detector_->set_execution_policy(ExecutionPolicy::int8());
+
+  const ExecutionPlan& plan = detector_->plan_for(1, img.h(), img.w());
+  EXPECT_EQ(plan.policy, "int8");
+  for (const PlanStep& s : plan.steps)
+    if (s.kernel != KernelKind::kNone) {
+      // The layer resolved to int8 but the measured race demoted it.
+      EXPECT_EQ(s.kernel, KernelKind::kGemmPacked) << s.layer;
+      EXPECT_TRUE(s.autotuned) << s.layer;
+      EXPECT_GT(s.tuned_fp32_ns, 0.0) << s.layer;
+      EXPECT_LT(s.tuned_fp32_ns, s.tuned_int8_ns) << s.layer;
+    }
+  // A fully demoted plan still serves (and runs the fp32 packed kernels).
+  detector_->detect(img);
+}
+
+TEST_F(ExecPlanTest, AutotuneMixedPlanFallsBackPerLayer) {
+  BackendGuard guard;
+  AutotuneGuard tune(bench_alternating);
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  detector_->quantize({img});
+  detector_->set_execution_policy(ExecutionPolicy::int8());
+
+  const ExecutionPlan& plan = detector_->plan_for(1, img.h(), img.w());
+  int int8_steps = 0, fp32_steps = 0;
+  for (const PlanStep& s : plan.steps) {
+    if (s.kernel == KernelKind::kNone) continue;
+    EXPECT_TRUE(s.autotuned) << s.layer;
+    // The planned kernel is exactly what the recorded timings dictate —
+    // fallback is per layer, not per plan.
+    const KernelKind want = s.tuned_int8_ns <= s.tuned_fp32_ns
+                                ? KernelKind::kInt8
+                                : KernelKind::kGemmPacked;
+    EXPECT_EQ(s.kernel, want) << s.layer;
+    (s.kernel == KernelKind::kInt8 ? int8_steps : fp32_steps)++;
+  }
+  EXPECT_GT(int8_steps, 0);
+  EXPECT_GT(fp32_steps, 0) << "alternating bench must demote some layers";
+  detector_->detect(img);  // mixed plan serves fine
+}
+
+TEST_F(ExecPlanTest, AutotuneChoicesMemoizedAndSharedAcrossInstances) {
+  BackendGuard guard;
+  AutotuneGuard tune(bench_int8_wins);
+  set_gemm_backend(GemmBackend::kPacked);
+  const Tensor img = render(240);
+  detector_->quantize({img});
+  detector_->set_execution_policy(ExecutionPolicy::int8());
+
+  EXPECT_EQ(autotune_cache_size(), 0u);
+  const ExecutionPlan& plan = detector_->plan_for(1, img.h(), img.w());
+  const std::size_t geometries = autotune_cache_size();
+  EXPECT_GT(geometries, 0u);
+  const int calls_after_first = g_bench_calls;
+  EXPECT_EQ(calls_after_first, static_cast<int>(2 * geometries))
+      << "one int8 + one fp32 measurement per distinct geometry";
+
+  // A second shape at the same scale hits only already-measured
+  // geometries for layers whose (h, w) match; new spatial sizes add new
+  // keys but batch size never does: a batched plan re-measures nothing.
+  const ExecutionPlan& batched = detector_->plan_for(2, img.h(), img.w());
+  EXPECT_EQ(autotune_cache_size(), geometries);
+  EXPECT_EQ(g_bench_calls, calls_after_first)
+      << "batch size is excluded from the autotune key";
+  ASSERT_EQ(batched.steps.size(), plan.steps.size());
+  for (std::size_t i = 0; i < plan.steps.size(); ++i)
+    EXPECT_EQ(batched.steps[i].kernel, plan.steps[i].kernel);
+
+  // A weight-aliased clone shares the plan cache outright; even an
+  // INDEPENDENT instance with the same architecture re-measures nothing —
+  // the choice cache is process-global, which is what keeps
+  // master-vs-clone outputs bit-identical.
+  std::unique_ptr<Detector> clone = clone_detector_shared(detector_.get());
+  clone->set_execution_policy(ExecutionPolicy::int8());
+  const ExecutionPlan& clone_plan = clone->plan_for(1, img.h(), img.w());
+  EXPECT_EQ(&clone_plan, &plan) << "aliased clones share the plan cache";
+  EXPECT_EQ(g_bench_calls, calls_after_first);
+
+  clear_autotune_cache();
+  EXPECT_EQ(autotune_cache_size(), 0u);
+  detector_->set_execution_policy(ExecutionPolicy::int8());  // drops plans
+  detector_->plan_for(1, img.h(), img.w());
+  EXPECT_EQ(autotune_cache_size(), geometries) << "rebuild re-measures";
 }
 
 TEST_F(ExecPlanTest, TrainingReentryInvalidatesPlans) {

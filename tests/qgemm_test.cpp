@@ -11,6 +11,7 @@
 
 #include "detection/detector.h"
 #include "adascale/scale_regressor.h"
+#include "runtime/exec_plan.h"
 #include "tensor/conv2d.h"
 #include "tensor/gemm.h"
 #include "tensor/linear.h"
@@ -223,6 +224,129 @@ TEST(QgemmTest, BitIdenticalRunToRun) {
   qgemm(M, N, K, qw, GemmMat{b.data(), N, 1}, c1.data(), N, nullptr, true);
   qgemm(M, N, K, qw, GemmMat{b.data(), N, 1}, c2.data(), N, nullptr, true);
   EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
+}
+
+// ------------------------------------------------------------- ISA matrix
+//
+// Every quantized kernel body the CPU can run — generic pair-wise s32,
+// vpmaddwd s16 pairs (avx2 / avx512), vpdpbusd quads (vnni) — must produce
+// the SAME bits, including at the operand extremes where a saturating
+// instruction would silently diverge: vpmaddwd's pair sum reaches
+// 255*127*2 = 64770 (far above s16 but exact in its s32 accumulator), and
+// vpdpbusd's quad sum reaches 129540 (vpdpbusd, unlike VPDPBUSDS, wraps
+// rather than saturates — and these magnitudes stay far inside s32 anyway).
+
+/// ISA levels this host can actually execute, weakest first.
+std::vector<KernelIsa> supported_isas() {
+  std::vector<KernelIsa> out;
+  for (KernelIsa isa : {KernelIsa::kGeneric, KernelIsa::kAvx2,
+                        KernelIsa::kAvx512, KernelIsa::kVnni})
+    if (static_cast<int>(isa) <= static_cast<int>(kernel_isa_native()))
+      out.push_back(isa);
+  return out;
+}
+
+struct IsaOverrideGuard {
+  ~IsaOverrideGuard() { clear_qgemm_isa(); }
+};
+
+/// Runs one qgemm problem under every supported ISA body: all bodies must
+/// match the generic scalar kernel BITWISE (integer accumulation is exact,
+/// so grouping and SIMD width cannot matter), and the generic kernel must
+/// sit within fp32-rounding tolerance of the fake-quant oracle.
+void expect_isa_invariant(int M, int N, int K, const QuantizedWeights& qw,
+                          const std::vector<float>& b, const float* bias,
+                          bool relu) {
+  const GemmMat bmat{b.data(), N, 1};
+  const std::size_t elems = static_cast<std::size_t>(M) * N;
+  IsaOverrideGuard guard;
+  set_qgemm_isa(KernelIsa::kGeneric);
+  std::vector<float> baseline(elems, -1.0f);
+  qgemm(M, N, K, qw, bmat, baseline.data(), N, bias, relu);
+
+  std::vector<float> oracle(elems);
+  qgemm_oracle(M, N, K, qw, bmat, oracle.data(), N, bias, relu);
+  const float tol = 1e-4f * (1.0f + static_cast<float>(K) * 0.05f);
+  for (std::size_t i = 0; i < elems; ++i)
+    ASSERT_NEAR(baseline[i], oracle[i],
+                (tol + 1e-4f * std::fabs(oracle[i])) *
+                    (1.0f + std::fabs(oracle[i])))
+        << "generic kernel off the fake-quant oracle at i=" << i;
+
+  for (KernelIsa isa : supported_isas()) {
+    if (isa == KernelIsa::kGeneric) continue;
+    set_qgemm_isa(isa);
+    EXPECT_STREQ(qgemm_kernel_isa(), kernel_isa_name(isa));
+    std::vector<float> got(elems, -1.0f);
+    qgemm(M, N, K, qw, bmat, got.data(), N, bias, relu);
+    EXPECT_EQ(0, std::memcmp(got.data(), baseline.data(),
+                             elems * sizeof(float)))
+        << "kernel body " << kernel_isa_name(isa)
+        << " not bit-identical to the generic body";
+  }
+}
+
+TEST(QgemmIsaTest, SaturationExtremesBitIdenticalAcrossAllKernelBodies) {
+  // Worst-case operands: weights pinned to ±127, activations that quantize
+  // to 255 (act scale 1, zero point 0, inputs at the clamp edge), K odd so
+  // the pair kernels run a zero-padded tail and K % 4 != 0 so the quad
+  // kernel does too.
+  const int M = 5, N = 33, K = 19;
+  QuantizedWeights qw;
+  qw.rows = M;
+  qw.cols = K;
+  qw.q.resize(static_cast<std::size_t>(M) * K);
+  qw.scale.assign(static_cast<std::size_t>(M), 1.0f);
+  qw.row_sum.assign(static_cast<std::size_t>(M), 0);
+  for (int m = 0; m < M; ++m) {
+    for (int k = 0; k < K; ++k) {
+      // Rows alternate sign patterns so pair sums hit +64770, -64770, and
+      // cancellation; row 4 is all +127 (maximal same-sign quads).
+      const std::int8_t v = (m == 4 || (k + m) % 2 == 0) ? 127 : -127;
+      qw.q[static_cast<std::size_t>(m) * K + k] = v;
+      qw.row_sum[static_cast<std::size_t>(m)] += v;
+    }
+  }
+  qw.act = QuantParams{1.0f, 0};
+  std::vector<float> b(static_cast<std::size_t>(K) * N);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = (i % 3 == 0) ? 255.0f : ((i % 3 == 1) ? 300.0f : 0.0f);  // 300 clamps
+  expect_isa_invariant(M, N, K, qw, b, nullptr, false);
+
+  // Nonzero zero point exercises the row_sum correction at the same
+  // extremes (zp 128 centres the u8 range).
+  qw.act = QuantParams{2.0f, 128};
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = (i % 2 == 0) ? 254.0f : -256.0f;  // quantize to 255 and 0
+  const std::vector<float> bias = {0.5f, -3.0f, 0.0f, 7.5f, -0.25f};
+  expect_isa_invariant(M, N, K, qw, b, bias.data(), true);
+}
+
+TEST(QgemmIsaTest, OddShapesBitIdenticalAcrossAllKernelBodies) {
+  Rng rng(41);
+  const struct { int M, N, K; } shapes[] = {
+      {1, 1, 1}, {5, 37, 13}, {6, 16, 32}, {7, 129, 97}, {13, 48, 27}};
+  for (const auto& s : shapes) {
+    std::vector<float> w(static_cast<std::size_t>(s.M) * s.K);
+    for (float& v : w) v = rng.uniform(-1.0f, 1.0f);
+    std::vector<float> b(static_cast<std::size_t>(s.K) * s.N);
+    for (float& v : b) v = rng.uniform(-1.0f, 2.0f);
+    const QuantizedWeights qw =
+        quantize_weights(w.data(), s.M, s.K, choose_qparams(-1.0f, 2.0f));
+    expect_isa_invariant(s.M, s.N, s.K, qw, b, nullptr, false);
+  }
+}
+
+TEST(QgemmIsaTest, OverrideAboveEnvCapAllowedAndRestored) {
+  // set_qgemm_isa may exceed the ADASCALE_ISA cap (a capped process still
+  // benchmarks every body the silicon has) but never the silicon itself;
+  // clear restores capped dispatch.
+  IsaOverrideGuard guard;
+  const std::string capped = qgemm_kernel_isa();
+  set_qgemm_isa(kernel_isa_native());
+  EXPECT_STREQ(qgemm_kernel_isa(), kernel_isa_name(kernel_isa_native()));
+  clear_qgemm_isa();
+  EXPECT_EQ(capped, qgemm_kernel_isa());
 }
 
 // ------------------------------------------------------- conv/linear int8
@@ -475,6 +599,17 @@ TEST(RegressorInt8Test, TrainStepUsesFp32ForwardWhenQuantized) {
   Tensor features = random_tensor(1, 8, 10, 10, 0.0f, 2.0f, &rng);
   reg.quantize({features});
 
+  // Pin the autotuner to int8 (first candidate wins: readings increase).
+  // Under a low ADASCALE_ISA cap the real measurement can demote every
+  // layer to fp32, which would make int8 predictions equal fp32 ones and
+  // leave this test unable to discriminate the two forward paths.
+  clear_autotune_cache();
+  set_autotune_bench(+[](const std::function<void()>& run) {
+    run();
+    static int calls = 0;
+    return static_cast<double>(++calls);
+  });
+
   const GemmBackend saved = gemm_backend();
   set_gemm_backend(GemmBackend::kPacked);
   const float t_fp32 = reg.predict(features);
@@ -493,6 +628,8 @@ TEST(RegressorInt8Test, TrainStepUsesFp32ForwardWhenQuantized) {
   float unused = 0.0f;
   EXPECT_EQ(loss, mse_scalar(t_fp32, target, &unused))
       << "train_step computed its loss from the INT8 forward";
+  set_autotune_bench(nullptr);
+  clear_autotune_cache();
   set_gemm_backend(saved);
 }
 
